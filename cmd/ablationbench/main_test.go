@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duration-based sweep")
+	}
+	err := run([]string{"-run", "versions,window", "-size", "64", "-dur", "10ms", "-threads", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Fatal("bad ablation accepted")
+	}
+}

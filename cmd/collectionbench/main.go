@@ -1,0 +1,130 @@
+// Command collectionbench regenerates the throughput figures of
+// "Democratizing Transactional Programming" (Figures 5, 7 and 9): the
+// Collection benchmark — contains/add/remove plus an atomic size — run
+// against classic transactions, mixed-semantics transactions, and the
+// copy-on-write concurrent collection, normalized over sequential code.
+//
+// Usage:
+//
+//	collectionbench [-fig 5|7|9|all] [-size 4096] [-dur 250ms]
+//	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
+//	                [-cm backoff] [-extra]
+//
+// The paper's setting is -size 4096 -update 10 -sizepct 10 on a 64-way
+// Niagara 2; on smaller hosts the sweep oversubscribes beyond the core
+// count, which preserves the figures' shape (who wins and where curves
+// bend) but not absolute speedups.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/txstruct"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collectionbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collectionbench", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "figure to regenerate: 5, 7, 9 or all")
+		size    = fs.Int("size", bench.PaperInitialSize, "initial collection size")
+		dur     = fs.Duration("dur", 250*time.Millisecond, "measurement duration per point")
+		threads = fs.String("threads", "1,2,4,8,16,32,64", "comma-separated thread counts")
+		update  = fs.Int("update", bench.PaperUpdatePct, "update percentage")
+		sizePct = fs.Int("sizepct", bench.PaperSizePct, "size-operation percentage")
+		extra   = fs.Bool("extra", false, "also run the parse-only baseline comparison (no size ops)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		return err
+	}
+	wl := bench.Workload{
+		InitialSize: *size,
+		UpdatePct:   *update,
+		SizePct:     *sizePct,
+		Duration:    *dur,
+	}
+
+	var figures []bench.Figure
+	switch *fig {
+	case "5":
+		figures = []bench.Figure{bench.Figure5(wl, ths)}
+	case "7":
+		figures = []bench.Figure{bench.Figure7(wl, ths)}
+	case "9":
+		figures = []bench.Figure{bench.Figure9(wl, ths)}
+	case "all":
+		figures = []bench.Figure{
+			bench.Figure5(wl, ths),
+			bench.Figure7(wl, ths),
+			bench.Figure9(wl, ths),
+		}
+	default:
+		return fmt.Errorf("unknown figure %q (want 5, 7, 9 or all)", *fig)
+	}
+	for i, f := range figures {
+		if i > 0 {
+			fmt.Println()
+		}
+		if _, err := bench.RunFigure(os.Stdout, f); err != nil {
+			return err
+		}
+	}
+	if *extra {
+		fmt.Println()
+		parseOnly := wl
+		parseOnly.SizePct = 0
+		extraFig := bench.Figure{
+			Name:    "parse-only",
+			Caption: "No size ops: fine-grained and lock-free baselines join the comparison",
+			Impls: []bench.Factory{
+				bench.SnapshotMixedFactory(),
+				bench.ClassicSTMFactory(),
+				bench.HoHFactory(),
+				bench.LazyFactory(),
+				bench.HarrisFactory(),
+				bench.HashSetFactory("tx-hashset", 64, txstruct.ListConfig{
+					Parse: core.Elastic, Size: core.Snapshot,
+				}),
+			},
+			Workload: parseOnly,
+			Threads:  ths,
+		}
+		if _, err := bench.RunFigure(os.Stdout, extraFig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts given")
+	}
+	return out, nil
+}

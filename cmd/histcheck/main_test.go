@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunRounds(t *testing.T) {
+	if err := run([]string{"-rounds", "2", "-workers", "2", "-ops", "50", "-keys", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run([]string{"-sweep", "3", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The novice's view: delimit sequential code with a Classic transaction.
+func ExampleTM_Atomically() {
+	tm := repro.New()
+	balance := repro.NewVar(tm, 100)
+
+	_ = tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+		balance.Set(tx, balance.Get(tx)-30)
+		return nil
+	})
+
+	_ = tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+		fmt.Println("balance:", balance.Get(tx))
+		return nil
+	})
+	// Output: balance: 70
+}
+
+// The expert's view: a Snapshot transaction reads many variables as of
+// one instant and never aborts concurrent updates.
+func ExampleTM_Atomically_snapshot() {
+	tm := repro.New()
+	a := repro.NewVar(tm, 1)
+	b := repro.NewVar(tm, 2)
+	c := repro.NewVar(tm, 3)
+
+	var sum int
+	_ = tm.Atomically(repro.Snapshot, func(tx *repro.Tx) error {
+		sum = a.Get(tx) + b.Get(tx) + c.Get(tx)
+		return nil
+	})
+	fmt.Println("sum:", sum)
+	// Output: sum: 6
+}
+
+// Composition: operations take the transaction handle, and the outer
+// Atomically decides the semantics label for the whole composite.
+func ExampleTM_Atomically_composition() {
+	tm := repro.New()
+	from := repro.NewVar(tm, 10)
+	to := repro.NewVar(tm, 0)
+
+	withdraw := func(tx *repro.Tx, n int) { from.Set(tx, from.Get(tx)-n) }
+	deposit := func(tx *repro.Tx, n int) { to.Set(tx, to.Get(tx)+n) }
+
+	// Bob's transfer composes Alice's withdraw and deposit atomically.
+	_ = tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+		withdraw(tx, 4)
+		deposit(tx, 4)
+		return nil
+	})
+
+	_ = tm.Atomically(repro.Snapshot, func(tx *repro.Tx) error {
+		fmt.Println(from.Get(tx), to.Get(tx))
+		return nil
+	})
+	// Output: 6 4
+}
+
+// OrElse composes alternatives: a branch that calls Retry falls through
+// to the next branch.
+func ExampleTM_OrElse() {
+	tm := repro.New()
+	inbox := repro.NewVar(tm, "")
+
+	var got string
+	_ = tm.OrElse(
+		func(tx *repro.Tx) error {
+			v := inbox.Get(tx)
+			if v == "" {
+				tx.Retry() // nothing yet: fall through
+			}
+			got = v
+			return nil
+		},
+		func(tx *repro.Tx) error {
+			got = "(empty)"
+			return nil
+		},
+	)
+	fmt.Println(got)
+	// Output: (empty)
+}

@@ -1,0 +1,97 @@
+// Quickstart: the novice's view of the transaction abstraction.
+//
+// Two accounts are transactional variables; a transfer is sequential code
+// inside a Classic transaction — no locks declared, no ordering rules, no
+// recovery logic (section 2.1 of the paper). Concurrent observers read
+// both balances atomically and never see money in flight.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tm := repro.New()
+	checking := repro.NewVar(tm, 900)
+	savings := repro.NewVar(tm, 100)
+
+	transfer := func(amount int) error {
+		return tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+			from := checking.Get(tx)
+			if from < amount {
+				return fmt.Errorf("insufficient funds: %d < %d", from, amount)
+			}
+			checking.Set(tx, from-amount)
+			savings.Set(tx, savings.Get(tx)+amount)
+			return nil
+		})
+	}
+
+	var wg sync.WaitGroup
+	const (
+		workers   = 4
+		transfers = 100
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				if err := transfer(1); err != nil {
+					log.Printf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// A concurrent observer: the sum is invariant in every transaction.
+	observeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			var total int
+			err := tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+				total = checking.Get(tx) + savings.Get(tx)
+				return nil
+			})
+			if err != nil {
+				observeErr <- err
+				return
+			}
+			if total != 1000 {
+				observeErr <- fmt.Errorf("observer saw torn total %d", total)
+				return
+			}
+		}
+		observeErr <- nil
+	}()
+	wg.Wait()
+	if err := <-observeErr; err != nil {
+		return err
+	}
+
+	var c, s int
+	if err := tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+		c, s = checking.Get(tx), savings.Get(tx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("final balances: checking=%d savings=%d (sum %d)\n", c, s, c+s)
+	st := tm.Stats()
+	fmt.Printf("runtime: %d commits, %d aborts (%.1f%% abort rate)\n",
+		st.Commits, st.TotalAborts(), 100*st.AbortRate())
+	return nil
+}

@@ -1,0 +1,105 @@
+// Rename: Figure 3 and section 2.2 of the paper.
+//
+// Alice ships a directory abstraction with remove and create operations.
+// Bob composes them into an atomic rename — without reading Alice's code.
+// Two goroutines then rename files in opposite directions across two
+// directories, the scenario where lock-based designs (like the Google
+// File System's namespace) must lock directories in a global order to
+// avoid deadlock. Here conflict resolution is the contention manager's
+// job and the composition is deadlock-free by construction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro"
+	"repro/internal/txstruct"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tm := repro.New()
+	d1 := txstruct.NewDirectory(tm)
+	d2 := txstruct.NewDirectory(tm)
+
+	// Alice's component operations, used directly.
+	if err := d1.Create("draft.txt", "d1 content"); err != nil {
+		return err
+	}
+	if err := d2.Create("notes.txt", "d2 content"); err != nil {
+		return err
+	}
+
+	// Bob's composite: rename within one directory.
+	if err := d1.Rename(d1, "draft.txt", "final.txt"); err != nil {
+		return err
+	}
+	fmt.Println("renamed draft.txt -> final.txt in d1")
+
+	// The deadlock-prone scenario: cross-directory renames in opposite
+	// directions, concurrently, many times.
+	const moves = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		name := "final.txt"
+		for i := 0; i < moves; i++ {
+			next := fmt.Sprintf("final-%d.txt", i)
+			if err := d1.Rename(d2, name, next); err != nil {
+				errs <- fmt.Errorf("d1->d2: %w", err)
+				return
+			}
+			if err := d2.Rename(d1, next, name); err != nil {
+				errs <- fmt.Errorf("d2->d1: %w", err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() {
+		defer wg.Done()
+		name := "notes.txt"
+		for i := 0; i < moves; i++ {
+			next := fmt.Sprintf("notes-%d.txt", i)
+			if err := d2.Rename(d1, name, next); err != nil {
+				errs <- fmt.Errorf("d2->d1: %w", err)
+				return
+			}
+			if err := d1.Rename(d2, next, name); err != nil {
+				errs <- fmt.Errorf("d1->d2: %w", err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	n1, err := d1.Names()
+	if err != nil {
+		return err
+	}
+	n2, err := d2.Names()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after %d crossing renames: d1=%v d2=%v\n", 2*moves, n1, n2)
+	st := tm.Stats()
+	fmt.Printf("no deadlock, no lock ordering: %d commits, %d aborts resolved by the contention manager\n",
+		st.Commits, st.TotalAborts())
+	return nil
+}

@@ -1,0 +1,286 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intset"
+)
+
+// factories lists every baseline with its concurrency capabilities.
+func factories() []struct {
+	name       string
+	build      func() intset.Set
+	concurrent bool
+	atomicSize bool
+} {
+	return []struct {
+		name       string
+		build      func() intset.Set
+		concurrent bool
+		atomicSize bool
+	}{
+		{"sequential", func() intset.Set { return NewSeqList() }, false, true},
+		{"coarse", func() intset.Set { return NewCoarseList() }, true, true},
+		{"hand-over-hand", func() intset.Set { return NewHoHList() }, true, false},
+		{"lazy", func() intset.Set { return NewLazyList() }, true, false},
+		{"lock-free", func() intset.Set { return NewHarrisList() }, true, false},
+		{"cow", func() intset.Set { return NewCOWSet() }, true, true},
+		{"striped", func() intset.Set { return NewStripedHashSet(16) }, true, false},
+	}
+}
+
+func TestBaselineSequentialModel(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			s := f.build()
+			model := make(map[int]bool)
+			seq := []struct {
+				add bool
+				v   int
+			}{
+				{true, 5}, {true, 3}, {true, 8}, {true, 5}, {false, 3},
+				{false, 3}, {true, 1}, {false, 8}, {true, 9}, {true, 0},
+				{false, 5}, {true, 5}, {true, -7}, {false, -7},
+			}
+			for i, op := range seq {
+				if op.add {
+					got, err := s.Add(op.v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != !model[op.v] {
+						t.Fatalf("op %d: add(%d) = %v, model has %v", i, op.v, got, model[op.v])
+					}
+					model[op.v] = true
+				} else {
+					got, err := s.Remove(op.v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != model[op.v] {
+						t.Fatalf("op %d: remove(%d) = %v, model has %v", i, op.v, got, model[op.v])
+					}
+					delete(model, op.v)
+				}
+			}
+			n, err := s.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("size = %d, want %d", n, len(model))
+			}
+			for v, in := range model {
+				got, err := s.Contains(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != in {
+					t.Fatalf("contains(%d) = %v, want %v", v, got, in)
+				}
+			}
+		})
+	}
+}
+
+func TestBaselineQuickModel(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				s := f.build()
+				model := make(map[int]bool)
+				for _, raw := range ops {
+					v := int(raw % 128)
+					switch (raw / 128) % 3 {
+					case 0:
+						got, err := s.Add(v)
+						if err != nil || got == model[v] {
+							return false
+						}
+						model[v] = true
+					case 1:
+						got, err := s.Remove(v)
+						if err != nil || got != model[v] {
+							return false
+						}
+						delete(model, v)
+					default:
+						got, err := s.Contains(v)
+						if err != nil || got != model[v] {
+							return false
+						}
+					}
+				}
+				n, err := s.Size()
+				return err == nil && n == len(model)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBaselineConcurrentFinalState checks the concurrent baselines settle
+// to the state implied by the successful operations.
+func TestBaselineConcurrentFinalState(t *testing.T) {
+	for _, f := range factories() {
+		if !f.concurrent {
+			continue
+		}
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			s := f.build()
+			const keyRange = 64
+			var (
+				mu    sync.Mutex
+				addCt [keyRange]int
+				rmCt  [keyRange]int
+				wg    sync.WaitGroup
+			)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := seed*0x9e3779b97f4a7c15 + 1
+					next := func(n int) int {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						return int(rng % uint64(n))
+					}
+					localAdd := make([]int, keyRange)
+					localRm := make([]int, keyRange)
+					for i := 0; i < 500; i++ {
+						v := next(keyRange)
+						if next(2) == 0 {
+							ok, err := s.Add(v)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if ok {
+								localAdd[v]++
+							}
+						} else {
+							ok, err := s.Remove(v)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if ok {
+								localRm[v]++
+							}
+						}
+					}
+					mu.Lock()
+					for v := 0; v < keyRange; v++ {
+						addCt[v] += localAdd[v]
+						rmCt[v] += localRm[v]
+					}
+					mu.Unlock()
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			for v := 0; v < keyRange; v++ {
+				d := addCt[v] - rmCt[v]
+				if d < 0 || d > 1 {
+					t.Fatalf("value %d: impossible add/remove delta %d", v, d)
+				}
+				got, err := s.Contains(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != (d == 1) {
+					t.Fatalf("final contains(%d) = %v, want %v", v, got, d == 1)
+				}
+			}
+		})
+	}
+}
+
+// TestCOWAtomicSizeUnderSwaps is the property the paper buys with
+// copy-on-write: size is a snapshot. Writers swap pairs (remove one value,
+// add another) under an external transaction-less protocol, so the count
+// can legitimately dip between the two operations — the test therefore
+// swaps via distinct values and only checks monotone bounds:
+// size stays within [n-writers, n+writers].
+func TestCOWAtomicSizeUnderSwaps(t *testing.T) {
+	s := NewCOWSet()
+	const n = 100
+	for v := 0; v < n; v++ {
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writers = 3
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns value band [w*1000, w*1000+1): it keeps
+			// removing and re-adding one private extra value, so the
+			// size oscillates by at most 1 per writer.
+			v := (w + 1) * 1000
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Add(v); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Remove(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 1000; i++ {
+		got, err := s.Size()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if got < n || got > n+writers {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("size %d outside [%d, %d]", got, n, n+writers)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBaselineElements(t *testing.T) {
+	for _, f := range factories() {
+		s := f.build()
+		snap, ok := s.(intset.Snapshotter)
+		if !ok {
+			continue
+		}
+		for _, v := range []int{9, 1, 5, 3, 7} {
+			if _, err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		els, err := snap.Elements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(els) || len(els) != 5 {
+			t.Fatalf("%s: elements %v, want 5 sorted values", f.name, els)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/intset"
+)
+
+// CoarseList is the sequential sorted list behind one RWMutex: the
+// simplest correct concurrent set, and the "single global lock" whose
+// atomicity classic transactions capture. Parses take the read lock;
+// updates the write lock; Size is trivially atomic.
+type CoarseList struct {
+	mu   sync.RWMutex
+	list SeqList
+}
+
+var (
+	_ intset.Set         = (*CoarseList)(nil)
+	_ intset.Snapshotter = (*CoarseList)(nil)
+)
+
+// NewCoarseList builds an empty coarse-locked list.
+func NewCoarseList() *CoarseList { return &CoarseList{} }
+
+// Contains implements intset.Set.
+func (l *CoarseList) Contains(v int) (bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.list.Contains(v)
+}
+
+// Add implements intset.Set.
+func (l *CoarseList) Add(v int) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Add(v)
+}
+
+// Remove implements intset.Set.
+func (l *CoarseList) Remove(v int) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Remove(v)
+}
+
+// Size implements intset.Set.
+func (l *CoarseList) Size() (int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.list.Size()
+}
+
+// Elements implements intset.Snapshotter.
+func (l *CoarseList) Elements() ([]int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.list.Elements()
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/intset"
+)
+
+// COWSet is a copy-on-write sorted array set: readers (Contains, Size,
+// Elements) are wait-free against an immutable snapshot; writers serialize
+// on a mutex and publish a fresh copy.
+//
+// This is the stand-in for the paper's "existing concurrent collection":
+// because the lock-free collections of java.util.concurrent cannot provide
+// an atomic size, the paper (following the Java Concurrency in Practice
+// recommendation [37]) falls back to the copyOnWriteArraySet workaround,
+// which makes size trivially atomic at the price of O(n) copying updates.
+type COWSet struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[[]int]
+}
+
+var (
+	_ intset.Set         = (*COWSet)(nil)
+	_ intset.Snapshotter = (*COWSet)(nil)
+)
+
+// NewCOWSet builds an empty copy-on-write set.
+func NewCOWSet() *COWSet {
+	s := &COWSet{}
+	empty := make([]int, 0)
+	s.snap.Store(&empty)
+	return s
+}
+
+// view returns the current immutable snapshot.
+func (s *COWSet) view() []int { return *s.snap.Load() }
+
+// Contains implements intset.Set with a binary search on the snapshot.
+func (s *COWSet) Contains(v int) (bool, error) {
+	a := s.view()
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v, nil
+}
+
+// Add implements intset.Set: writers copy the whole array.
+func (s *COWSet) Add(v int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.view()
+	i := sort.SearchInts(a, v)
+	if i < len(a) && a[i] == v {
+		return false, nil
+	}
+	next := make([]int, len(a)+1)
+	copy(next, a[:i])
+	next[i] = v
+	copy(next[i+1:], a[i:])
+	s.snap.Store(&next)
+	return true, nil
+}
+
+// Remove implements intset.Set: writers copy the whole array.
+func (s *COWSet) Remove(v int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.view()
+	i := sort.SearchInts(a, v)
+	if i >= len(a) || a[i] != v {
+		return false, nil
+	}
+	next := make([]int, len(a)-1)
+	copy(next, a[:i])
+	copy(next[i:], a[i+1:])
+	s.snap.Store(&next)
+	return true, nil
+}
+
+// Size implements intset.Set: atomic by construction — the property the
+// paper pays the copy-on-write price for.
+func (s *COWSet) Size() (int, error) { return len(s.view()), nil }
+
+// Elements implements intset.Snapshotter.
+func (s *COWSet) Elements() ([]int, error) {
+	a := s.view()
+	out := make([]int, len(a))
+	copy(out, a)
+	return out, nil
+}

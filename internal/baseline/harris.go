@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"repro/internal/intset"
+)
+
+// hlink is an immutable (next, marked) pair. Go has no pointer mark bits,
+// so the standard adaptation of Harris' algorithm publishes a fresh pair
+// on every change and CASes the pair pointer — the AtomicMarkableReference
+// construction of the Java version of the same algorithm.
+type hlink struct {
+	next   *harrisNode
+	marked bool
+}
+
+// harrisNode is one lock-free list node.
+type harrisNode struct {
+	val  int
+	link atomic.Pointer[hlink]
+}
+
+// HarrisList is the non-blocking sorted linked list of Harris (DISC 2001,
+// the paper's [36]) with Michael's hazard-free traversal structure [28]:
+// deletion marks the node's link, and traversals physically unlink marked
+// nodes with CAS as they pass. It is the "subtle mechanisms, like logical
+// deletion" alternative of section 2.1.
+//
+// Size is a lock-free traversal and NOT an atomic snapshot — the exact
+// limitation that forces the paper's copy-on-write workaround; the
+// harness only uses HarrisList on parse workloads.
+type HarrisList struct {
+	head *harrisNode // sentinel
+	tail *harrisNode // sentinel
+}
+
+var _ intset.Set = (*HarrisList)(nil)
+
+// NewHarrisList builds an empty lock-free list.
+func NewHarrisList() *HarrisList {
+	head := &harrisNode{val: minInt}
+	tail := &harrisNode{val: maxInt}
+	head.link.Store(&hlink{next: tail})
+	tail.link.Store(&hlink{})
+	return &HarrisList{head: head, tail: tail}
+}
+
+// search returns (pred, curr) with pred.val < v <= curr.val, snipping out
+// marked nodes along the way.
+func (l *HarrisList) search(v int) (pred, curr *harrisNode) {
+retry:
+	for {
+		pred = l.head
+		predLink := pred.link.Load()
+		curr = predLink.next
+		for {
+			currLink := curr.link.Load()
+			// Physically remove a logically deleted curr.
+			for currLink.marked {
+				snip := &hlink{next: currLink.next}
+				if !pred.link.CompareAndSwap(predLink, snip) {
+					continue retry
+				}
+				predLink = snip
+				curr = currLink.next
+				currLink = curr.link.Load()
+			}
+			if curr.val >= v {
+				return pred, curr
+			}
+			pred = curr
+			predLink = currLink
+			curr = currLink.next
+		}
+	}
+}
+
+// Contains implements intset.Set: wait-free traversal, no CAS.
+func (l *HarrisList) Contains(v int) (bool, error) {
+	curr := l.head
+	link := curr.link.Load()
+	for curr.val < v {
+		curr = link.next
+		link = curr.link.Load()
+	}
+	return curr.val == v && !link.marked, nil
+}
+
+// Add implements intset.Set.
+func (l *HarrisList) Add(v int) (bool, error) {
+	for {
+		pred, curr := l.search(v)
+		if curr.val == v {
+			return false, nil
+		}
+		n := &harrisNode{val: v}
+		n.link.Store(&hlink{next: curr})
+		oldLink := pred.link.Load()
+		if oldLink.marked || oldLink.next != curr {
+			continue
+		}
+		if pred.link.CompareAndSwap(oldLink, &hlink{next: n}) {
+			return true, nil
+		}
+	}
+}
+
+// Remove implements intset.Set: mark (logical delete) then best-effort
+// physical unlink.
+func (l *HarrisList) Remove(v int) (bool, error) {
+	for {
+		pred, curr := l.search(v)
+		if curr.val != v {
+			return false, nil
+		}
+		currLink := curr.link.Load()
+		if currLink.marked {
+			return false, nil
+		}
+		if !curr.link.CompareAndSwap(currLink, &hlink{next: currLink.next, marked: true}) {
+			continue
+		}
+		// Best-effort physical removal; failures are cleaned up by the
+		// next traversal.
+		oldLink := pred.link.Load()
+		if !oldLink.marked && oldLink.next == curr {
+			pred.link.CompareAndSwap(oldLink, &hlink{next: currLink.next})
+		}
+		return true, nil
+	}
+}
+
+// Size implements intset.Set with a lock-free traversal; see the type
+// comment for its non-atomic semantics.
+func (l *HarrisList) Size() (int, error) {
+	n := 0
+	curr := l.head.link.Load().next
+	for curr != l.tail {
+		link := curr.link.Load()
+		if !link.marked {
+			n++
+		}
+		curr = link.next
+	}
+	return n, nil
+}

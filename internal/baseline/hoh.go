@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/intset"
+)
+
+// hohNode carries the per-node spinlock of Algorithm 2's lock-based
+// structure (val, next, lock).
+type hohNode struct {
+	val  int
+	next *hohNode
+	mu   sync.Mutex
+}
+
+// HoHList is the hand-over-hand (lock-coupling) sorted list of
+// Algorithm 3: a traversal holds at most two node locks, releasing the
+// trailing one as it advances. This is the lock-based expressiveness the
+// elastic semantics reproduces inside a transaction.
+//
+// Size traverses hand-over-hand and is therefore NOT an atomic snapshot —
+// exactly the limitation of fine-grained sets that motivates the paper's
+// snapshot semantics; the benchmark harness only uses HoHList on parse
+// workloads.
+type HoHList struct {
+	// head is a sentinel so the first real node has a stable predecessor
+	// to lock, the standard lock-coupling arrangement.
+	head *hohNode
+}
+
+var _ intset.Set = (*HoHList)(nil)
+
+// NewHoHList builds an empty hand-over-hand list.
+func NewHoHList() *HoHList {
+	return &HoHList{head: &hohNode{}}
+}
+
+// find locks its way to v's position and returns (prev, curr) with prev
+// locked and curr locked when non-nil. The caller must unlock both.
+func (l *HoHList) find(v int) (prev, curr *hohNode) {
+	prev = l.head
+	prev.mu.Lock()
+	curr = prev.next
+	if curr != nil {
+		curr.mu.Lock()
+	}
+	for curr != nil && curr.val < v {
+		prev.mu.Unlock()
+		prev = curr
+		curr = curr.next
+		if curr != nil {
+			curr.mu.Lock()
+		}
+	}
+	return prev, curr
+}
+
+// Contains implements intset.Set (the lk-contains of Algorithm 3).
+func (l *HoHList) Contains(v int) (bool, error) {
+	prev, curr := l.find(v)
+	found := curr != nil && curr.val == v
+	prev.mu.Unlock()
+	if curr != nil {
+		curr.mu.Unlock()
+	}
+	return found, nil
+}
+
+// Add implements intset.Set.
+func (l *HoHList) Add(v int) (bool, error) {
+	prev, curr := l.find(v)
+	defer func() {
+		prev.mu.Unlock()
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+	}()
+	if curr != nil && curr.val == v {
+		return false, nil
+	}
+	prev.next = &hohNode{val: v, next: curr}
+	return true, nil
+}
+
+// Remove implements intset.Set.
+func (l *HoHList) Remove(v int) (bool, error) {
+	prev, curr := l.find(v)
+	defer func() {
+		prev.mu.Unlock()
+		if curr != nil {
+			curr.mu.Unlock()
+		}
+	}()
+	if curr == nil || curr.val != v {
+		return false, nil
+	}
+	prev.next = curr.next
+	return true, nil
+}
+
+// Size implements intset.Set with lock-coupling traversal; see the type
+// comment for its non-atomic semantics.
+func (l *HoHList) Size() (int, error) {
+	n := 0
+	prev := l.head
+	prev.mu.Lock()
+	curr := prev.next
+	if curr != nil {
+		curr.mu.Lock()
+	}
+	for curr != nil {
+		n++
+		prev.mu.Unlock()
+		prev = curr
+		curr = curr.next
+		if curr != nil {
+			curr.mu.Lock()
+		}
+	}
+	prev.mu.Unlock()
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/intset"
+)
+
+// lazyNode is a node of the lazy list: a per-node lock, a logical-deletion
+// mark, and an atomically readable next pointer so unlocked traversals are
+// safe.
+type lazyNode struct {
+	val    int
+	marked atomic.Bool
+	next   atomic.Pointer[lazyNode]
+	mu     sync.Mutex
+}
+
+// LazyList is the lazy concurrent list-based set of Heller et al.
+// (OPODIS 2005, the paper's [29]): wait-free unlocked traversals, with
+// updates locking only the two affected nodes and revalidating. It is the
+// "subtle logical deletion plus validation phase" re-engineering the paper
+// contrasts with transaction-preserved sequential code.
+//
+// Size traverses without synchronization and is NOT an atomic snapshot
+// (the java.util.concurrent limitation the paper works around with
+// copy-on-write); the harness only uses LazyList on parse workloads.
+type LazyList struct {
+	head *lazyNode // sentinel with minimal key
+	tail *lazyNode // sentinel with maximal key
+}
+
+var _ intset.Set = (*LazyList)(nil)
+
+// NewLazyList builds an empty lazy list.
+func NewLazyList() *LazyList {
+	// Sentinels avoid edge cases at the ends, per the published algorithm.
+	head := &lazyNode{val: minInt}
+	tail := &lazyNode{val: maxInt}
+	head.next.Store(tail)
+	return &LazyList{head: head, tail: tail}
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+// search returns (pred, curr) with pred.val < v <= curr.val, traversing
+// without locks.
+func (l *LazyList) search(v int) (pred, curr *lazyNode) {
+	pred = l.head
+	curr = pred.next.Load()
+	for curr.val < v {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate checks, under locks, that pred is unmarked, curr is unmarked,
+// and pred still links to curr.
+func validate(pred, curr *lazyNode) bool {
+	return !pred.marked.Load() && !curr.marked.Load() && pred.next.Load() == curr
+}
+
+// Contains implements intset.Set: wait-free, no locks (the published
+// algorithm's headline property).
+func (l *LazyList) Contains(v int) (bool, error) {
+	curr := l.head
+	for curr.val < v {
+		curr = curr.next.Load()
+	}
+	return curr.val == v && !curr.marked.Load(), nil
+}
+
+// Add implements intset.Set.
+func (l *LazyList) Add(v int) (bool, error) {
+	for {
+		pred, curr := l.search(v)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if !validate(pred, curr) {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		if curr.val == v {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return false, nil
+		}
+		n := &lazyNode{val: v}
+		n.next.Store(curr)
+		pred.next.Store(n)
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+		return true, nil
+	}
+}
+
+// Remove implements intset.Set: mark first (logical deletion), then
+// unlink.
+func (l *LazyList) Remove(v int) (bool, error) {
+	for {
+		pred, curr := l.search(v)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if !validate(pred, curr) {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		if curr.val != v {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return false, nil
+		}
+		curr.marked.Store(true)
+		pred.next.Store(curr.next.Load())
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+		return true, nil
+	}
+}
+
+// Size implements intset.Set with an unsynchronized traversal; see the
+// type comment for its non-atomic semantics.
+func (l *LazyList) Size() (int, error) {
+	n := 0
+	for curr := l.head.next.Load(); curr != l.tail; curr = curr.next.Load() {
+		if !curr.marked.Load() {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,98 @@
+// Package baseline implements the non-transactional comparators of the
+// paper's evaluation: the sequential list (the speedup denominator of
+// Figures 5, 7 and 9), a coarse-lock set, the hand-over-hand locked list
+// of Algorithm 3, the lazy list [29], a Harris/Michael-style lock-free
+// list [36, 28], and the copy-on-write array set standing in for the
+// java.util.concurrent collection used as the "existing concurrent
+// collection" (the documented workaround for atomic size [37]).
+package baseline
+
+import "repro/internal/intset"
+
+// seqNode is a plain sorted-list node.
+type seqNode struct {
+	val  int
+	next *seqNode
+}
+
+// SeqList is the unsynchronized sequential sorted list: the exact code a
+// transactional block preserves (Algorithm 1 minus the transaction{}
+// delimiters). It must only be used from one goroutine; the benchmark
+// harness uses its single-thread throughput to normalize every figure.
+type SeqList struct {
+	head *seqNode
+}
+
+var (
+	_ intset.Set         = (*SeqList)(nil)
+	_ intset.Snapshotter = (*SeqList)(nil)
+)
+
+// NewSeqList builds an empty sequential list.
+func NewSeqList() *SeqList { return &SeqList{} }
+
+// Contains implements intset.Set.
+func (l *SeqList) Contains(v int) (bool, error) {
+	curr := l.head
+	for curr != nil && curr.val < v {
+		curr = curr.next
+	}
+	return curr != nil && curr.val == v, nil
+}
+
+// Add implements intset.Set.
+func (l *SeqList) Add(v int) (bool, error) {
+	var prev *seqNode
+	curr := l.head
+	for curr != nil && curr.val < v {
+		prev = curr
+		curr = curr.next
+	}
+	if curr != nil && curr.val == v {
+		return false, nil
+	}
+	n := &seqNode{val: v, next: curr}
+	if prev == nil {
+		l.head = n
+	} else {
+		prev.next = n
+	}
+	return true, nil
+}
+
+// Remove implements intset.Set.
+func (l *SeqList) Remove(v int) (bool, error) {
+	var prev *seqNode
+	curr := l.head
+	for curr != nil && curr.val < v {
+		prev = curr
+		curr = curr.next
+	}
+	if curr == nil || curr.val != v {
+		return false, nil
+	}
+	if prev == nil {
+		l.head = curr.next
+	} else {
+		prev.next = curr.next
+	}
+	return true, nil
+}
+
+// Size implements intset.Set.
+func (l *SeqList) Size() (int, error) {
+	n := 0
+	for curr := l.head; curr != nil; curr = curr.next {
+		n++
+	}
+	return n, nil
+}
+
+// Elements implements intset.Snapshotter.
+func (l *SeqList) Elements() ([]int, error) {
+	var out []int
+	for curr := l.head; curr != nil; curr = curr.next {
+		out = append(out, curr.val)
+	}
+	return out, nil
+}

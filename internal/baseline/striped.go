@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/intset"
+)
+
+// StripedHashSet is a lock-striped hash set in the style of Java's
+// ConcurrentHashMap: operations lock only the stripe of their key, so
+// disjoint keys proceed in parallel.
+//
+// Size sums the stripe counts one stripe at a time, which is exactly the
+// weakly-consistent size of the Java collection — NOT an atomic snapshot.
+// This is the limitation that pushes the paper to the copy-on-write
+// workaround ([37]) and that the snapshot semantics solves transactional
+// structures; the harness therefore uses StripedHashSet only on parse
+// workloads.
+type StripedHashSet struct {
+	stripes []stripe
+	mask    uint64
+}
+
+type stripe struct {
+	mu    sync.RWMutex
+	items map[int]struct{}
+}
+
+var _ intset.Set = (*StripedHashSet)(nil)
+
+// NewStripedHashSet builds a set with nstripes stripes (rounded up to a
+// power of two, minimum 1).
+func NewStripedHashSet(nstripes int) *StripedHashSet {
+	n := 1
+	for n < nstripes {
+		n <<= 1
+	}
+	s := &StripedHashSet{stripes: make([]stripe, n), mask: uint64(n - 1)}
+	for i := range s.stripes {
+		s.stripes[i].items = make(map[int]struct{})
+	}
+	return s
+}
+
+func (s *StripedHashSet) stripe(v int) *stripe {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	return &s.stripes[(x>>32)&s.mask]
+}
+
+// Contains implements intset.Set.
+func (s *StripedHashSet) Contains(v int) (bool, error) {
+	st := s.stripe(v)
+	st.mu.RLock()
+	_, ok := st.items[v]
+	st.mu.RUnlock()
+	return ok, nil
+}
+
+// Add implements intset.Set.
+func (s *StripedHashSet) Add(v int) (bool, error) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.items[v]; ok {
+		return false, nil
+	}
+	st.items[v] = struct{}{}
+	return true, nil
+}
+
+// Remove implements intset.Set.
+func (s *StripedHashSet) Remove(v int) (bool, error) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.items[v]; !ok {
+		return false, nil
+	}
+	delete(st.items, v)
+	return true, nil
+}
+
+// Size implements intset.Set with the weakly consistent stripe-by-stripe
+// sum; see the type comment.
+func (s *StripedHashSet) Size() (int, error) {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.items)
+		st.mu.RUnlock()
+	}
+	return n, nil
+}

@@ -1,0 +1,258 @@
+package boost
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+func TestBoostedSetCommit(t *testing.T) {
+	tm := core.New()
+	view := NewSetView(tm, baseline.NewStripedHashSet(8), 0)
+	err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		ok, err := view.AddTx(tx, 1)
+		if err != nil || !ok {
+			t.Errorf("add(1) = (%v, %v)", ok, err)
+		}
+		ok, err = view.AddTx(tx, 1)
+		if err != nil || ok {
+			t.Errorf("second add(1) = (%v, %v)", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		ok, err := view.ContainsTx(tx, 1)
+		if err != nil || !ok {
+			t.Errorf("contains(1) = (%v, %v)", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoostedSetAbortCompensates(t *testing.T) {
+	tm := core.New()
+	base := baseline.NewStripedHashSet(8)
+	view := NewSetView(tm, base, 0)
+	if _, err := base.Add(7); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		if _, err := view.AddTx(tx, 1); err != nil {
+			return err
+		}
+		if _, err := view.RemoveTx(tx, 7); err != nil {
+			return err
+		}
+		return boom // abort: both effects must be compensated
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if ok, _ := base.Contains(1); ok {
+		t.Fatal("aborted add(1) not compensated")
+	}
+	if ok, _ := base.Contains(7); !ok {
+		t.Fatal("aborted remove(7) not compensated")
+	}
+}
+
+func TestBoostedSetConflictingKeysSerialize(t *testing.T) {
+	tm := core.New()
+	base := baseline.NewStripedHashSet(8)
+	view := NewSetView(tm, base, 5*time.Millisecond)
+	// Two transactions toggling the same key many times: the abstract
+	// lock serializes them; the final state must be consistent with the
+	// operation counts.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		netAdded int
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var delta int
+				err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					delta = 0
+					if (w+i)%2 == 0 {
+						ok, err := view.AddTx(tx, 5)
+						if err != nil {
+							return err
+						}
+						if ok {
+							delta = 1
+						}
+					} else {
+						ok, err := view.RemoveTx(tx, 5)
+						if err != nil {
+							return err
+						}
+						if ok {
+							delta = -1
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				netAdded += delta
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	present, _ := base.Contains(5)
+	if (netAdded == 1) != present {
+		t.Fatalf("net adds %d but present=%v", netAdded, present)
+	}
+	if netAdded < 0 || netAdded > 1 {
+		t.Fatalf("impossible net add count %d", netAdded)
+	}
+}
+
+func TestBoostedSetDisjointKeysDoNotConflict(t *testing.T) {
+	// Operations on different keys commute: under a contention manager
+	// that would thrash on memory conflicts, boosted disjoint ops still
+	// proceed (no shared cells at all).
+	tm := core.New()
+	view := NewSetView(tm, baseline.NewStripedHashSet(8), 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := w*1000 + i
+				err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					_, err := view.AddTx(tx, key)
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tm.Stats()
+	if st.Commits != 4*200 {
+		t.Fatalf("commits = %d, want %d", st.Commits, 4*200)
+	}
+}
+
+func TestBoostedLockTimeoutRestarts(t *testing.T) {
+	tm := core.New(core.WithMaxRetries(3))
+	base := baseline.NewStripedHashSet(8)
+	view := NewSetView(tm, base, 500*time.Microsecond)
+
+	// Hold the abstract lock for key 9 from a parked transaction.
+	hold := make(chan struct{})
+	parked := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			if _, err := view.AddTx(tx, 9); err != nil {
+				return err
+			}
+			close(parked)
+			<-hold
+			return nil
+		})
+	}()
+	<-parked
+	// A second transaction on the same key must time out, restart, and
+	// eventually exhaust its retries.
+	err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		_, err := view.AddTx(tx, 9)
+		return err
+	})
+	if !errors.Is(err, core.ErrRetryLimit) {
+		t.Fatalf("got %v, want ErrRetryLimit from abstract-lock timeouts", err)
+	}
+	close(hold)
+	wg.Wait()
+}
+
+func TestEscrowCounterCommutes(t *testing.T) {
+	tm := core.New()
+	c := NewEscrowCounter(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					c.AddTx(tx, 1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 100+800 {
+		t.Fatalf("counter = %d, want 900", got)
+	}
+	st := tm.Stats()
+	if st.TotalAborts() != 0 {
+		t.Fatalf("escrow increments aborted %d times; they must never conflict", st.TotalAborts())
+	}
+}
+
+func TestEscrowCounterReadsOwnWrites(t *testing.T) {
+	tm := core.New()
+	c := NewEscrowCounter(10)
+	err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		c.AddTx(tx, 5)
+		c.AddTx(tx, 5)
+		if got := c.GetTx(tx); got != 20 {
+			t.Errorf("GetTx = %d, want 20", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != 20 {
+		t.Fatalf("committed value = %d, want 20", got)
+	}
+}
+
+func TestEscrowCounterAbortDiscards(t *testing.T) {
+	tm := core.New()
+	c := NewEscrowCounter(10)
+	boom := errors.New("boom")
+	err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		c.AddTx(tx, 99)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != 10 {
+		t.Fatalf("aborted delta leaked: %d", got)
+	}
+}

@@ -1,0 +1,43 @@
+// Package clock provides the global version clock that orders transactional
+// commits, in the style of TL2 (Dice, Shalev, Shavit, DISC 2006).
+//
+// Every committed update transaction draws a fresh write version from the
+// clock; every reading transaction samples the clock when it starts. The
+// clock is the single piece of shared metadata that all transaction
+// semantics (classic, elastic, snapshot) agree on, which is what makes it
+// possible for them to cohabit over the same memory cells.
+package clock
+
+import "sync/atomic"
+
+// Clock is a monotonically increasing global version counter.
+//
+// The zero value is ready to use and starts at version 0: freshly created
+// memory cells carry version 0 so they are readable by every transaction.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// New returns a clock starting at version 0.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current version without advancing the clock.
+// Transactions call it to obtain their read version (classic), their
+// snapshot upper bound (snapshot), or a piece read version (elastic).
+func (c *Clock) Now() uint64 {
+	return c.t.Load()
+}
+
+// Advance increments the clock and returns the new version. Committing
+// update transactions call it exactly once to obtain their write version.
+func (c *Clock) Advance() uint64 {
+	return c.t.Add(1)
+}
+
+// AdvanceBy increments the clock by delta and returns the new version.
+// It exists for tests that need to simulate clock skew between runs.
+func (c *Clock) AdvanceBy(delta uint64) uint64 {
+	return c.t.Add(delta)
+}

@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestZeroValueStartsAtZero(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", got)
+	}
+	if got := New().Now(); got != 0 {
+		t.Fatalf("New().Now() = %d, want 0", got)
+	}
+}
+
+func TestAdvanceIsMonotonic(t *testing.T) {
+	c := New()
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		v := c.Advance()
+		if v <= prev {
+			t.Fatalf("Advance() = %d after %d: not increasing", v, prev)
+		}
+		prev = v
+	}
+	if got := c.AdvanceBy(10); got != prev+10 {
+		t.Fatalf("AdvanceBy(10) = %d, want %d", got, prev+10)
+	}
+}
+
+func TestAdvanceUniqueUnderConcurrency(t *testing.T) {
+	c := New()
+	const (
+		workers = 8
+		per     = 1000
+	)
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vs := make([]uint64, 0, per)
+			for i := 0; i < per; i++ {
+				vs = append(vs, c.Advance())
+			}
+			got[w] = vs
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for _, vs := range got {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("version %d issued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if c.Now() != workers*per {
+		t.Fatalf("final clock %d, want %d", c.Now(), workers*per)
+	}
+}

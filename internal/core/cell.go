@@ -1,0 +1,139 @@
+package core
+
+import "sync/atomic"
+
+// lockedBit is the low bit of a cell's meta word; the remaining 63 bits
+// hold the version of the last committed write (TL2 versioned lock).
+const lockedBit uint64 = 1
+
+// record is one immutable committed version of a cell's value. Updaters
+// keep a short chain of predecessors (two versions by default, per the
+// paper's section 5.1) so snapshot transactions can read into the past.
+// Records are never mutated after publication; truncating the history is
+// done by copying, which keeps readers race-free.
+type record struct {
+	value   any
+	version uint64
+	prev    *record
+}
+
+// Cell is a single transactional memory location. It is the untyped
+// substrate under the public Var[T] API.
+//
+// Layout:
+//   - meta: version<<1 | lockedBit — the versioned write lock;
+//   - cur:  the newest committed record (plus its version history);
+//   - owner: the transaction currently holding the write lock, for
+//     contention management and cooperative kill;
+//   - id:   unique per-TM identity used to sort commit-time lock
+//     acquisition, which makes commits deadlock-free.
+//
+// Cells must be created through TM.NewCell and used only with transactions
+// of the same TM: versions are meaningful only against one clock.
+type Cell struct {
+	id    uint64
+	meta  atomic.Uint64
+	cur   atomic.Pointer[record]
+	owner atomic.Pointer[Tx]
+}
+
+// ID returns the cell's unique identity within its TM. It is stable for
+// the life of the cell and is the identity used by the history recorder.
+func (c *Cell) ID() uint64 { return c.id }
+
+// version extracts the version from a meta word.
+func version(meta uint64) uint64 { return meta >> 1 }
+
+// isLocked reports whether a meta word carries the lock bit.
+func isLocked(meta uint64) bool { return meta&lockedBit != 0 }
+
+// sample reads a consistent (version, record) pair without locking: it
+// samples meta, loads the record, and resamples meta. ok is false when the
+// cell was locked or changed mid-sample; the caller retries or aborts.
+func (c *Cell) sample() (ver uint64, rec *record, ok bool) {
+	m1 := c.meta.Load()
+	if isLocked(m1) {
+		return 0, nil, false
+	}
+	rec = c.cur.Load()
+	m2 := c.meta.Load()
+	if m1 != m2 {
+		return 0, nil, false
+	}
+	return version(m1), rec, true
+}
+
+// tryLock attempts to acquire the versioned write lock for tx. It returns
+// the pre-lock version on success. It does not spin: arbitration on
+// contention is the caller's job (see Tx.acquire).
+func (c *Cell) tryLock(tx *Tx) (prevVersion uint64, ok bool) {
+	m := c.meta.Load()
+	if isLocked(m) {
+		return 0, false
+	}
+	if !c.meta.CompareAndSwap(m, m|lockedBit) {
+		return 0, false
+	}
+	c.owner.Store(tx)
+	return version(m), true
+}
+
+// unlock releases the lock, publishing newVersion. When the holder aborts
+// it passes the pre-lock version back, restoring the cell unchanged.
+func (c *Cell) unlock(newVersion uint64) {
+	c.owner.Store(nil)
+	c.meta.Store(newVersion << 1)
+}
+
+// install publishes value as the new current record with version wv,
+// retaining at most keep total versions. The caller must hold the lock.
+//
+// History is truncated by copying the last retained record with a nil
+// prev, never by mutating a published record, so concurrent snapshot
+// readers walking the chain are safe.
+func (c *Cell) install(value any, wv uint64, keep int) {
+	old := c.cur.Load()
+	var prev *record
+	if keep > 1 && old != nil {
+		prev = truncate(old, keep-1)
+	}
+	c.cur.Store(&record{value: value, version: wv, prev: prev})
+}
+
+// truncate returns a chain equivalent to rec limited to depth versions.
+// If rec is already short enough it is shared as-is; otherwise the chain
+// is copied up to the cut point.
+func truncate(rec *record, depth int) *record {
+	if chainLen(rec) <= depth {
+		return rec
+	}
+	// Copy the first depth records, dropping the rest.
+	head := &record{value: rec.value, version: rec.version}
+	tail := head
+	for cur, i := rec.prev, 1; cur != nil && i < depth; cur, i = cur.prev, i+1 {
+		cp := &record{value: cur.value, version: cur.version}
+		tail.prev = cp
+		tail = cp
+	}
+	return head
+}
+
+// chainLen counts records in a version chain.
+func chainLen(rec *record) int {
+	n := 0
+	for ; rec != nil; rec = rec.prev {
+		n++
+	}
+	return n
+}
+
+// readAt returns the newest record with version <= ub, or nil when every
+// retained version is newer. Used by snapshot reads.
+func readAt(rec *record, ub uint64) *record {
+	for ; rec != nil; rec = rec.prev {
+		if rec.version <= ub {
+			return rec
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// killerCM kills every lock owner it meets and aborts itself on torn
+// samples: the most hostile manager possible. Invariants must survive it.
+type killerCM struct{}
+
+func (killerCM) Arbitrate(_, owner *Tx, attempt int) Decision {
+	if owner != nil && attempt%2 == 0 {
+		return DecisionAbortOther
+	}
+	if attempt > 4 {
+		return DecisionAbortSelf
+	}
+	return DecisionWait
+}
+func (killerCM) OnCommit(*Tx) {}
+func (killerCM) OnAbort(*Tx)  {}
+
+func TestKillStormPreservesInvariants(t *testing.T) {
+	tm := New(WithContentionManager(killerCM{}), WithSpinBudget(0))
+	const ncells = 8
+	cells := make([]*Cell, ncells)
+	for i := range cells {
+		cells[i] = tm.NewCell(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + 17
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < 200; i++ {
+				from, to := next(ncells), next(ncells)
+				if from == to {
+					continue
+				}
+				err := tm.Atomically(Classic, func(tx *Tx) error {
+					fv, _ := tx.Load(cells[from]).(int)
+					tv, _ := tx.Load(cells[to]).(int)
+					tx.Store(cells[from], fv-1)
+					tx.Store(cells[to], tv+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("transfer under kill storm: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var sum int
+	mustAtomically(t, tm, Classic, func(tx *Tx) error {
+		sum = 0
+		for _, c := range cells {
+			v, _ := tx.Load(c).(int)
+			sum += v
+		}
+		return nil
+	})
+	if sum != 0 {
+		t.Fatalf("kill storm broke conservation: sum = %d", sum)
+	}
+	if tm.Stats().Kills == 0 {
+		t.Fatal("the storm never killed anything; the test exercised nothing")
+	}
+}
+
+// TestAbortRestoresLockedCells forces commit-time validation failures and
+// checks aborted commits leave cells exactly as they were (versions and
+// values restored on unlock).
+func TestAbortRestoresLockedCells(t *testing.T) {
+	tm := New()
+	a := tm.NewCell(100)
+	b := tm.NewCell(200)
+
+	// Transaction reads a, then we invalidate a behind its back before
+	// it commits a write to b: validation must fail, and b must keep its
+	// value AND its version.
+	verBefore := tm.ClockNow()
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+	attempts := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = tm.Atomically(Classic, func(tx *Tx) error {
+			attempts++
+			_ = tx.Load(a)
+			if attempts == 1 {
+				close(started)
+				<-proceed
+			}
+			v, _ := tx.Load(b).(int)
+			tx.Store(b, v+1)
+			return nil
+		})
+	}()
+	<-started
+	mustAtomically(t, tm, Classic, func(tx *Tx) error {
+		tx.Store(a, 101)
+		return nil
+	})
+	close(proceed)
+	<-done
+	if attempts < 2 {
+		t.Fatalf("expected a validation abort, attempts = %d", attempts)
+	}
+	if got := loadInt(t, tm, b); got != 201 {
+		t.Fatalf("b = %d after retried commit, want 201", got)
+	}
+	_ = verBefore
+}
+
+// TestQuickTransferConservation is a property test: any random schedule of
+// transfers over any cell count conserves the total.
+func TestQuickTransferConservation(t *testing.T) {
+	prop := func(moves []uint16, ncells8 uint8) bool {
+		ncells := int(ncells8%6) + 2
+		tm := New()
+		cells := make([]*Cell, ncells)
+		for i := range cells {
+			cells[i] = tm.NewCell(int(ncells8))
+		}
+		var wg sync.WaitGroup
+		// Split moves across 2 workers for real concurrency.
+		half := len(moves) / 2
+		for _, chunk := range [][]uint16{moves[:half], moves[half:]} {
+			chunk := chunk
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, mv := range chunk {
+					from := int(mv) % ncells
+					to := int(mv>>4) % ncells
+					if from == to {
+						continue
+					}
+					sem := Classic
+					if mv&1 == 1 {
+						sem = Elastic
+					}
+					_ = tm.Atomically(sem, func(tx *Tx) error {
+						fv, _ := tx.Load(cells[from]).(int)
+						tv, _ := tx.Load(cells[to]).(int)
+						tx.Store(cells[from], fv-1)
+						tx.Store(cells[to], tv+1)
+						return nil
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		sum := 0
+		_ = tm.Atomically(Snapshot, func(tx *Tx) error {
+			sum = 0
+			for _, c := range cells {
+				v, _ := tx.Load(c).(int)
+				sum += v
+			}
+			return nil
+		})
+		return sum == ncells*int(ncells8)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotMonotonicity: successive snapshots of a monotonically
+// increasing counter never observe it going backwards.
+func TestSnapshotMonotonicity(t *testing.T) {
+	tm := New()
+	c := tm.NewCell(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tm.Atomically(Classic, func(tx *Tx) error {
+				v, _ := tx.Load(c).(int)
+				tx.Store(c, v+1)
+				return nil
+			})
+		}
+	}()
+	last := -1
+	for i := 0; i < 500; i++ {
+		var v int
+		if err := tm.Atomically(Snapshot, func(tx *Tx) error {
+			v, _ = tx.Load(c).(int)
+			return nil
+		}); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if v < last {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot went backwards: %d after %d", v, last)
+		}
+		last = v
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHotCellThroughputUnderEveryReason drives enough contention to
+// exercise several abort reasons and confirms the stats classify them.
+func TestHotCellAbortClassification(t *testing.T) {
+	tm := New(WithSpinBudget(1))
+	hot := tm.NewCell(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(50 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				_ = tm.Atomically(Classic, func(tx *Tx) error {
+					v, _ := tx.Load(hot).(int)
+					tx.Store(hot, v+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	st := tm.Stats()
+	if st.Commits == 0 {
+		t.Fatal("no commits under contention")
+	}
+	if st.TotalAborts() == 0 {
+		t.Skip("no aborts observed (host too serial); nothing to classify")
+	}
+	for reason, n := range st.Aborts {
+		if n > 0 && reason.String() == "unknown" {
+			t.Fatalf("unclassified abort reason %d", reason)
+		}
+	}
+}
+
+// TestReleaseOfUnreadCellIsHarmless: releasing something never read (or
+// nil) must not corrupt the transaction.
+func TestReleaseOfUnreadCellIsHarmless(t *testing.T) {
+	tm := New()
+	a := tm.NewCell(1)
+	b := tm.NewCell(2)
+	mustAtomically(t, tm, Classic, func(tx *Tx) error {
+		tx.Release(b)   // never read
+		tx.Release(nil) // nil cell
+		v, _ := tx.Load(a).(int)
+		tx.Store(a, v+1)
+		return nil
+	})
+	if got := loadInt(t, tm, a); got != 2 {
+		t.Fatalf("a = %d, want 2", got)
+	}
+}
+
+// TestRereadAfterRelease: a cell read again after release re-enters the
+// read set and is validated again.
+func TestRereadAfterRelease(t *testing.T) {
+	tm := New()
+	a := tm.NewCell(1)
+	out := tm.NewCell(0)
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+	attempts := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = tm.Atomically(Classic, func(tx *Tx) error {
+			attempts++
+			_ = tx.Load(a)
+			tx.Release(a)
+			if attempts == 1 {
+				close(started)
+				<-proceed
+			}
+			v, _ := tx.Load(a).(int) // re-read: fresh dependency
+			tx.Store(out, v)
+			return nil
+		})
+	}()
+	<-started
+	mustAtomically(t, tm, Classic, func(tx *Tx) error {
+		tx.Store(a, 50)
+		return nil
+	})
+	close(proceed)
+	<-done
+	// The re-read must either have seen the new value or aborted and
+	// retried; both end with out == 50.
+	if got := loadInt(t, tm, out); got != 50 {
+		t.Fatalf("out = %d, want 50", got)
+	}
+}

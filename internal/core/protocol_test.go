@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests of the cell locking protocol: these manipulate cells
+// directly to pin behaviours that are hard to time through the public
+// API.
+
+// waiterCM always waits, so a blocked reader never aborts and its
+// snapshot time stays pinned across the wait.
+type waiterCM struct{}
+
+func (waiterCM) Arbitrate(_, _ *Tx, _ int) Decision { return DecisionWait }
+func (waiterCM) OnCommit(*Tx)                       {}
+func (waiterCM) OnAbort(*Tx)                        {}
+
+func TestSnapshotWaitsOutHeldLock(t *testing.T) {
+	tm := New(WithContentionManager(waiterCM{}))
+	c := tm.NewCell(10)
+	holder := newTx(tm, Classic)
+	holder.beginAttempt()
+	if _, ok := c.tryLock(holder); !ok {
+		t.Fatal("could not take the lock")
+	}
+
+	got := make(chan int, 1)
+	go func() {
+		var v int
+		_ = tm.Atomically(Snapshot, func(tx *Tx) error {
+			v, _ = tx.Load(c).(int)
+			return nil
+		})
+		got <- v
+	}()
+
+	// While the lock is held, the snapshot must not complete (it could
+	// otherwise observe a torn multi-cell commit).
+	select {
+	case v := <-got:
+		t.Fatalf("snapshot read %d through a held lock", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Publish a new version and release; the snapshot started before the
+	// writer's version draw, so it reads the OLD value from the chain.
+	wv := tm.clock.Advance()
+	c.install(20, wv, tm.keepVersions)
+	c.unlock(wv)
+	select {
+	case v := <-got:
+		if v != 10 {
+			t.Fatalf("snapshot read %d, want the pre-lock value 10", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot never completed after unlock")
+	}
+	holder.finish(statusAborted)
+}
+
+func TestClassicReadWaitsThenProceeds(t *testing.T) {
+	tm := New()
+	c := tm.NewCell(1)
+	holder := newTx(tm, Classic)
+	holder.beginAttempt()
+	if _, ok := c.tryLock(holder); !ok {
+		t.Fatal("could not take the lock")
+	}
+	done := make(chan int, 1)
+	go func() {
+		var v int
+		_ = tm.Atomically(Classic, func(tx *Tx) error {
+			v, _ = tx.Load(c).(int)
+			return nil
+		})
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("classic read %d through a held lock", v)
+	case <-time.After(10 * time.Millisecond):
+	}
+	// Abort-release: version restored unchanged; the reader proceeds and
+	// sees the old value.
+	c.unlock(0)
+	select {
+	case v := <-done:
+		if v != 1 {
+			t.Fatalf("read %d after abort-release, want 1", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never proceeded")
+	}
+	holder.finish(statusAborted)
+}
+
+func TestTryLockRefusesHeldCell(t *testing.T) {
+	tm := New()
+	c := tm.NewCell(0)
+	a := newTx(tm, Classic)
+	b := newTx(tm, Classic)
+	a.beginAttempt()
+	b.beginAttempt()
+	if _, ok := c.tryLock(a); !ok {
+		t.Fatal("first lock failed")
+	}
+	if _, ok := c.tryLock(b); ok {
+		t.Fatal("second lock succeeded on a held cell")
+	}
+	if owner := c.owner.Load(); owner != a {
+		t.Fatalf("owner = %v, want a", owner)
+	}
+	c.unlock(0)
+	if _, ok := c.tryLock(b); !ok {
+		t.Fatal("lock failed after release")
+	}
+	c.unlock(0)
+	a.finish(statusAborted)
+	b.finish(statusAborted)
+}
+
+func TestUnlockRestoresVersionOnAbort(t *testing.T) {
+	tm := New()
+	c := tm.NewCell("x")
+	// Commit once so the version is non-zero.
+	mustAtomically(t, tm, Classic, func(tx *Tx) error {
+		tx.Store(c, "y")
+		return nil
+	})
+	verBefore := version(c.meta.Load())
+	tx := newTx(tm, Classic)
+	tx.beginAttempt()
+	prev, ok := c.tryLock(tx)
+	if !ok {
+		t.Fatal("lock failed")
+	}
+	if prev != verBefore {
+		t.Fatalf("tryLock returned version %d, want %d", prev, verBefore)
+	}
+	c.unlock(prev) // abort path: restore unchanged
+	if got := version(c.meta.Load()); got != verBefore {
+		t.Fatalf("version after abort-release = %d, want %d", got, verBefore)
+	}
+	if isLocked(c.meta.Load()) {
+		t.Fatal("cell still locked")
+	}
+	tx.finish(statusAborted)
+}
+
+func TestSampleDetectsLock(t *testing.T) {
+	tm := New()
+	c := tm.NewCell(5)
+	if _, _, ok := c.sample(); !ok {
+		t.Fatal("sample of a quiescent cell failed")
+	}
+	tx := newTx(tm, Classic)
+	tx.beginAttempt()
+	c.tryLock(tx)
+	if _, _, ok := c.sample(); ok {
+		t.Fatal("sample succeeded on a locked cell")
+	}
+	c.unlock(0)
+	tx.finish(statusAborted)
+}
+
+func TestTruncateSharesShortChains(t *testing.T) {
+	r1 := &record{value: 1, version: 1}
+	r2 := &record{value: 2, version: 2, prev: r1}
+	if got := truncate(r2, 2); got != r2 {
+		t.Fatal("short chain should be shared, not copied")
+	}
+	cut := truncate(r2, 1)
+	if cut == r2 || cut.prev != nil || cut.value != 2 {
+		t.Fatalf("truncate(2 records, depth 1) = %+v", cut)
+	}
+	// Original chain untouched (immutable records).
+	if r2.prev != r1 {
+		t.Fatal("truncate mutated the source chain")
+	}
+}
+
+func TestInstallKeepsConfiguredDepth(t *testing.T) {
+	tm := New(WithMaxVersions(3))
+	c := tm.NewCell(0)
+	for i := 1; i <= 6; i++ {
+		wv := tm.clock.Advance()
+		tx := newTx(tm, Classic)
+		tx.beginAttempt()
+		if _, ok := c.tryLock(tx); !ok {
+			t.Fatal("lock failed")
+		}
+		c.install(i, wv, tm.keepVersions)
+		c.unlock(wv)
+		tx.finish(statusCommitted)
+	}
+	if n := chainLen(c.cur.Load()); n != 3 {
+		t.Fatalf("chain length %d, want 3", n)
+	}
+	// The retained versions are the newest three, in descending order.
+	rec := c.cur.Load()
+	want := []int{6, 5, 4}
+	for i, w := range want {
+		if rec == nil || rec.value != w {
+			t.Fatalf("version %d: got %+v, want value %d", i, rec, w)
+		}
+		rec = rec.prev
+	}
+}

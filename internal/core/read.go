@@ -1,0 +1,221 @@
+package core
+
+import "runtime"
+
+// Load returns the current value of c as observed under the transaction's
+// semantics. Reads of cells the transaction has already written return the
+// buffered value (read-your-writes).
+//
+// Load never returns an inconsistent value: attempts that observe a
+// conflict are unwound and retried by Atomically.
+func (tx *Tx) Load(c *Cell) any {
+	tx.checkUsable()
+	if c == nil {
+		panic("core: Load of nil cell")
+	}
+	tx.step()
+	// Read-your-writes: the write set of list/set operations holds at
+	// most a handful of entries, so a linear scan beats a map.
+	for i := range tx.writes {
+		if tx.writes[i].cell == c {
+			return tx.writes[i].value
+		}
+	}
+	var v any
+	switch tx.sem {
+	case Snapshot:
+		v = tx.readSnapshot(c)
+	case Elastic:
+		if tx.hasWrites {
+			v = tx.readClassic(c)
+		} else {
+			v = tx.readElastic(c)
+		}
+	default:
+		v = tx.readClassic(c)
+	}
+	return v
+}
+
+// waitCell handles an observed lock or torn sample on c during a read:
+// it spins within the TM's spin budget, then asks the contention manager.
+// It returns normally when the caller should resample, and unwinds the
+// attempt when the caller should give up.
+func (tx *Tx) waitCell(c *Cell, round int) {
+	if round < tx.tm.spinBudget {
+		if round&7 == 7 {
+			runtime.Gosched()
+		}
+		return
+	}
+	tx.work.Store(tx.workLocal) // publish work before arbitration
+	tx.checkKilled()
+	owner := c.owner.Load()
+	if owner == tx {
+		// We hold this lock (possible only during commit validation,
+		// never during user-level reads, which consult the write set
+		// first). Treat as available.
+		return
+	}
+	switch tx.tm.cm.Arbitrate(tx, owner, round-tx.tm.spinBudget) {
+	case DecisionWait:
+		runtime.Gosched()
+	case DecisionAbortOther:
+		if owner != nil {
+			owner.Kill()
+		}
+		runtime.Gosched()
+	default:
+		tx.abort(AbortLockContention)
+	}
+}
+
+// readClassic performs an opaque (TL2-style) read: the observed version
+// must not exceed the transaction's read version, and the read is recorded
+// for commit-time validation.
+func (tx *Tx) readClassic(c *Cell) any {
+	for round := 0; ; round++ {
+		ver, rec, ok := c.sample()
+		if !ok {
+			tx.waitCell(c, round)
+			continue
+		}
+		if ver > tx.rv {
+			// The location changed after this transaction started:
+			// serializing the transaction at its start time is no
+			// longer possible. With read extension enabled the
+			// transaction may instead slide forward to a newer
+			// consistent snapshot; plain TL2 aborts.
+			if !tx.tm.extendReads || !tx.extendReadVersion() {
+				tx.abort(AbortReadInvalid)
+			}
+		}
+		tx.reads = append(tx.reads, readEntry{cell: c, ver: ver})
+		if tx.tm.recorder != nil {
+			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Cell: c.id, Version: ver})
+		}
+		return rec.value
+	}
+}
+
+// readElastic performs an elastic read (before the transaction's first
+// write): the new value is sampled consistently, the window of recent
+// reads is revalidated, and the oldest window entry beyond the window size
+// is cut away. Unlike a classic read there is no bound against the start
+// time: reading past a concurrent commit simply starts a new piece.
+func (tx *Tx) readElastic(c *Cell) any {
+	for round := 0; ; round++ {
+		ver, rec, ok := c.sample()
+		if !ok {
+			tx.waitCell(c, round)
+			continue
+		}
+		// Validate the window: every recent read must still hold its
+		// recorded version, otherwise no consistent cut exists.
+		if !tx.windowValid() {
+			tx.abort(AbortWindowInvalid)
+		}
+		// Confirm the new sample still holds after window validation,
+		// so that window values and the new value coexist at one
+		// instant (the linearization point of this piece extension).
+		if c.meta.Load() != ver<<1 {
+			continue
+		}
+		tx.pushWindow(c, ver)
+		if tx.tm.recorder != nil {
+			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Cell: c.id, Version: ver})
+		}
+		return rec.value
+	}
+}
+
+// extendReadVersion attempts to slide the transaction's read version to
+// the current clock: it succeeds when every past read (and window entry)
+// still holds its exact version, proving all observed values coexist at
+// the new instant. Returns false when a past read is stale — the conflict
+// is real and the caller aborts.
+func (tx *Tx) extendReadVersion() bool {
+	newRv := tx.tm.clock.Now()
+	for i := range tx.reads {
+		m := tx.reads[i].cell.meta.Load()
+		if isLocked(m) || version(m) != tx.reads[i].ver {
+			return false
+		}
+	}
+	if !tx.windowValid() {
+		return false
+	}
+	tx.rv = newRv
+	tx.tm.stats.extensions.Add(1)
+	return true
+}
+
+// windowValid checks that every window entry still carries its recorded
+// version and is not locked by another transaction.
+func (tx *Tx) windowValid() bool {
+	for _, e := range tx.window {
+		m := e.cell.meta.Load()
+		if isLocked(m) {
+			if e.cell.owner.Load() != tx {
+				return false
+			}
+			continue
+		}
+		if version(m) != e.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// pushWindow appends a read to the elastic window, cutting the oldest
+// entry when the window overflows. A repeated read of a cell already in
+// the window refreshes its position instead of duplicating it.
+func (tx *Tx) pushWindow(c *Cell, ver uint64) {
+	for i := range tx.window {
+		if tx.window[i].cell == c {
+			tx.window = append(tx.window[:i], tx.window[i+1:]...)
+			break
+		}
+	}
+	tx.window = append(tx.window, readEntry{cell: c, ver: ver})
+	if len(tx.window) > tx.tm.windowSize {
+		drop := len(tx.window) - tx.tm.windowSize
+		tx.window = append(tx.window[:0], tx.window[drop:]...)
+		tx.cuts += drop
+		tx.tm.stats.cuts.Add(uint64(drop))
+		tx.record(Event{Kind: EventCut, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem})
+	}
+}
+
+// readSnapshot returns the value current at the transaction's start time,
+// falling back to the retained older version when the location has been
+// overwritten since. Snapshot reads wait out writers holding the lock (the
+// writer published its write version before locking was released, so
+// reading under the lock could tear a commit), but never abort them.
+func (tx *Tx) readSnapshot(c *Cell) any {
+	for round := 0; ; round++ {
+		ver, rec, ok := c.sample()
+		if !ok {
+			tx.waitCell(c, round)
+			continue
+		}
+		_ = ver
+		hit := readAt(rec, tx.ub)
+		if hit == nil {
+			// Every retained version is newer than our snapshot:
+			// updaters only keep finitely many versions.
+			tx.abort(AbortSnapshotTooOld)
+		}
+		if hit != rec {
+			tx.tm.stats.snapshotOld.Add(1)
+		}
+		if tx.tm.recorder != nil {
+			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Cell: c.id, Version: hit.version})
+		}
+		return hit.value
+	}
+}

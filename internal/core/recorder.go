@@ -1,0 +1,69 @@
+package core
+
+// EventKind labels one entry of a recorded execution history.
+type EventKind int
+
+const (
+	// EventBegin marks the start of a transaction attempt.
+	EventBegin EventKind = iota + 1
+	// EventRead is a shared-memory read (with the version observed).
+	EventRead
+	// EventWrite is a buffered shared-memory write (visible at commit).
+	EventWrite
+	// EventCut marks an elastic transaction dropping its oldest window
+	// entry: the boundary between two pieces of the cut.
+	EventCut
+	// EventCommit marks a successful commit (Version holds the write
+	// version for updaters, the read/snapshot version for read-only).
+	EventCommit
+	// EventAbort marks an aborted attempt.
+	EventAbort
+	// EventRollback marks an OrElse branch rollback: all reads and
+	// writes of the attempt so far are discarded; the attempt continues.
+	EventRollback
+)
+
+// String names the kind for dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EventBegin:
+		return "begin"
+	case EventRead:
+		return "read"
+	case EventWrite:
+		return "write"
+	case EventCut:
+		return "cut"
+	case EventCommit:
+		return "commit"
+	case EventAbort:
+		return "abort"
+	case EventRollback:
+		return "rollback"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one step of an execution history as observed by the runtime.
+// The history package consumes streams of events to check serializability,
+// opacity, and elastic-cut validity of live executions.
+type Event struct {
+	Kind    EventKind
+	TxID    uint64
+	Attempt int
+	Sem     Semantics
+	Cell    uint64      // cell ID for read/write events
+	Version uint64      // observed version (read), write version (commit)
+	Reason  AbortReason // for abort events
+}
+
+// Recorder receives runtime events. Implementations must be safe for
+// concurrent use; they assign their own global ordering (the runtime calls
+// the recorder at the linearization-relevant instant of each step).
+//
+// A nil recorder on the TM disables tracing with only a nil-check of
+// overhead on the hot path.
+type Recorder interface {
+	Record(ev Event)
+}

@@ -1,0 +1,57 @@
+package core
+
+// Semantics selects the consistency guarantee of a single transaction.
+//
+// This is the heart of the paper's proposal: rather than one semantics for
+// all transactions, the tx-begin call accepts a hint and transactions of
+// different semantics run concurrently over the same cells while each keeps
+// its own guarantee (Gramoli & Guerraoui, Middleware 2011, section 5).
+type Semantics int
+
+const (
+	// Classic is the default semantics a novice can use everywhere:
+	// single-global-lock atomicity, i.e. opacity. Reads are validated
+	// against the transaction's start time (TL2 style) and the whole
+	// read set is revalidated at commit.
+	Classic Semantics = iota + 1
+
+	// Elastic is the relaxed semantics for search-structure parses
+	// (Felber, Gramoli, Guerraoui, DISC 2009). Before its first write an
+	// elastic transaction only guarantees consistency of a sliding window
+	// of its most recent reads; older reads are "cut" away, so false
+	// conflicts during traversal do not abort it. From the first write
+	// on it behaves like a classic transaction whose read set is seeded
+	// with the window, which is what makes the final piece atomic.
+	Elastic
+
+	// Snapshot is the read-only multiversion semantics for operations
+	// whose result depends on many locations (size, iterators). Reads
+	// return the value that was current when the transaction started,
+	// falling back to an older version kept by updaters, so concurrent
+	// updates neither abort the snapshot nor are aborted by it.
+	Snapshot
+)
+
+// String returns the lower-case name used in logs, stats and benchmarks.
+func (s Semantics) String() string {
+	switch s {
+	case Classic:
+		return "classic"
+	case Elastic:
+		return "elastic"
+	case Snapshot:
+		return "snapshot"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether s is one of the defined semantics.
+func (s Semantics) Valid() bool {
+	return s == Classic || s == Elastic || s == Snapshot
+}
+
+// ReadOnly reports whether the semantics forbids writes.
+func (s Semantics) ReadOnly() bool {
+	return s == Snapshot
+}

@@ -1,0 +1,83 @@
+package core
+
+import "sync/atomic"
+
+// abortReasonCount is sized to index AbortReason values directly.
+const abortReasonCount = int(AbortExplicit) + 1
+
+// counters aggregates runtime statistics with atomic updates. One instance
+// lives in each TM; Stats() copies it out.
+type counters struct {
+	commits         atomic.Uint64
+	readOnlyCommits atomic.Uint64
+	attempts        atomic.Uint64
+	aborts          [abortReasonCount]atomic.Uint64
+	cuts            atomic.Uint64
+	snapshotOld     atomic.Uint64
+	kills           atomic.Uint64
+	extensions      atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a TM's counters.
+type Stats struct {
+	// Commits is the number of successfully committed transactions.
+	Commits uint64
+	// ReadOnlyCommits counts the subset of Commits with an empty write set.
+	ReadOnlyCommits uint64
+	// Attempts counts every started attempt, including retries.
+	Attempts uint64
+	// Aborts maps each abort reason to its occurrence count.
+	Aborts map[AbortReason]uint64
+	// Cuts counts elastic window evictions: each is one cut boundary.
+	Cuts uint64
+	// SnapshotOldReads counts snapshot reads served from a past version.
+	SnapshotOldReads uint64
+	// Kills counts cooperative kills requested by contention managers.
+	Kills uint64
+	// Extensions counts successful read-version extensions (only with
+	// WithReadExtension enabled).
+	Extensions uint64
+}
+
+// TotalAborts sums aborts across all reasons.
+func (s Stats) TotalAborts() uint64 {
+	var n uint64
+	for _, v := range s.Aborts {
+		n += v
+	}
+	return n
+}
+
+// AbortRate returns aborts / attempts, or 0 when nothing ran.
+func (s Stats) AbortRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.TotalAborts()) / float64(s.Attempts)
+}
+
+// snapshot copies the counters into an exported Stats value.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Commits:          c.commits.Load(),
+		ReadOnlyCommits:  c.readOnlyCommits.Load(),
+		Attempts:         c.attempts.Load(),
+		Aborts:           make(map[AbortReason]uint64, abortReasonCount),
+		Cuts:             c.cuts.Load(),
+		SnapshotOldReads: c.snapshotOld.Load(),
+		Kills:            c.kills.Load(),
+		Extensions:       c.extensions.Load(),
+	}
+	for r := AbortReadInvalid; r <= AbortExplicit; r++ {
+		if n := c.aborts[int(r)].Load(); n > 0 {
+			s.Aborts[r] = n
+		}
+	}
+	return s
+}
+
+func (c *counters) abort(r AbortReason) {
+	if r >= 0 && int(r) < abortReasonCount {
+		c.aborts[int(r)].Add(1)
+	}
+}

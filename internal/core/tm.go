@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Default tuning values; all are overridable through Options.
+const (
+	defaultKeepVersions = 2  // the paper: "two versions were maintained"
+	defaultWindowSize   = 2  // elastic window, per epsilon-STM
+	defaultSpinBudget   = 64 // spins before consulting the CM on a lock
+	defaultPatience     = 16 // default CM: waits before aborting self
+)
+
+// TM is a transactional memory runtime: a clock, a contention manager and
+// the tuning knobs shared by every transaction and cell it creates.
+//
+// One TM corresponds to one shared-memory domain. Cells created by a TM
+// must only be accessed through transactions of the same TM, because
+// version numbers are meaningful only against one clock.
+type TM struct {
+	clock        *clock.Clock
+	cm           ContentionManager
+	recorder     Recorder
+	keepVersions int
+	windowSize   int
+	maxRetries   int
+	spinBudget   int
+	extendReads  bool
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+
+	stats      counters
+	nextCellID atomic.Uint64
+	nextTxID   atomic.Uint64
+}
+
+// Option configures a TM.
+type Option func(*TM)
+
+// WithContentionManager installs a conflict-arbitration policy. The default
+// policy waits briefly and then aborts the blocked transaction.
+func WithContentionManager(cm ContentionManager) Option {
+	return func(tm *TM) {
+		if cm != nil {
+			tm.cm = cm
+		}
+	}
+}
+
+// WithMaxVersions sets how many committed versions each cell retains
+// (minimum 1). The paper keeps two, which it found "actually sufficient to
+// speed up the performance significantly"; the value is exposed for the
+// version-depth ablation experiment.
+func WithMaxVersions(n int) Option {
+	return func(tm *TM) {
+		if n >= 1 {
+			tm.keepVersions = n
+		}
+	}
+}
+
+// WithElasticWindow sets the number of recent reads an elastic transaction
+// keeps consistent (minimum 1). Two corresponds to hand-over-hand locking
+// with two hands (Algorithm 3); one is the single-hand ablation.
+func WithElasticWindow(n int) Option {
+	return func(tm *TM) {
+		if n >= 1 {
+			tm.windowSize = n
+		}
+	}
+}
+
+// WithMaxRetries bounds the number of attempts per transaction; 0 (the
+// default) retries until commit. When the bound is hit, Atomically returns
+// an error matching ErrRetryLimit.
+func WithMaxRetries(n int) Option {
+	return func(tm *TM) {
+		if n >= 0 {
+			tm.maxRetries = n
+		}
+	}
+}
+
+// WithRecorder attaches an execution-history recorder (used by the checker
+// and the schedule tools). A nil recorder disables tracing.
+func WithRecorder(r Recorder) Option {
+	return func(tm *TM) { tm.recorder = r }
+}
+
+// WithSpinBudget sets how many times a conflicting step spins before the
+// contention manager is consulted.
+func WithSpinBudget(n int) Option {
+	return func(tm *TM) {
+		if n >= 0 {
+			tm.spinBudget = n
+		}
+	}
+}
+
+// WithReadExtension enables lazy-snapshot read-version extension for
+// classic transactions (the LSA idea of Riegel, Felber, Fetzer — the
+// paper's [17], contrasted with plain TL2 [16]): when a classic read
+// observes a version newer than the transaction's read version, the
+// runtime revalidates the whole read set and, if it still holds, slides
+// the read version forward instead of aborting. Off by default so the
+// classic curves of the figures reproduce plain TL2; the ablation bench
+// measures the difference against the elastic cut, which achieves a
+// similar tolerance with an O(window) check instead of O(read set).
+func WithReadExtension(on bool) Option {
+	return func(tm *TM) { tm.extendReads = on }
+}
+
+// WithBackoff sets the randomized exponential backoff window applied
+// between retries of an aborted transaction.
+func WithBackoff(base, maxWait time.Duration) Option {
+	return func(tm *TM) {
+		if base > 0 && maxWait >= base {
+			tm.backoffBase = base
+			tm.backoffMax = maxWait
+		}
+	}
+}
+
+// New builds a transactional memory runtime.
+func New(opts ...Option) *TM {
+	tm := &TM{
+		clock:        clock.New(),
+		cm:           &defaultCM{patience: defaultPatience},
+		keepVersions: defaultKeepVersions,
+		windowSize:   defaultWindowSize,
+		spinBudget:   defaultSpinBudget,
+		backoffBase:  500 * time.Nanosecond,
+		backoffMax:   100 * time.Microsecond,
+	}
+	for _, opt := range opts {
+		opt(tm)
+	}
+	return tm
+}
+
+// NewCell allocates a transactional memory location holding initial.
+// The cell starts at version 0, readable by every transaction.
+func (tm *TM) NewCell(initial any) *Cell {
+	c := &Cell{id: tm.nextCellID.Add(1)}
+	c.cur.Store(&record{value: initial, version: 0})
+	return c
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (tm *TM) Stats() Stats { return tm.stats.snapshot() }
+
+// ClockNow exposes the current global version, for tests and tools.
+func (tm *TM) ClockNow() uint64 { return tm.clock.Now() }
+
+// errRetryAttempt is the internal marker for "this attempt aborted, retry".
+var errRetryAttempt = errors.New("internal: retry attempt")
+
+// Atomically runs fn as one transaction with the given semantics, retrying
+// until it commits. It returns nil on commit.
+//
+// If fn returns a non-nil error the transaction rolls back (its writes are
+// discarded) and the error is returned without retrying: a user error is a
+// deliberate abort. Semantics violations (e.g. Store inside a Snapshot
+// transaction) also abort permanently and are returned.
+//
+// fn may run multiple times and must therefore be free of side effects
+// other than through the transaction. The *Tx handle is only valid during
+// the call; composing operations means passing the handle down (flat
+// nesting), with the outer call choosing the semantics label exactly as in
+// section 4.2 of the paper.
+func (tm *TM) Atomically(sem Semantics, fn func(*Tx) error) error {
+	return tm.atomically(nil, sem, fn)
+}
+
+// atomically is the retry engine shared by Atomically, AtomicallyCtx and
+// OrElse. ctx may be nil (no cancellation).
+func (tm *TM) atomically(ctx context.Context, sem Semantics, fn func(*Tx) error) error {
+	if !sem.Valid() {
+		return fmt.Errorf("atomically: invalid semantics %d", int(sem))
+	}
+	tx := newTx(tm, sem)
+	var ws waitSet
+	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		tx.beginAttempt()
+		err := tx.run(fn)
+		switch {
+		case err == nil:
+			if tx.commit() {
+				tx.runCommitHooks()
+				tm.cm.OnCommit(tx)
+				return nil
+			}
+			// fall through to retry handling with tx.abortReason set
+		case errors.Is(err, errRetryAttempt):
+			// conflict abort; retry below
+		case errors.Is(err, errBlockRetry):
+			// Deliberate blocking retry: wait for a read to change.
+			tx.runAbortHooks()
+			if len(tx.reads) == 0 && len(tx.window) == 0 {
+				tx.finish(statusAborted)
+				return ErrRetryNoReads
+			}
+			tx.captureWaitSet(&ws)
+			tx.finish(statusAborted)
+			if err := ws.await(ctx); err != nil {
+				return err
+			}
+			continue
+		default:
+			// user error or permanent semantics error: roll back for good
+			tx.finish(statusAborted)
+			tx.runAbortHooks()
+			tm.stats.abort(AbortExplicit)
+			tm.cm.OnAbort(tx)
+			var perm permanentError
+			if errors.As(err, &perm) {
+				return perm.err
+			}
+			return err
+		}
+		tx.runAbortHooks()
+		tm.stats.abort(tx.abortReason)
+		tm.cm.OnAbort(tx)
+		if tm.maxRetries > 0 && tx.attempt >= tm.maxRetries {
+			return fmt.Errorf("after %d attempts (last abort: %s): %w",
+				tx.attempt, tx.abortReason, ErrRetryLimit)
+		}
+		tx.backoffWait()
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// txStatus tracks the lifecycle of a transaction handle.
+type txStatus int
+
+const (
+	statusIdle txStatus = iota
+	statusActive
+	statusCommitted
+	statusAborted
+)
+
+// readEntry remembers one validated read: the cell and the version whose
+// value the transaction observed. Validation is exact-version: the entry is
+// valid as long as the cell still carries that version.
+type readEntry struct {
+	cell *Cell
+	ver  uint64
+}
+
+// writeEntry buffers one write (redo log). prevVer holds the version the
+// cell carried when this transaction locked it at commit, used to restore
+// the cell on abort and to validate reads of self-locked cells.
+type writeEntry struct {
+	cell    *Cell
+	value   any
+	prevVer uint64
+	locked  bool
+}
+
+// Tx is a transaction in progress. Handles are created by TM.Atomically
+// and are only valid inside the closure they are passed to; they are not
+// safe for concurrent use by multiple goroutines.
+//
+// One Tx value is reused across the retries of a single Atomically call so
+// contention managers can accumulate per-transaction state (age, karma)
+// across attempts.
+type Tx struct {
+	tm      *TM
+	id      uint64
+	sem     Semantics
+	attempt int
+	birth   time.Time // first attempt start; used by age-based CMs
+
+	rv uint64 // read version: classic start time / elastic piece start
+	ub uint64 // snapshot upper bound
+
+	// reads is the validated read set (exact version). It is a plain
+	// append-only slice: duplicates are allowed (they validate equal) and
+	// linear structures read each cell once, so a dedup index would cost
+	// more than it saves on the hot path.
+	reads  []readEntry
+	writes []writeEntry
+	window []readEntry // elastic sliding window (oldest first)
+	// released holds early-released cells; allocated lazily since early
+	// release is a rare expert operation.
+	released map[*Cell]struct{}
+
+	hasWrites   bool
+	status      txStatus
+	abortReason AbortReason
+	cuts        int
+	rnd         uint64 // xorshift state for backoff jitter
+	// Deferred side-effect hooks for the current attempt (transactional
+	// boosting, escrow counters): see Tx.Defer.
+	onCommit []func()
+	onAbort  []func()
+	// workLocal counts reads+writes of the current attempt; it is
+	// flushed into the atomic work counter every flushEvery steps (and at
+	// arbitration points) so contention managers see a close-enough
+	// estimate without an atomic add on every memory access.
+	workLocal int64
+
+	// Fields below are read concurrently by contention managers.
+	killed   atomic.Bool
+	priority atomic.Int64 // karma accumulated across attempts
+	work     atomic.Int64 // reads+writes performed in this attempt
+}
+
+// newTx allocates a transaction handle bound to tm.
+func newTx(tm *TM, sem Semantics) *Tx {
+	id := tm.nextTxID.Add(1)
+	return &Tx{
+		tm:    tm,
+		id:    id,
+		sem:   sem,
+		birth: time.Now(),
+		rnd:   id*2654435761 + 0x9e3779b97f4a7c15,
+	}
+}
+
+// ID returns the transaction's unique identity within its TM. The identity
+// is stable across retries of the same Atomically call.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Semantics returns the semantics label the transaction was started with.
+func (tx *Tx) Semantics() Semantics { return tx.sem }
+
+// Attempt returns the 1-based attempt number of the current run.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// Birth returns when the transaction first started; age-based contention
+// managers (Greedy, Timestamp) prioritize older transactions.
+func (tx *Tx) Birth() time.Time { return tx.birth }
+
+// flushEvery is how many accesses may pass between flushes of the local
+// work counter (and checks of the kill flag) on the read fast path.
+const flushEvery = 32
+
+// step accounts one shared-memory access; every flushEvery steps it
+// publishes the work estimate and honours pending kills. Keeping these
+// off the per-access fast path matters: a transactional list traversal is
+// thousands of reads, and an atomic RMW per read would dominate it.
+func (tx *Tx) step() {
+	tx.workLocal++
+	if tx.workLocal%flushEvery == 0 {
+		tx.work.Store(tx.workLocal)
+		tx.checkKilled()
+	}
+}
+
+// Work returns an approximation of the work invested in the current
+// attempt (reads + writes), used by Karma-style contention managers. The
+// estimate lags the true count by at most flushEvery accesses.
+func (tx *Tx) Work() int64 { return tx.work.Load() }
+
+// Priority returns the karma accumulated across the transaction's aborted
+// attempts.
+func (tx *Tx) Priority() int64 { return tx.priority.Load() }
+
+// AddPriority accumulates karma; contention managers call it from their
+// OnAbort hook so work invested in failed attempts is not forgotten.
+func (tx *Tx) AddPriority(delta int64) { tx.priority.Add(delta) }
+
+// Kill asks the transaction to abort at its next validation point. It is
+// the cooperative-kill primitive used by aggressive contention managers.
+func (tx *Tx) Kill() {
+	if !tx.killed.Swap(true) {
+		tx.tm.stats.kills.Add(1)
+	}
+}
+
+// Killed reports whether a kill was requested.
+func (tx *Tx) Killed() bool { return tx.killed.Load() }
+
+// Cuts returns how many elastic cuts the current attempt performed.
+func (tx *Tx) Cuts() int { return tx.cuts }
+
+// beginAttempt resets per-attempt state and samples the clock.
+func (tx *Tx) beginAttempt() {
+	tx.attempt++
+	tx.status = statusActive
+	tx.abortReason = 0
+	tx.hasWrites = false
+	tx.cuts = 0
+	tx.killed.Store(false)
+	tx.work.Store(0)
+	tx.workLocal = 0
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.window = tx.window[:0]
+	if tx.released != nil {
+		clear(tx.released)
+	}
+	tx.onCommit = tx.onCommit[:0]
+	tx.onAbort = tx.onAbort[:0]
+	now := tx.tm.clock.Now()
+	tx.rv = now
+	tx.ub = now
+	tx.tm.stats.attempts.Add(1)
+	tx.record(Event{Kind: EventBegin, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem})
+}
+
+// run executes the user closure, converting internal abort unwinds into
+// errRetryAttempt and semantics violations into their permanent error.
+func (tx *Tx) run(fn func(*Tx) error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch sig := r.(type) {
+		case abortSignal:
+			tx.finish(statusAborted)
+			tx.abortReason = sig.reason
+			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Reason: sig.reason})
+			err = errRetryAttempt
+		case retrySignal:
+			// Status stays active until the engine captures the wait
+			// set; the recorder sees an abort (the attempt's accesses
+			// do not commit).
+			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Reason: AbortExplicit})
+			err = errBlockRetry
+		case permanentError:
+			tx.finish(statusAborted)
+			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+				Sem: tx.sem, Reason: AbortSemantics})
+			err = sig
+		default:
+			panic(r)
+		}
+	}()
+	return fn(tx)
+}
+
+// abort unwinds the attempt with the given reason. Only call from the
+// transaction's own goroutine, below Atomically.
+func (tx *Tx) abort(reason AbortReason) {
+	panic(abortSignal{reason: reason})
+}
+
+// checkKilled aborts the attempt when a contention manager killed us.
+func (tx *Tx) checkKilled() {
+	if tx.killed.Load() {
+		tx.abort(AbortKilled)
+	}
+}
+
+// checkUsable panics on use of a finished handle: that is an API misuse of
+// the same kind as unlocking an unlocked mutex, and like the standard
+// library the runtime fails loudly rather than corrupting memory.
+func (tx *Tx) checkUsable() {
+	if tx.status != statusActive {
+		panic("core: transaction handle used outside its Atomically block")
+	}
+}
+
+// finish moves the handle out of the active state.
+func (tx *Tx) finish(st txStatus) {
+	tx.status = st
+}
+
+// Restart voluntarily aborts the attempt and retries from scratch. It is
+// useful for optimistic "wait for a state change" loops in examples.
+func (tx *Tx) Restart() {
+	tx.checkUsable()
+	tx.abort(AbortExplicit)
+}
+
+// Release performs an early release (section 4.1 of the paper): the cell is
+// dropped from the read set and window, so future conflicts on it are
+// ignored. This is the expert-only escape hatch; releasing a location that
+// a composed caller still depends on breaks atomicity of the composition —
+// the documented addIfAbsent anomaly, demonstrated in the tests.
+func (tx *Tx) Release(c *Cell) {
+	tx.checkUsable()
+	if c == nil {
+		return
+	}
+	if tx.released == nil {
+		tx.released = make(map[*Cell]struct{}, 2)
+	}
+	tx.released[c] = struct{}{}
+	for i := 0; i < len(tx.reads); {
+		if tx.reads[i].cell == c {
+			tx.reads = append(tx.reads[:i], tx.reads[i+1:]...)
+			continue
+		}
+		i++
+	}
+	for i := 0; i < len(tx.window); {
+		if tx.window[i].cell == c {
+			tx.window = append(tx.window[:i], tx.window[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// Defer registers side-effect hooks for the current attempt: onCommit
+// runs once after the attempt commits; onAbort runs if the attempt aborts
+// for any reason (conflict, kill, user error, blocking retry). Either may
+// be nil. Hooks run outside the transaction, in registration order for
+// commits and reverse order for aborts (like compensations).
+//
+// This is the integration point for open-nesting-style extensions
+// (transactional boosting, escrow counters — the relaxations of the
+// paper's section 4.1 and references [24,25,26,39]): an operation applies
+// its effect eagerly on a concurrent object, takes an abstract lock, and
+// defers the inverse operation as the abort hook.
+func (tx *Tx) Defer(onCommit, onAbort func()) {
+	tx.checkUsable()
+	if onCommit != nil {
+		tx.onCommit = append(tx.onCommit, onCommit)
+	}
+	if onAbort != nil {
+		tx.onAbort = append(tx.onAbort, onAbort)
+	}
+}
+
+// runCommitHooks fires deferred commit actions in registration order.
+func (tx *Tx) runCommitHooks() {
+	for _, fn := range tx.onCommit {
+		fn()
+	}
+	tx.onCommit = tx.onCommit[:0]
+	tx.onAbort = tx.onAbort[:0]
+}
+
+// runAbortHooks fires deferred compensations in reverse registration
+// order.
+func (tx *Tx) runAbortHooks() {
+	for i := len(tx.onAbort) - 1; i >= 0; i-- {
+		tx.onAbort[i]()
+	}
+	tx.onCommit = tx.onCommit[:0]
+	tx.onAbort = tx.onAbort[:0]
+}
+
+// record forwards an event to the TM's recorder, if any.
+func (tx *Tx) record(ev Event) {
+	if tx.tm.recorder != nil {
+		tx.tm.recorder.Record(ev)
+	}
+}
+
+// backoffWait sleeps for a randomized exponentially growing duration
+// between retries, bounded by the TM's backoff window.
+func (tx *Tx) backoffWait() {
+	shift := tx.attempt
+	if shift > 16 {
+		shift = 16
+	}
+	window := tx.tm.backoffBase << uint(shift)
+	if window > tx.tm.backoffMax {
+		window = tx.tm.backoffMax
+	}
+	if window <= 0 {
+		return
+	}
+	// xorshift64 jitter: sleep a uniform fraction of the window.
+	tx.rnd ^= tx.rnd << 13
+	tx.rnd ^= tx.rnd >> 7
+	tx.rnd ^= tx.rnd << 17
+	d := time.Duration(tx.rnd % uint64(window))
+	time.Sleep(d)
+}

@@ -1,0 +1,53 @@
+package core
+
+// Store buffers a write of value to c; it becomes visible atomically at
+// commit. Inside a snapshot transaction Store aborts the transaction
+// permanently with an error matching ErrWriteInSnapshot, since snapshot
+// semantics is read-only by construction (section 5.1 of the paper).
+//
+// The first Store of an elastic transaction seals its parse phase: the
+// current window becomes the seed read set of the final piece, which from
+// then on behaves like a classic transaction (section 4.2).
+func (tx *Tx) Store(c *Cell, value any) {
+	tx.checkUsable()
+	if c == nil {
+		panic("core: Store to nil cell")
+	}
+	tx.checkKilled()
+	if tx.sem == Snapshot {
+		panic(permanentError{err: &SemanticsError{Sem: Snapshot, Op: "store"}})
+	}
+	tx.step()
+	if tx.sem == Elastic && !tx.hasWrites {
+		tx.sealElastic()
+	}
+	tx.hasWrites = true
+	updated := false
+	for i := range tx.writes {
+		if tx.writes[i].cell == c {
+			tx.writes[i].value = value
+			updated = true
+			break
+		}
+	}
+	if !updated {
+		tx.writes = append(tx.writes, writeEntry{cell: c, value: value})
+	}
+	if tx.tm.recorder != nil {
+		tx.record(Event{Kind: EventWrite, TxID: tx.id, Attempt: tx.attempt,
+			Sem: tx.sem, Cell: c.id})
+	}
+}
+
+// sealElastic converts the elastic parse phase into the final classic
+// piece: the piece's read version is the clock now, and the window must be
+// valid at this instant (it seeds the piece's read set). Subsequent reads
+// behave classically against the piece read version, and commit validates
+// window plus reads exactly like a classic transaction.
+func (tx *Tx) sealElastic() {
+	tx.rv = tx.tm.clock.Now()
+	if !tx.windowValid() {
+		tx.abort(AbortWindowInvalid)
+	}
+	tx.reads = append(tx.reads, tx.window...)
+}

@@ -1,0 +1,80 @@
+package history
+
+// This file formalizes the paper's section 3.1: atomicity as a binary,
+// non-transitive relation over the shared accesses of one process.
+//
+// Each access appears to take effect within an interval of instants of the
+// execution: for a lock-based program, while the location's lock is held;
+// for a transaction, within the transaction's commit window. Two accesses
+// are atomic with each other when they can appear to occur at one common
+// indivisible point — when their intervals intersect.
+
+// Interval is a closed range [Lo, Hi] of abstract instants.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Intersects reports whether the two intervals share an instant.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// PointProgram is a single process' accesses with the interval at which
+// each may appear to occur. It abstracts both programs of section 3.1:
+//
+//   - P  = lock(x) r(x) lock(y) r(y) unlock(x) lock(z) r(z) unlock(y) unlock(z)
+//     gives r(x) the interval [lock(x), unlock(x)], etc.;
+//   - Pt = transaction{ r(x) r(y) r(z) } gives all three accesses the
+//     transaction's single commit interval.
+type PointProgram struct {
+	Names     []string
+	Intervals []Interval
+}
+
+// Atomicity reports the paper's atomicity(π, π′) for the two named
+// accesses: true when the accesses can appear to have occurred at one
+// common indivisible point.
+func (p *PointProgram) Atomicity(a, b string) bool {
+	ia, ok := p.interval(a)
+	if !ok {
+		return false
+	}
+	ib, ok := p.interval(b)
+	if !ok {
+		return false
+	}
+	return ia.Intersects(ib)
+}
+
+func (p *PointProgram) interval(name string) (Interval, bool) {
+	for i, n := range p.Names {
+		if n == name {
+			return p.Intervals[i], true
+		}
+	}
+	return Interval{}, false
+}
+
+// HandOverHandProgram builds the point program of a chain of reads
+// protected by hand-over-hand locking: access i holds its lock over
+// instants [i, i+1], so consecutive accesses share an instant but accesses
+// two apart do not — the non-transitivity of section 3.1.
+func HandOverHandProgram(names ...string) *PointProgram {
+	p := &PointProgram{Names: names, Intervals: make([]Interval, len(names))}
+	for i := range names {
+		p.Intervals[i] = Interval{Lo: i, Hi: i + 1}
+	}
+	return p
+}
+
+// TransactionProgram builds the point program of the same accesses inside
+// one transaction: every access shares the transaction's single
+// indivisible point, making the atomicity relation total — and forcing the
+// transitive closure the paper identifies as the expressiveness limit.
+func TransactionProgram(names ...string) *PointProgram {
+	p := &PointProgram{Names: names, Intervals: make([]Interval, len(names))}
+	for i := range names {
+		p.Intervals[i] = Interval{Lo: 0, Hi: 0}
+	}
+	return p
+}

@@ -1,0 +1,326 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Collector records runtime events for later checking. It implements
+// core.Recorder and is safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+var _ core.Recorder = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record implements core.Recorder.
+func (c *Collector) Record(ev core.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (c *Collector) Events() []core.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = c.events[:0]
+	c.mu.Unlock()
+}
+
+// ReadObs is one observed read: the cell and the version whose value the
+// transaction consumed.
+type ReadObs struct {
+	Cell uint64
+	Ver  uint64
+}
+
+// TxExec summarizes the committed attempt of one transaction.
+type TxExec struct {
+	ID        uint64
+	Sem       core.Semantics
+	CommitVer uint64 // write version for updaters; rv/ub for read-only
+	HasWrites bool
+	// PreSealReads are elastic reads performed before the first write
+	// (the parse), in program order. For classic and snapshot
+	// transactions all reads are here.
+	PreSealReads []ReadObs
+	// PostSealReads are reads after the first write (classic behaviour).
+	PostSealReads []ReadObs
+	Writes        []uint64
+}
+
+// ExecLog is the digested execution: committed transactions plus the
+// global write history per cell.
+type ExecLog struct {
+	Txs          []TxExec
+	writesByCell map[uint64][]uint64 // sorted committed write versions
+}
+
+// Analyze digests raw events into an ExecLog holding only the committed
+// attempt of each transaction.
+func Analyze(events []core.Event) (*ExecLog, error) {
+	type pending struct {
+		attempt int
+		reads   [][]ReadObs // [0] pre-seal, [1] post-seal
+		writes  []uint64
+		sealed  bool
+		sem     core.Semantics
+	}
+	open := make(map[uint64]*pending)
+	log := &ExecLog{writesByCell: make(map[uint64][]uint64)}
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EventBegin:
+			open[ev.TxID] = &pending{
+				attempt: ev.Attempt,
+				reads:   [][]ReadObs{nil, nil},
+				sem:     ev.Sem,
+			}
+		case core.EventRead:
+			p := open[ev.TxID]
+			if p == nil || p.attempt != ev.Attempt {
+				continue
+			}
+			idx := 0
+			if p.sealed {
+				idx = 1
+			}
+			p.reads[idx] = append(p.reads[idx], ReadObs{Cell: ev.Cell, Ver: ev.Version})
+		case core.EventWrite:
+			p := open[ev.TxID]
+			if p == nil || p.attempt != ev.Attempt {
+				continue
+			}
+			p.sealed = true
+			p.writes = append(p.writes, ev.Cell)
+		case core.EventAbort:
+			if p := open[ev.TxID]; p != nil && p.attempt == ev.Attempt {
+				delete(open, ev.TxID)
+			}
+		case core.EventRollback:
+			// An OrElse branch was abandoned: its accesses never
+			// commit, so the pending record starts over.
+			if p := open[ev.TxID]; p != nil && p.attempt == ev.Attempt {
+				p.reads = [][]ReadObs{nil, nil}
+				p.writes = nil
+				p.sealed = false
+			}
+		case core.EventCommit:
+			p := open[ev.TxID]
+			if p == nil || p.attempt != ev.Attempt {
+				continue
+			}
+			delete(open, ev.TxID)
+			tx := TxExec{
+				ID:            ev.TxID,
+				Sem:           p.sem,
+				CommitVer:     ev.Version,
+				HasWrites:     len(p.writes) > 0,
+				PreSealReads:  p.reads[0],
+				PostSealReads: p.reads[1],
+				Writes:        dedupe(p.writes),
+			}
+			log.Txs = append(log.Txs, tx)
+			if tx.HasWrites {
+				for _, cell := range tx.Writes {
+					log.writesByCell[cell] = append(log.writesByCell[cell], ev.Version)
+				}
+			}
+		}
+	}
+	for cell, vs := range log.writesByCell {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for i := 1; i < len(vs); i++ {
+			if vs[i] == vs[i-1] {
+				return nil, fmt.Errorf("cell %d: duplicate committed write version %d", cell, vs[i])
+			}
+		}
+		log.writesByCell[cell] = vs
+	}
+	return log, nil
+}
+
+func dedupe(in []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// nextWrite returns the smallest committed write version to cell strictly
+// greater than v, or maxUint64 when none exists.
+func (l *ExecLog) nextWrite(cell, v uint64) uint64 {
+	vs := l.writesByCell[cell]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] > v })
+	if i == len(vs) {
+		return ^uint64(0)
+	}
+	return vs[i]
+}
+
+// validInterval returns the instants at which the read is consistent:
+// [Ver, nextWrite-1]. The read observed version Ver, which stays current
+// until the next committed write to the cell.
+func (l *ExecLog) validInterval(r ReadObs) (lo, hi uint64) {
+	return r.Ver, l.nextWrite(r.Cell, r.Ver) - 1
+}
+
+// groupInterval intersects the valid intervals of a group of reads.
+// ok is false when the intersection is empty.
+func (l *ExecLog) groupInterval(group []ReadObs) (lo, hi uint64, ok bool) {
+	lo, hi = 0, ^uint64(0)
+	for _, r := range group {
+		rlo, rhi := l.validInterval(r)
+		if rlo > lo {
+			lo = rlo
+		}
+		if rhi < hi {
+			hi = rhi
+		}
+	}
+	return lo, hi, lo <= hi
+}
+
+// CheckConsistency verifies that every committed transaction in the log is
+// explainable under its own semantics — the mixed-correctness criterion of
+// section 5 of the paper:
+//
+//   - classic: all reads consistent at one instant; for updaters that
+//     instant is the write version (strict TL2 commit-point consistency);
+//   - elastic: the parse reads form overlapping windows of the given size,
+//     each consistent at some instant, with the instants non-decreasing
+//     (the pieces of the cut execute in order); the final piece (window
+//     seed, post-seal reads, writes) is consistent at the write version;
+//   - snapshot: all reads consistent at the transaction's start bound.
+//
+// windowSize must match the TM's elastic window configuration.
+func (l *ExecLog) CheckConsistency(windowSize int) error {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	for i := range l.Txs {
+		tx := &l.Txs[i]
+		var err error
+		switch {
+		case tx.Sem == core.Snapshot:
+			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
+		case tx.Sem == core.Elastic:
+			err = l.checkElastic(tx, windowSize)
+		case tx.HasWrites:
+			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
+		default:
+			// Classic read-only: serialization point is its read
+			// version, recorded as CommitVer.
+			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
+		}
+		if err != nil {
+			return fmt.Errorf("tx %d (%s): %w", tx.ID, tx.Sem, err)
+		}
+	}
+	return nil
+}
+
+func allReads(tx *TxExec) []ReadObs {
+	if len(tx.PostSealReads) == 0 {
+		return tx.PreSealReads
+	}
+	out := make([]ReadObs, 0, len(tx.PreSealReads)+len(tx.PostSealReads))
+	out = append(out, tx.PreSealReads...)
+	out = append(out, tx.PostSealReads...)
+	return out
+}
+
+// checkAtInstant verifies all reads are simultaneously consistent at t.
+func (l *ExecLog) checkAtInstant(tx *TxExec, reads []ReadObs, t uint64) error {
+	point := t
+	if tx.HasWrites {
+		// The transaction's own writes take effect at t; its reads must
+		// be consistent immediately before, i.e. at t-1... but exact
+		// version validation guarantees consistency *through* t except
+		// for cells it wrote itself, which are excluded from the global
+		// write history only for the reader's own observation. Checking
+		// at t-1 handles reads of self-written cells uniformly.
+		point = t - 1
+	}
+	for _, r := range reads {
+		lo, hi := l.validInterval(r)
+		if point < lo || point > hi {
+			return fmt.Errorf("read of cell %d@%d not consistent at instant %d (valid [%d,%d])",
+				r.Cell, r.Ver, point, lo, hi)
+		}
+	}
+	return nil
+}
+
+// checkElastic verifies the cut rule over the parse reads and commit-point
+// consistency of the final piece.
+func (l *ExecLog) checkElastic(tx *TxExec, w int) error {
+	reads := tx.PreSealReads
+	// Each window of w consecutive parse reads must admit a consistent
+	// instant, and those instants must be non-decreasing: greedy choice
+	// of the earliest feasible instant per window is exact.
+	last := uint64(0)
+	for i := range reads {
+		start := i - w + 1
+		if start < 0 {
+			start = 0
+		}
+		lo, hi, ok := l.groupInterval(reads[start : i+1])
+		if !ok {
+			return fmt.Errorf("parse window ending at read %d has no consistent instant", i)
+		}
+		if lo < last {
+			lo = last
+		}
+		if lo > hi {
+			return fmt.Errorf("parse window ending at read %d cannot follow the previous piece (need >= %d, valid up to %d)", i, last, hi)
+		}
+		last = lo
+	}
+	if !tx.HasWrites {
+		return nil
+	}
+	// Final piece: the last min(w, len) parse reads seed the piece, plus
+	// all post-seal reads, consistent at the commit point.
+	seedStart := len(reads) - w
+	if seedStart < 0 {
+		seedStart = 0
+	}
+	final := make([]ReadObs, 0, w+len(tx.PostSealReads))
+	final = append(final, reads[seedStart:]...)
+	final = append(final, tx.PostSealReads...)
+	point := tx.CommitVer - 1
+	if point < last {
+		return fmt.Errorf("final piece at %d precedes last parse piece at %d", point, last)
+	}
+	for _, r := range final {
+		lo, hi := l.validInterval(r)
+		if point < lo || point > hi {
+			return fmt.Errorf("final-piece read of cell %d@%d not consistent at commit %d (valid [%d,%d])",
+				r.Cell, r.Ver, tx.CommitVer, lo, hi)
+		}
+	}
+	return nil
+}

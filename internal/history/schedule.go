@@ -1,0 +1,267 @@
+// Package history models executions of transactional programs and checks
+// their correctness criteria: conflict serializability, strict
+// serializability (the committed-history face of opacity), TL2-style input
+// acceptance, the paper's atomicity relation (section 3.1), and the
+// consistency of live executions recorded from the runtime.
+package history
+
+// OpKind is the type of one shared-memory access.
+type OpKind int
+
+const (
+	// OpRead is a shared-memory read.
+	OpRead OpKind = iota + 1
+	// OpWrite is a shared-memory write.
+	OpWrite
+)
+
+// String names the op for dumps.
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "r"
+	}
+	return "w"
+}
+
+// Access is one step of a transactional program: transaction Tx performs
+// Kind on location Loc.
+type Access struct {
+	Tx   int
+	Kind OpKind
+	Loc  string
+}
+
+// Schedule is a total order of accesses from one or more transactions.
+// All transactions are assumed committed (Figure 4 considers complete
+// executions of complete programs).
+type Schedule []Access
+
+// String renders the schedule compactly, e.g. "r0(x) w1(x) r0(y)".
+func (s Schedule) String() string {
+	var b []byte
+	for i, a := range s {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, a.Kind.String()...)
+		b = appendInt(b, a.Tx)
+		b = append(b, '(')
+		b = append(b, a.Loc...)
+		b = append(b, ')')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	if n >= 10 {
+		b = appendInt(b, n/10)
+	}
+	return append(b, byte('0'+n%10))
+}
+
+// Interleavings enumerates every schedule that interleaves the given
+// programs while preserving each program's internal order. Program i's
+// accesses are labelled with Tx = i.
+//
+// The count is the multinomial (Σlen)! / Πlen!; callers should keep the
+// programs short (Figure 4 uses 3+1+1 accesses → 20 schedules).
+func Interleavings(programs ...[]Access) []Schedule {
+	total := 0
+	for i, p := range programs {
+		for j := range p {
+			p[j].Tx = i
+		}
+		total += len(p)
+	}
+	var (
+		out  []Schedule
+		cur  = make(Schedule, 0, total)
+		pos  = make([]int, len(programs))
+		walk func()
+	)
+	walk = func() {
+		if len(cur) == total {
+			cp := make(Schedule, total)
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i, p := range programs {
+			if pos[i] < len(p) {
+				cur = append(cur, p[pos[i]])
+				pos[i]++
+				walk()
+				pos[i]--
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	walk()
+	return out
+}
+
+// txSpan returns, for each transaction in s, the schedule indexes of its
+// first and last access.
+func txSpan(s Schedule) map[int][2]int {
+	span := make(map[int][2]int)
+	for i, a := range s {
+		if sp, ok := span[a.Tx]; ok {
+			sp[1] = i
+			span[a.Tx] = sp
+		} else {
+			span[a.Tx] = [2]int{i, i}
+		}
+	}
+	return span
+}
+
+// conflictEdges builds the precedence edges between distinct transactions
+// induced by conflicting access pairs (same location, at least one write),
+// directed from the earlier access to the later. When realTime is set,
+// edges for real-time order (Ti completes before Tj starts) are added,
+// turning serializability into strict serializability.
+func conflictEdges(s Schedule, realTime bool) map[int]map[int]bool {
+	edges := make(map[int]map[int]bool)
+	add := func(from, to int) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[int]bool)
+		}
+		edges[from][to] = true
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			a, b := s[i], s[j]
+			if a.Tx == b.Tx || a.Loc != b.Loc {
+				continue
+			}
+			if a.Kind == OpWrite || b.Kind == OpWrite {
+				add(a.Tx, b.Tx)
+			}
+		}
+	}
+	if realTime {
+		span := txSpan(s)
+		for ti, si := range span {
+			for tj, sj := range span {
+				if ti != tj && si[1] < sj[0] {
+					add(ti, tj)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// hasCycle detects a cycle in the edge set with iterative DFS.
+func hasCycle(edges map[int]map[int]bool) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var visit func(n int) bool
+	visit = func(n int) bool {
+		color[n] = grey
+		for m := range edges[n] {
+			switch color[m] {
+			case grey:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range edges {
+		if color[n] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictSerializable reports whether the schedule is conflict
+// serializable: its conflict graph is acyclic.
+func ConflictSerializable(s Schedule) bool {
+	return !hasCycle(conflictEdges(s, false))
+}
+
+// StrictlySerializable reports whether the schedule is conflict
+// serializable by an order that also respects real-time precedence of
+// non-overlapping transactions. For complete committed histories this is
+// the acceptance criterion induced by opacity (Guerraoui & Kapalka): a
+// schedule outside it cannot be produced by any opaque transactional
+// memory with all transactions committed.
+func StrictlySerializable(s Schedule) bool {
+	return !hasCycle(conflictEdges(s, true))
+}
+
+// TL2Accepts simulates a TL2-style classic runtime over the schedule and
+// reports whether every transaction would commit without aborting. This is
+// the *input acceptance* of the implementation (Gramoli, Harmanci, Felber,
+// cited as [35]): a strict subset of the opacity-acceptable schedules,
+// quantifying how many correct schedules a real classic STM forgoes.
+//
+// Model: each transaction starts (samples its read version) immediately
+// before its first access; an update transaction commits immediately after
+// its last access, incrementing the global clock and stamping its write
+// locations. A read aborts the reader when the location's version exceeds
+// the reader's read version; commit revalidates all reads.
+func TL2Accepts(s Schedule) bool {
+	span := txSpan(s)
+	clockV := uint64(0)
+	verOf := make(map[string]uint64)
+	rv := make(map[int]uint64)
+	reads := make(map[int]map[string]uint64)
+	writes := make(map[int][]string)
+	for i, a := range s {
+		if span[a.Tx][0] == i {
+			rv[a.Tx] = clockV
+			reads[a.Tx] = make(map[string]uint64)
+		}
+		switch a.Kind {
+		case OpRead:
+			if verOf[a.Loc] > rv[a.Tx] {
+				return false // read invalid: stale snapshot
+			}
+			reads[a.Tx][a.Loc] = verOf[a.Loc]
+		case OpWrite:
+			writes[a.Tx] = append(writes[a.Tx], a.Loc)
+		}
+		if span[a.Tx][1] == i && len(writes[a.Tx]) > 0 {
+			// Commit: validate reads, then publish writes.
+			for loc, v := range reads[a.Tx] {
+				if verOf[loc] != v {
+					return false
+				}
+			}
+			clockV++
+			for _, loc := range writes[a.Tx] {
+				verOf[loc] = clockV
+			}
+		}
+	}
+	return true
+}
+
+// Count applies pred to every schedule and returns how many satisfy it.
+func Count(schedules []Schedule, pred func(Schedule) bool) int {
+	n := 0
+	for _, s := range schedules {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}

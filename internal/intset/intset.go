@@ -1,0 +1,31 @@
+// Package intset defines the integer-set contract shared by the
+// transactional data structures and the baseline (lock-based, lock-free,
+// copy-on-write) comparators, mirroring the paper's Collection benchmark:
+// contains, add, remove, and an atomic size.
+package intset
+
+// Set is an integer set with an atomic size operation.
+//
+// All methods return an error only on runtime failures (e.g. a configured
+// retry limit); baseline implementations never fail. The boolean results
+// follow java.util.Set conventions: Add reports whether the value was
+// absent, Remove whether it was present.
+type Set interface {
+	// Contains reports whether v is in the set.
+	Contains(v int) (bool, error)
+	// Add inserts v; it reports false when v was already present.
+	Add(v int) (bool, error)
+	// Remove deletes v; it reports false when v was absent.
+	Remove(v int) (bool, error)
+	// Size returns the number of elements as an atomic snapshot: the
+	// count must correspond to one instant of the execution (the paper's
+	// motivating operation, which plain lock-free sets cannot provide).
+	Size() (int, error)
+}
+
+// Snapshotter is implemented by sets that can report their elements as one
+// atomic snapshot (used by iterator-style examples and tests).
+type Snapshotter interface {
+	// Elements returns the members as of one instant, in ascending order.
+	Elements() ([]int, error)
+}

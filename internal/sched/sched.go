@@ -1,0 +1,139 @@
+// Package sched regenerates Figure 4 of the paper: among the correct
+// schedules of a linked-list-style workload, how many are precluded when
+// the parse runs as a classic (opaque) transaction?
+//
+// The paper's construction (section 3.2): program Pt = tx{r(x) r(y) r(z)}
+// runs concurrently with P1 = tx{w(x)} and P2 = tx{w(z)}. There are 20
+// interleavings, all of which are correct for a linked list. The paper
+// states that opaque transactions preclude the four schedules with
+// Pt ≺x P1, P1 ≺ P2 and P2 ≺z Pt.
+//
+// Our exhaustive enumeration finds that exactly THREE schedules satisfy
+// those three conditions (and exactly those three are not strictly
+// serializable): w(x)1 and w(z)2 must both fall between r(x)t and r(z)t
+// with w(x)1 first, giving placements (gap1,gap1), (gap1,gap2) and
+// (gap2,gap2). We therefore report 3/20 = 15% for the opacity criterion,
+// note the paper's 4/20 = 20% claim, and additionally report the input
+// acceptance of a TL2-style implementation (10/20 schedules accepted),
+// which is the sharper practical statement of the same point: classic
+// transactions forgo a large fraction of correct concurrency.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Result summarizes the enumeration for one workload.
+type Result struct {
+	Label                 string
+	Total                 int
+	ConflictSerializable  int
+	StrictlySerializable  int
+	TL2Accepted           int
+	PrecludedByOpacity    int // Total - StrictlySerializable
+	PrecludedByTL2        int // Total - TL2Accepted
+	OpacityPrecludedRatio float64
+	TL2PrecludedRatio     float64
+}
+
+// Figure4Programs returns the paper's exact construction: the transaction
+// Pt reading x, y, z and two single-write transactions on x and z.
+func Figure4Programs() [][]history.Access {
+	pt := []history.Access{
+		{Kind: history.OpRead, Loc: "x"},
+		{Kind: history.OpRead, Loc: "y"},
+		{Kind: history.OpRead, Loc: "z"},
+	}
+	p1 := []history.Access{{Kind: history.OpWrite, Loc: "x"}}
+	p2 := []history.Access{{Kind: history.OpWrite, Loc: "z"}}
+	return [][]history.Access{pt, p1, p2}
+}
+
+// Enumerate runs the full analysis over the interleavings of programs.
+func Enumerate(label string, programs [][]history.Access) Result {
+	all := history.Interleavings(programs...)
+	r := Result{
+		Label:                label,
+		Total:                len(all),
+		ConflictSerializable: history.Count(all, history.ConflictSerializable),
+		StrictlySerializable: history.Count(all, history.StrictlySerializable),
+		TL2Accepted:          history.Count(all, history.TL2Accepts),
+	}
+	r.PrecludedByOpacity = r.Total - r.StrictlySerializable
+	r.PrecludedByTL2 = r.Total - r.TL2Accepted
+	r.OpacityPrecludedRatio = float64(r.PrecludedByOpacity) / float64(r.Total)
+	r.TL2PrecludedRatio = float64(r.PrecludedByTL2) / float64(r.Total)
+	return r
+}
+
+// Figure4 runs the paper's exact workload.
+func Figure4() Result {
+	return Enumerate("Pt=r(x)r(y)r(z) || P1=w(x) || P2=w(z)", Figure4Programs())
+}
+
+// ParseSweep generalizes Figure 4: a parse transaction reading n locations
+// concurrent with two single-write transactions on the first and last
+// location. Longer parses are precluded more, which is the paper's
+// argument that traversal-heavy structures suffer most.
+func ParseSweep(lengths []int) []Result {
+	out := make([]Result, 0, len(lengths))
+	for _, n := range lengths {
+		if n < 2 {
+			continue
+		}
+		parse := make([]history.Access, n)
+		for i := range parse {
+			parse[i] = history.Access{Kind: history.OpRead, Loc: loc(i)}
+		}
+		p1 := []history.Access{{Kind: history.OpWrite, Loc: loc(0)}}
+		p2 := []history.Access{{Kind: history.OpWrite, Loc: loc(n - 1)}}
+		out = append(out, Enumerate(
+			fmt.Sprintf("parse of %d reads || w(first) || w(last)", n),
+			[][]history.Access{parse, p1, p2},
+		))
+	}
+	return out
+}
+
+func loc(i int) string { return fmt.Sprintf("l%d", i) }
+
+// PrecludedSchedules returns the schedules of the Figure 4 workload that
+// the opacity criterion precludes, for the verbose report.
+func PrecludedSchedules() []history.Schedule {
+	var out []history.Schedule
+	for _, s := range history.Interleavings(Figure4Programs()...) {
+		if !history.StrictlySerializable(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Render writes the Figure 4 report, including the paper-vs-measured note.
+func Render(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "Figure 4 — schedules precluded by classic (opaque) transactions")
+	fmt.Fprintln(w, strings.Repeat("-", 98))
+	fmt.Fprintf(w, "%-44s %6s %9s %9s %9s %8s %8s\n",
+		"workload", "total", "conf-ser", "strict", "tl2-ok", "opq-prec", "tl2-prec")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-44s %6d %9d %9d %9d %7.1f%% %7.1f%%\n",
+			r.Label, r.Total, r.ConflictSerializable, r.StrictlySerializable,
+			r.TL2Accepted, 100*r.OpacityPrecludedRatio, 100*r.TL2PrecludedRatio)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 98))
+	fmt.Fprintln(w, "paper claims 4/20 = 20% precluded for the first workload; exhaustive enumeration")
+	fmt.Fprintln(w, "of its own three conditions (Pt<x P1, P1<P2, P2<z Pt) yields the 3 schedules above;")
+	fmt.Fprintln(w, "a TL2-style classic implementation additionally rejects every schedule writing a")
+	fmt.Fprintln(w, "location before the parse reads it, precluding half of all correct schedules.")
+}
+
+// String renders a schedule compactly, e.g. "r0(x) r0(y) w1(x) ...".
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d total, %d opacity-precluded (%.0f%%), %d TL2-precluded (%.0f%%)",
+		r.Label, r.Total, r.PrecludedByOpacity, 100*r.OpacityPrecludedRatio,
+		r.PrecludedByTL2, 100*r.TL2PrecludedRatio)
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure4Exactly20Schedules pins the Figure 4 experiment: 20 total
+// schedules, 3 precluded under the opacity criterion (the paper's
+// conditions enumerate to 3, although its text says 4), 10 precluded under
+// TL2-style input acceptance.
+func TestFigure4Exactly20Schedules(t *testing.T) {
+	r := Figure4()
+	if r.Total != 20 {
+		t.Fatalf("total = %d, want 20", r.Total)
+	}
+	if r.ConflictSerializable != 20 {
+		t.Fatalf("conflict-serializable = %d, want 20 (all linked-list schedules are correct)",
+			r.ConflictSerializable)
+	}
+	if r.PrecludedByOpacity != 3 {
+		t.Fatalf("opacity-precluded = %d, want 3", r.PrecludedByOpacity)
+	}
+	if r.PrecludedByTL2 != 10 {
+		t.Fatalf("TL2-precluded = %d, want 10", r.PrecludedByTL2)
+	}
+	if r.OpacityPrecludedRatio < 0.14 || r.OpacityPrecludedRatio > 0.16 {
+		t.Fatalf("opacity ratio = %v, want 0.15", r.OpacityPrecludedRatio)
+	}
+	if r.TL2PrecludedRatio != 0.5 {
+		t.Fatalf("TL2 ratio = %v, want 0.5", r.TL2PrecludedRatio)
+	}
+}
+
+// TestParseSweepMonotone: longer parses lose at least as large a fraction
+// of schedules to TL2 acceptance — the structural claim behind "search
+// structures suffer most".
+func TestParseSweepMonotone(t *testing.T) {
+	rs := ParseSweep([]int{2, 3, 4, 5})
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].TL2PrecludedRatio < rs[i-1].TL2PrecludedRatio-1e-9 {
+			t.Fatalf("TL2 precluded ratio decreased from %v to %v as the parse grew",
+				rs[i-1].TL2PrecludedRatio, rs[i].TL2PrecludedRatio)
+		}
+	}
+	// Short parses are skipped.
+	if got := ParseSweep([]int{1}); len(got) != 0 {
+		t.Fatalf("parse of 1 read should be skipped, got %v", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, []Result{Figure4()})
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "20", "tl2-prec", "paper claims 4/20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Figure4().String(), "20 total") {
+		t.Fatal("Result.String missing total")
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) {
+		t.Fatalf("mean: %+v", s)
+	}
+	if !almost(s.Min, 2) || !almost(s.Max, 9) {
+		t.Fatalf("min/max: %+v", s)
+	}
+	// Sample stddev of this classic dataset is ~2.138.
+	if s.Stddev < 2.13 || s.Stddev > 2.15 {
+		t.Fatalf("stddev: %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty: %+v", z)
+	}
+	one := Summarize([]float64{42})
+	if one.N != 1 || !almost(one.Mean, 42) || one.Stddev != 0 {
+		t.Fatalf("singleton: %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-1, 1}, {101, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almost(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	prop := func(xs []float64, p8 uint8) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p := float64(p8) / 2.55
+		got := Percentile(clean, p)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 5); !almost(got, 2) {
+		t.Fatalf("Speedup(10,5) = %v", got)
+	}
+	if got := Speedup(10, 0); got != 0 {
+		t.Fatalf("Speedup with zero base = %v, want 0", got)
+	}
+}

@@ -1,0 +1,160 @@
+package txstruct
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Directory errors, matchable with errors.Is.
+var (
+	// ErrExists is returned by Create and Rename when the target name is
+	// already taken.
+	ErrExists = errors.New("name already exists")
+	// ErrNotFound is returned by Remove and Rename when the source name
+	// is absent.
+	ErrNotFound = errors.New("name not found")
+)
+
+// dirEntry is one name binding; next holds a *dirEntry. Names are
+// immutable per entry; the bound file is a transactional cell so Lookup
+// and Rebind stay fine-grained.
+type dirEntry struct {
+	name string
+	file *core.Cell // holds any
+	next *core.Cell // holds *dirEntry
+}
+
+// Directory maps names to files, the abstraction of the paper's section
+// 2.2: with transactions, Bob composes Alice's remove and create into an
+// atomic rename — including across two directories — without knowing any
+// locking strategy, the scenario the Google File System solves with
+// depth-ordered locking.
+type Directory struct {
+	tm   *core.TM
+	head *core.Cell // holds *dirEntry, sorted by name
+}
+
+// NewDirectory builds an empty directory bound to tm.
+func NewDirectory(tm *core.TM) *Directory {
+	return &Directory{tm: tm, head: tm.NewCell((*dirEntry)(nil))}
+}
+
+func loadEntry(tx *core.Tx, c *core.Cell) *dirEntry {
+	e, ok := tx.Load(c).(*dirEntry)
+	if !ok {
+		panic(fmt.Sprintf("txstruct: directory cell holds %T, want *dirEntry", tx.Load(c)))
+	}
+	return e
+}
+
+// find walks to name's position: prev is the entry before it (nil at
+// head), curr the entry at or after it.
+func (d *Directory) find(tx *core.Tx, name string) (prev, curr *dirEntry) {
+	curr = loadEntry(tx, d.head)
+	for curr != nil && curr.name < name {
+		prev = curr
+		curr = loadEntry(tx, curr.next)
+	}
+	return prev, curr
+}
+
+// LookupTx returns the file bound to name inside the caller's transaction.
+func (d *Directory) LookupTx(tx *core.Tx, name string) (any, bool) {
+	_, curr := d.find(tx, name)
+	if curr == nil || curr.name != name {
+		return nil, false
+	}
+	return tx.Load(curr.file), true
+}
+
+// CreateTx binds name to file inside the caller's transaction; it returns
+// ErrExists when the name is taken. This is "Alice's" component operation.
+func (d *Directory) CreateTx(tx *core.Tx, name string, file any) error {
+	prev, curr := d.find(tx, name)
+	if curr != nil && curr.name == name {
+		return fmt.Errorf("create %q: %w", name, ErrExists)
+	}
+	e := &dirEntry{name: name, file: d.tm.NewCell(file), next: d.tm.NewCell(curr)}
+	if prev == nil {
+		tx.Store(d.head, e)
+	} else {
+		tx.Store(prev.next, e)
+	}
+	return nil
+}
+
+// RemoveTx unbinds name inside the caller's transaction and returns the
+// file it was bound to; it returns ErrNotFound when absent. This is
+// "Alice's" other component operation.
+func (d *Directory) RemoveTx(tx *core.Tx, name string) (any, error) {
+	prev, curr := d.find(tx, name)
+	if curr == nil || curr.name != name {
+		return nil, fmt.Errorf("remove %q: %w", name, ErrNotFound)
+	}
+	succ := loadEntry(tx, curr.next)
+	if prev == nil {
+		tx.Store(d.head, succ)
+	} else {
+		tx.Store(prev.next, succ)
+	}
+	tx.Store(curr.next, succ)
+	return tx.Load(curr.file), nil
+}
+
+// Lookup returns the file bound to name.
+func (d *Directory) Lookup(name string) (file any, found bool, err error) {
+	err = d.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		file, found = d.LookupTx(tx, name)
+		return nil
+	})
+	return file, found, err
+}
+
+// Create atomically binds name to file.
+func (d *Directory) Create(name string, file any) error {
+	return d.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		return d.CreateTx(tx, name, file)
+	})
+}
+
+// Remove atomically unbinds name.
+func (d *Directory) Remove(name string) (file any, err error) {
+	err = d.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		var rerr error
+		file, rerr = d.RemoveTx(tx, name)
+		return rerr
+	})
+	return file, err
+}
+
+// Names returns an atomic snapshot of the bound names in order.
+func (d *Directory) Names() ([]string, error) {
+	var out []string
+	err := d.tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		out = out[:0]
+		for e := loadEntry(tx, d.head); e != nil; e = loadEntry(tx, e.next) {
+			out = append(out, e.name)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Rename atomically moves src in d to dst in target ("Bob's" composite of
+// Figure 3). d and target may be the same directory or different ones;
+// either way the composition is deadlock-free with no lock-ordering
+// knowledge, because conflict resolution is the contention manager's job.
+func (d *Directory) Rename(target *Directory, src, dst string) error {
+	return d.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		file, err := d.RemoveTx(tx, src)
+		if err != nil {
+			return fmt.Errorf("rename %q -> %q: %w", src, dst, err)
+		}
+		if err := target.CreateTx(tx, dst, file); err != nil {
+			return fmt.Errorf("rename %q -> %q: %w", src, dst, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,169 @@
+package txstruct
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDirectoryBasics(t *testing.T) {
+	tm := core.New()
+	d := NewDirectory(tm)
+	if err := d.Create("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create("a", 2); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: got %v, want ErrExists", err)
+	}
+	if v, ok, err := d.Lookup("a"); err != nil || !ok || v != 1 {
+		t.Fatalf("lookup(a) = (%v,%v,%v)", v, ok, err)
+	}
+	if _, ok, err := d.Lookup("b"); err != nil || ok {
+		t.Fatalf("lookup(b) should miss, got ok=%v err=%v", ok, err)
+	}
+	if v, err := d.Remove("a"); err != nil || v != 1 {
+		t.Fatalf("remove(a) = (%v,%v)", v, err)
+	}
+	if _, err := d.Remove("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second remove: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirectoryRenameSameDirectory(t *testing.T) {
+	tm := core.New()
+	d := NewDirectory(tm)
+	if err := d.Create("f1", "data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename(d, "f1", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Lookup("f1"); ok {
+		t.Fatal("f1 still present after rename")
+	}
+	if v, ok, _ := d.Lookup("f2"); !ok || v != "data" {
+		t.Fatalf("f2 = (%v,%v), want data", v, ok)
+	}
+	// Rename onto an existing name fails atomically: source survives.
+	if err := d.Create("f3", "other"); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Rename(d, "f2", "f3")
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto taken name: got %v, want ErrExists", err)
+	}
+	if v, ok, _ := d.Lookup("f2"); !ok || v != "data" {
+		t.Fatalf("failed rename must keep source: f2 = (%v,%v)", v, ok)
+	}
+}
+
+// TestCrossDirectoryRenameNoDeadlock is the section 2.2 scenario: renames
+// d1->d2 and d2->d1 run concurrently. With locks this deadlocks unless
+// directories are locked in a global order (the GFS discipline); with
+// transactions the contention manager resolves conflicts and both
+// eventually commit.
+func TestCrossDirectoryRenameNoDeadlock(t *testing.T) {
+	tm := core.New()
+	d1 := NewDirectory(tm)
+	d2 := NewDirectory(tm)
+	const pairs = 50
+	for i := 0; i < pairs; i++ {
+		if err := d1.Create(fmt.Sprintf("a%03d", i), i); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Create(fmt.Sprintf("b%03d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < pairs; i++ {
+			if err := d1.Rename(d2, fmt.Sprintf("a%03d", i), fmt.Sprintf("a%03d", i)); err != nil {
+				t.Errorf("d1->d2 rename %d: %v", i, err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < pairs; i++ {
+			if err := d2.Rename(d1, fmt.Sprintf("b%03d", i), fmt.Sprintf("b%03d", i)); err != nil {
+				t.Errorf("d2->d1 rename %d: %v", i, err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	n1, err := d1.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := d2.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n1) != pairs || len(n2) != pairs {
+		t.Fatalf("got %d + %d names, want %d each", len(n1), len(n2), pairs)
+	}
+	for _, n := range n1 {
+		if n[0] != 'b' {
+			t.Fatalf("d1 should hold only b-names after swap, found %q", n)
+		}
+	}
+	for _, n := range n2 {
+		if n[0] != 'a' {
+			t.Fatalf("d2 should hold only a-names after swap, found %q", n)
+		}
+	}
+}
+
+// TestDirectoryRenameAtomicity checks no observer can see both names or
+// neither name mid-rename.
+func TestDirectoryRenameAtomicity(t *testing.T) {
+	tm := core.New()
+	d := NewDirectory(tm)
+	if err := d.Create("src", 1); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		name := "src"
+		other := "dst"
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := d.Rename(d, name, other); err != nil {
+				t.Error(err)
+				return
+			}
+			name, other = other, name
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			_, hasSrc := d.LookupTx(tx, "src")
+			_, hasDst := d.LookupTx(tx, "dst")
+			if hasSrc == hasDst {
+				return fmt.Errorf("observer saw src=%v dst=%v", hasSrc, hasDst)
+			}
+			return nil
+		})
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package txstruct
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// HashSet is an integer set of fixed-size buckets, each a sorted
+// transactional sublist. Parses touch one bucket; Size composes every
+// bucket's count inside a single transaction of the configured size
+// semantics — with Snapshot, a consistent count that never aborts updates,
+// demonstrating composition across structures (section 2.2).
+type HashSet struct {
+	tm      *core.TM
+	cfg     ListConfig
+	buckets []*List
+	mask    uint64
+}
+
+var (
+	_ intset.Set         = (*HashSet)(nil)
+	_ intset.Snapshotter = (*HashSet)(nil)
+)
+
+// NewHashSet builds a hash set with nbuckets buckets (rounded up to a
+// power of two, minimum 1).
+func NewHashSet(tm *core.TM, nbuckets int, cfg ListConfig) *HashSet {
+	cfg.fill()
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	h := &HashSet{tm: tm, cfg: cfg, buckets: make([]*List, n), mask: uint64(n - 1)}
+	for i := range h.buckets {
+		h.buckets[i] = NewList(tm, cfg)
+	}
+	return h
+}
+
+// bucket returns the sublist responsible for v, spreading consecutive
+// integers with a Fibonacci multiplicative hash.
+func (h *HashSet) bucket(v int) *List {
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	return h.buckets[(x>>32)&h.mask]
+}
+
+// ContainsTx reports membership inside the caller's transaction.
+func (h *HashSet) ContainsTx(tx *core.Tx, v int) bool {
+	return h.bucket(v).ContainsTx(tx, v)
+}
+
+// AddTx inserts v inside the caller's transaction.
+func (h *HashSet) AddTx(tx *core.Tx, v int) bool { return h.bucket(v).AddTx(tx, v) }
+
+// RemoveTx deletes v inside the caller's transaction.
+func (h *HashSet) RemoveTx(tx *core.Tx, v int) bool { return h.bucket(v).RemoveTx(tx, v) }
+
+// SizeTx counts all buckets inside the caller's transaction.
+func (h *HashSet) SizeTx(tx *core.Tx) int {
+	n := 0
+	for _, b := range h.buckets {
+		n += b.SizeTx(tx)
+	}
+	return n
+}
+
+// Contains implements intset.Set.
+func (h *HashSet) Contains(v int) (bool, error) {
+	var found bool
+	err := h.tm.Atomically(h.cfg.Parse, func(tx *core.Tx) error {
+		found = h.ContainsTx(tx, v)
+		return nil
+	})
+	return found, err
+}
+
+// Add implements intset.Set.
+func (h *HashSet) Add(v int) (bool, error) {
+	var added bool
+	err := h.tm.Atomically(h.cfg.Parse, func(tx *core.Tx) error {
+		added = h.AddTx(tx, v)
+		return nil
+	})
+	return added, err
+}
+
+// Remove implements intset.Set.
+func (h *HashSet) Remove(v int) (bool, error) {
+	var removed bool
+	err := h.tm.Atomically(h.cfg.Parse, func(tx *core.Tx) error {
+		removed = h.RemoveTx(tx, v)
+		return nil
+	})
+	return removed, err
+}
+
+// Size implements intset.Set: one atomic count across all buckets.
+func (h *HashSet) Size() (int, error) {
+	var n int
+	err := h.tm.Atomically(h.cfg.Size, func(tx *core.Tx) error {
+		n = h.SizeTx(tx)
+		return nil
+	})
+	return n, err
+}
+
+// Elements implements intset.Snapshotter: an atomic ascending snapshot of
+// the whole set.
+func (h *HashSet) Elements() ([]int, error) {
+	var out []int
+	err := h.tm.Atomically(h.cfg.Size, func(tx *core.Tx) error {
+		out = out[:0]
+		for _, b := range h.buckets {
+			out = append(out, b.ElementsTx(tx)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	insertionSort(out)
+	return out, nil
+}
+
+// insertionSort keeps Elements allocation-free for small sets; bucket
+// outputs are already sorted runs.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package txstruct
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestHashSetModel(t *testing.T) {
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			h := NewHashSet(core.New(), 8, cfg)
+			model := make(map[int]bool)
+			seq := []int{5, 13, 5, 21, 8, 0, 64, 8, 128, 1}
+			for _, v := range seq {
+				got, err := h.Add(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != !model[v] {
+					t.Fatalf("add(%d) = %v with model %v", v, got, model[v])
+				}
+				model[v] = true
+			}
+			for _, v := range []int{5, 5, 999} {
+				got, err := h.Remove(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != model[v] {
+					t.Fatalf("remove(%d) = %v with model %v", v, got, model[v])
+				}
+				delete(model, v)
+			}
+			checkAgainstModel(t, h, model)
+		})
+	}
+}
+
+func TestHashSetBucketRoundUp(t *testing.T) {
+	tests := []struct {
+		in, want int
+	}{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	}
+	for _, tt := range tests {
+		h := NewHashSet(core.New(), tt.in, ListConfig{})
+		if len(h.buckets) != tt.want {
+			t.Errorf("NewHashSet(%d) has %d buckets, want %d", tt.in, len(h.buckets), tt.want)
+		}
+	}
+}
+
+func TestHashSetQuickModel(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		h := NewHashSet(core.New(), 4, ListConfig{Parse: core.Elastic, Size: core.Snapshot})
+		model := make(map[int]bool)
+		for _, raw := range ops {
+			v := int(raw % 512)
+			switch (raw / 512) % 3 {
+			case 0:
+				got, err := h.Add(v)
+				if err != nil || got == model[v] {
+					return false
+				}
+				model[v] = true
+			case 1:
+				got, err := h.Remove(v)
+				if err != nil || got != model[v] {
+					return false
+				}
+				delete(model, v)
+			default:
+				got, err := h.Contains(v)
+				if err != nil || got != model[v] {
+					return false
+				}
+			}
+		}
+		n, err := h.Size()
+		if err != nil || n != len(model) {
+			return false
+		}
+		els, err := h.Elements()
+		if err != nil || !sort.IntsAreSorted(els) || len(els) != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashSetAtomicSizeUnderMovement moves values between buckets-worth of
+// keys while snapshot sizes run: every size must see the conserved count.
+func TestHashSetAtomicSizeUnderMovement(t *testing.T) {
+	tm := core.New()
+	h := NewHashSet(tm, 8, ListConfig{Parse: core.Elastic, Size: core.Snapshot})
+	const n = 40
+	for v := 0; v < n; v++ {
+		if _, err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var movers sync.WaitGroup
+	// Each mover atomically swaps a value for another (remove v, add v')
+	// keeping the total count constant.
+	for w := 0; w < 3; w++ {
+		movers.Add(1)
+		go func(seed uint64) {
+			defer movers.Done()
+			rng := seed*0x9e3779b97f4a7c15 + 3
+			next := func(m int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(m))
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := next(n * 4)
+				to := next(n * 4)
+				if from == to {
+					continue
+				}
+				_ = tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					if h.ContainsTx(tx, from) && !h.ContainsTx(tx, to) {
+						h.RemoveTx(tx, from)
+						h.AddTx(tx, to)
+					}
+					return nil
+				})
+			}
+		}(uint64(w + 1))
+	}
+	for i := 0; i < 100; i++ {
+		got, err := h.Size()
+		if err != nil {
+			close(stop)
+			movers.Wait()
+			t.Fatal(err)
+		}
+		if got != n {
+			close(stop)
+			movers.Wait()
+			t.Fatalf("size %d observed mid-swap, want constant %d", got, n)
+		}
+	}
+	close(stop)
+	movers.Wait()
+}

@@ -1,0 +1,133 @@
+package txstruct
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// qnode is one queue node; next holds a *qnode.
+type qnode struct {
+	val  any
+	next *core.Cell
+}
+
+// Queue is a transactional FIFO queue. Enqueue and Dequeue run as classic
+// transactions (the endpoints are contention hot spots where relaxation
+// buys nothing); Len runs under the configured size semantics, so a
+// monitoring loop can measure a live queue without throttling it — the
+// same pattern as the paper's size operation.
+type Queue struct {
+	tm      *core.TM
+	sizeSem core.Semantics
+	head    *core.Cell // holds *qnode
+	tail    *core.Cell // holds *qnode
+}
+
+// NewQueue builds an empty queue; sizeSem selects Len's semantics
+// (0 defaults to Snapshot).
+func NewQueue(tm *core.TM, sizeSem core.Semantics) *Queue {
+	if sizeSem == 0 {
+		sizeSem = core.Snapshot
+	}
+	return &Queue{
+		tm:      tm,
+		sizeSem: sizeSem,
+		head:    tm.NewCell((*qnode)(nil)),
+		tail:    tm.NewCell((*qnode)(nil)),
+	}
+}
+
+func loadQNode(tx *core.Tx, c *core.Cell) *qnode {
+	n, ok := tx.Load(c).(*qnode)
+	if !ok {
+		panic(fmt.Sprintf("txstruct: queue cell holds %T, want *qnode", tx.Load(c)))
+	}
+	return n
+}
+
+// EnqueueTx appends v inside the caller's transaction.
+func (q *Queue) EnqueueTx(tx *core.Tx, v any) {
+	n := &qnode{val: v, next: q.tm.NewCell((*qnode)(nil))}
+	t := loadQNode(tx, q.tail)
+	if t == nil {
+		tx.Store(q.head, n)
+	} else {
+		tx.Store(t.next, n)
+	}
+	tx.Store(q.tail, n)
+}
+
+// DequeueTx removes and returns the oldest element inside the caller's
+// transaction; ok is false when the queue is empty.
+func (q *Queue) DequeueTx(tx *core.Tx) (v any, ok bool) {
+	h := loadQNode(tx, q.head)
+	if h == nil {
+		return nil, false
+	}
+	next := loadQNode(tx, h.next)
+	tx.Store(q.head, next)
+	if next == nil {
+		tx.Store(q.tail, (*qnode)(nil))
+	}
+	return h.val, true
+}
+
+// EachTx walks the queue oldest-first inside the caller's transaction,
+// stopping early when fn returns false. Under Snapshot semantics this is
+// the Java-Iterator pattern of the paper's section 5.1: a consistent
+// frozen view of a live structure.
+func (q *Queue) EachTx(tx *core.Tx, fn func(v any) bool) {
+	for curr := loadQNode(tx, q.head); curr != nil; curr = loadQNode(tx, curr.next) {
+		if !fn(curr.val) {
+			return
+		}
+	}
+}
+
+// ItemsTx returns all elements oldest-first inside the caller's
+// transaction.
+func (q *Queue) ItemsTx(tx *core.Tx) []any {
+	var out []any
+	q.EachTx(tx, func(v any) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// LenTx counts the elements inside the caller's transaction.
+func (q *Queue) LenTx(tx *core.Tx) int {
+	n := 0
+	for curr := loadQNode(tx, q.head); curr != nil; curr = loadQNode(tx, curr.next) {
+		n++
+	}
+	return n
+}
+
+// Enqueue appends v atomically.
+func (q *Queue) Enqueue(v any) error {
+	return q.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		q.EnqueueTx(tx, v)
+		return nil
+	})
+}
+
+// Dequeue removes the oldest element; ok is false when the queue is empty.
+func (q *Queue) Dequeue() (v any, ok bool, err error) {
+	err = q.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		v, ok = q.DequeueTx(tx)
+		return nil
+	})
+	return v, ok, err
+}
+
+// Len returns an atomic count under the configured size semantics.
+func (q *Queue) Len() (int, error) {
+	var n int
+	err := q.tm.Atomically(q.sizeSem, func(tx *core.Tx) error {
+		n = q.LenTx(tx)
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,224 @@
+package txstruct
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(core.New(), 0)
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := q.Len(); err != nil || n != 10 {
+		t.Fatalf("Len = %d (%v), want 10", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("queue empty at %d", i)
+		}
+		if v != i {
+			t.Fatalf("dequeued %v, want %d", v, i)
+		}
+	}
+	if _, ok, err := q.Dequeue(); err != nil || ok {
+		t.Fatalf("expected empty queue, got ok=%v err=%v", ok, err)
+	}
+	if n, err := q.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = %d (%v), want 0", n, err)
+	}
+}
+
+func TestQueueInterleavedEnqueueDequeue(t *testing.T) {
+	q := NewQueue(core.New(), core.Classic)
+	// Alternate to exercise the empty<->nonempty transitions (head/tail
+	// coupling).
+	for round := 0; round < 5; round++ {
+		if err := q.Enqueue(round); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := q.Dequeue()
+		if err != nil || !ok || v != round {
+			t.Fatalf("round %d: got (%v,%v,%v)", round, v, ok, err)
+		}
+	}
+}
+
+// TestQueueConcurrent checks no element is lost or duplicated under
+// concurrent producers and consumers, and that per-producer order is
+// preserved (FIFO linearizability per source).
+func TestQueueConcurrent(t *testing.T) {
+	tm := core.New()
+	q := NewQueue(tm, 0)
+	const (
+		producers = 3
+		perProd   = 200
+	)
+	type item struct{ prod, seq int }
+	var prodWg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWg.Add(1)
+		go func(p int) {
+			defer prodWg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := q.Enqueue(item{prod: p, seq: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Two consumers: the interleaving of their local views is not the
+	// queue order (append order races with dequeue order), so this part
+	// asserts exactly-once delivery only; FIFO order is asserted below
+	// with a single consumer, where local order IS queue order.
+	var (
+		mu       sync.Mutex
+		received []item
+	)
+	var consWg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		consWg.Add(1)
+		go func() {
+			defer consWg.Done()
+			for {
+				v, ok, err := q.Dequeue()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					select {
+					case <-done:
+						// Producers finished and queue drained?
+						// Double-check emptiness before exiting.
+						if n, _ := q.Len(); n == 0 {
+							return
+						}
+					default:
+					}
+					continue
+				}
+				it, _ := v.(item)
+				mu.Lock()
+				received = append(received, it)
+				mu.Unlock()
+			}
+		}()
+	}
+	prodWg.Wait()
+	close(done)
+	consWg.Wait()
+
+	if len(received) != producers*perProd {
+		t.Fatalf("received %d items, want %d", len(received), producers*perProd)
+	}
+	seen := make(map[item]bool, len(received))
+	for _, it := range received {
+		if seen[it] {
+			t.Fatalf("item %+v delivered twice", it)
+		}
+		seen[it] = true
+	}
+}
+
+// TestQueueFIFOPerProducerSingleConsumer: with one consumer, its local
+// receive order equals the queue's dequeue order, so each producer's
+// sequence must arrive monotonically.
+func TestQueueFIFOPerProducerSingleConsumer(t *testing.T) {
+	tm := core.New()
+	q := NewQueue(tm, 0)
+	const (
+		producers = 3
+		perProd   = 150
+	)
+	type item struct{ prod, seq int }
+	var prodWg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWg.Add(1)
+		go func(p int) {
+			defer prodWg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := q.Enqueue(item{prod: p, seq: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	lastSeq := map[int]int{0: -1, 1: -1, 2: -1}
+	got := 0
+	for got < producers*perProd {
+		v, ok, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		it, _ := v.(item)
+		if it.seq <= lastSeq[it.prod] {
+			t.Fatalf("producer %d out of order: %d after %d", it.prod, it.seq, lastSeq[it.prod])
+		}
+		lastSeq[it.prod] = it.seq
+		got++
+	}
+	prodWg.Wait()
+	for p := 0; p < producers; p++ {
+		if lastSeq[p] != perProd-1 {
+			t.Fatalf("producer %d: last seq %d, want %d", p, lastSeq[p], perProd-1)
+		}
+	}
+}
+
+// TestQueueSnapshotLenDoesNotBlock measures that Len under snapshot
+// commits while a continuous producer runs (the non-toxic monitoring
+// pattern).
+func TestQueueSnapshotLenDoesNotBlock(t *testing.T) {
+	tm := core.New()
+	q := NewQueue(tm, core.Snapshot)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := q.Enqueue(i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	last := -1
+	for i := 0; i < 100; i++ {
+		n, err := q.Len()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if n < last {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("queue length went backwards: %d after %d", n, last)
+		}
+		last = n
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,218 @@
+package txstruct
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestSkipListModel(t *testing.T) {
+	s := NewSkipList(core.New(), 0)
+	model := make(map[int]bool)
+	for _, v := range []int{5, 1, 9, 5, 300, -4, 77, 1} {
+		got, err := s.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != !model[v] {
+			t.Fatalf("add(%d) = %v, model %v", v, got, model[v])
+		}
+		model[v] = true
+	}
+	for _, v := range []int{5, 5, 42} {
+		got, err := s.Remove(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != model[v] {
+			t.Fatalf("remove(%d) = %v, model %v", v, got, model[v])
+		}
+		delete(model, v)
+	}
+	checkAgainstModel(t, s, model)
+	els, err := s.Elements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(els) || len(els) != len(model) {
+		t.Fatalf("elements %v vs model %v", els, model)
+	}
+}
+
+func TestSkipListQuickModel(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		s := NewSkipList(core.New(), core.Snapshot)
+		model := make(map[int]bool)
+		for _, raw := range ops {
+			v := int(raw % 256)
+			switch (raw / 256) % 3 {
+			case 0:
+				got, err := s.Add(v)
+				if err != nil || got == model[v] {
+					return false
+				}
+				model[v] = true
+			case 1:
+				got, err := s.Remove(v)
+				if err != nil || got != model[v] {
+					return false
+				}
+				delete(model, v)
+			default:
+				got, err := s.Contains(v)
+				if err != nil || got != model[v] {
+					return false
+				}
+			}
+		}
+		n, err := s.Size()
+		return err == nil && n == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListTowerConsistency(t *testing.T) {
+	// After inserts and removals, every node linked at level l must be
+	// reachable at level 0 (towers never dangle), verified in a snapshot.
+	tm := core.New()
+	s := NewSkipList(tm, 0)
+	for v := 0; v < 200; v++ {
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 200; v += 3 {
+		if _, err := s.Remove(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		bottom := make(map[int]bool)
+		for curr := loadSNode(tx, s.head.next[0]); curr != nil; curr = loadSNode(tx, curr.next[0]) {
+			bottom[curr.val] = true
+		}
+		for l := 1; l < skipMaxLevel; l++ {
+			prev := -1 << 62
+			for curr := loadSNode(tx, s.head.next[l]); curr != nil; curr = loadSNode(tx, curr.next[l]) {
+				if !bottom[curr.val] {
+					t.Errorf("level %d links %d which is absent at level 0", l, curr.val)
+				}
+				if curr.val <= prev {
+					t.Errorf("level %d out of order: %d after %d", l, curr.val, prev)
+				}
+				prev = curr.val
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	tm := core.New()
+	s := NewSkipList(tm, 0)
+	const keyRange = 128
+	var (
+		mu    sync.Mutex
+		addCt [keyRange]int
+		rmCt  [keyRange]int
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + 13
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			la := make([]int, keyRange)
+			lr := make([]int, keyRange)
+			for i := 0; i < 250; i++ {
+				v := next(keyRange)
+				if next(2) == 0 {
+					if ok, err := s.Add(v); err != nil {
+						t.Error(err)
+						return
+					} else if ok {
+						la[v]++
+					}
+				} else {
+					if ok, err := s.Remove(v); err != nil {
+						t.Error(err)
+						return
+					} else if ok {
+						lr[v]++
+					}
+				}
+			}
+			mu.Lock()
+			for v := 0; v < keyRange; v++ {
+				addCt[v] += la[v]
+				rmCt[v] += lr[v]
+			}
+			mu.Unlock()
+		}(uint64(w + 1))
+	}
+	// Concurrent snapshot sizes must never fail.
+	stop := make(chan struct{})
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Size(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWg.Wait()
+	for v := 0; v < keyRange; v++ {
+		want := addCt[v] > rmCt[v]
+		got, err := s.Contains(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("final contains(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestLevelOfDistribution(t *testing.T) {
+	counts := make([]int, skipMaxLevel+1)
+	const n = 1 << 14
+	for v := 0; v < n; v++ {
+		h := levelOf(v)
+		if h < 1 || h > skipMaxLevel {
+			t.Fatalf("levelOf(%d) = %d out of range", v, h)
+		}
+		counts[h]++
+	}
+	// Roughly geometric: level 1 should hold about half, and each level
+	// should be rarer than four times the next-lower level's count.
+	if counts[1] < n/3 {
+		t.Fatalf("level-1 fraction too small: %d/%d", counts[1], n)
+	}
+	if levelOf(42) != levelOf(42) {
+		t.Fatal("levelOf must be deterministic")
+	}
+}

@@ -1,0 +1,409 @@
+package txstruct
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// tnode is one tree node. The key is immutable; the value, children and
+// color are transactional cells so rebalancing is just transactional
+// stores along the search path.
+type tnode struct {
+	key   int
+	val   *core.Cell // holds any
+	left  *core.Cell // holds *tnode
+	right *core.Cell // holds *tnode
+	red   *core.Cell // holds bool
+}
+
+// TreeMap is a transactional ordered map: a left-leaning red-black tree
+// (Sedgewick's 2-3 variant) whose mutations are plain sequential code
+// inside classic transactions — the "more complex objects" direction the
+// paper cites ([18]) beyond flat sets. Lookups and updates are classic;
+// range reads (Len, Keys, Ascend) run under the configured read-only
+// semantics, Snapshot by default, so full-tree scans neither abort nor
+// block writers.
+type TreeMap struct {
+	tm      *core.TM
+	sizeSem core.Semantics
+	root    *core.Cell // holds *tnode
+}
+
+// NewTreeMap builds an empty ordered map; sizeSem selects the semantics
+// of whole-tree reads (0 defaults to Snapshot).
+func NewTreeMap(tm *core.TM, sizeSem core.Semantics) *TreeMap {
+	if sizeSem == 0 {
+		sizeSem = core.Snapshot
+	}
+	return &TreeMap{tm: tm, sizeSem: sizeSem, root: tm.NewCell((*tnode)(nil))}
+}
+
+func loadTNode(tx *core.Tx, c *core.Cell) *tnode {
+	n, ok := tx.Load(c).(*tnode)
+	if !ok {
+		panic(fmt.Sprintf("txstruct: tree cell holds %T, want *tnode", tx.Load(c)))
+	}
+	return n
+}
+
+func isRed(tx *core.Tx, n *tnode) bool {
+	if n == nil {
+		return false
+	}
+	r, ok := tx.Load(n.red).(bool)
+	return ok && r
+}
+
+func (m *TreeMap) newNode(key int, val any) *tnode {
+	return &tnode{
+		key:   key,
+		val:   m.tm.NewCell(val),
+		left:  m.tm.NewCell((*tnode)(nil)),
+		right: m.tm.NewCell((*tnode)(nil)),
+		red:   m.tm.NewCell(true),
+	}
+}
+
+// rotateLeft/rotateRight/flipColors are the textbook LLRB primitives,
+// expressed as transactional stores.
+
+func rotateLeft(tx *core.Tx, h *tnode) *tnode {
+	x := loadTNode(tx, h.right)
+	tx.Store(h.right, loadTNode(tx, x.left))
+	tx.Store(x.left, h)
+	tx.Store(x.red, isRed(tx, h))
+	tx.Store(h.red, true)
+	return x
+}
+
+func rotateRight(tx *core.Tx, h *tnode) *tnode {
+	x := loadTNode(tx, h.left)
+	tx.Store(h.left, loadTNode(tx, x.right))
+	tx.Store(x.right, h)
+	tx.Store(x.red, isRed(tx, h))
+	tx.Store(h.red, true)
+	return x
+}
+
+func flipColors(tx *core.Tx, h *tnode) {
+	tx.Store(h.red, !isRed(tx, h))
+	if l := loadTNode(tx, h.left); l != nil {
+		tx.Store(l.red, !isRed(tx, l))
+	}
+	if r := loadTNode(tx, h.right); r != nil {
+		tx.Store(r.red, !isRed(tx, r))
+	}
+}
+
+func fixUp(tx *core.Tx, h *tnode) *tnode {
+	if isRed(tx, loadTNode(tx, h.right)) && !isRed(tx, loadTNode(tx, h.left)) {
+		h = rotateLeft(tx, h)
+	}
+	if l := loadTNode(tx, h.left); isRed(tx, l) && l != nil && isRed(tx, loadTNode(tx, l.left)) {
+		h = rotateRight(tx, h)
+	}
+	if isRed(tx, loadTNode(tx, h.left)) && isRed(tx, loadTNode(tx, h.right)) {
+		flipColors(tx, h)
+	}
+	return h
+}
+
+// GetTx returns the value bound to key inside the caller's transaction.
+func (m *TreeMap) GetTx(tx *core.Tx, key int) (any, bool) {
+	n := loadTNode(tx, m.root)
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = loadTNode(tx, n.left)
+		case key > n.key:
+			n = loadTNode(tx, n.right)
+		default:
+			return tx.Load(n.val), true
+		}
+	}
+	return nil, false
+}
+
+// PutTx binds key to val inside the caller's transaction; it reports
+// whether the key was new.
+func (m *TreeMap) PutTx(tx *core.Tx, key int, val any) bool {
+	inserted := false
+	var put func(h *tnode) *tnode
+	put = func(h *tnode) *tnode {
+		if h == nil {
+			inserted = true
+			return m.newNode(key, val)
+		}
+		switch {
+		case key < h.key:
+			tx.Store(h.left, put(loadTNode(tx, h.left)))
+		case key > h.key:
+			tx.Store(h.right, put(loadTNode(tx, h.right)))
+		default:
+			tx.Store(h.val, val)
+		}
+		return fixUp(tx, h)
+	}
+	newRoot := put(loadTNode(tx, m.root))
+	tx.Store(newRoot.red, false)
+	tx.Store(m.root, newRoot)
+	return inserted
+}
+
+// moveRedLeft/moveRedRight are the LLRB deletion helpers.
+
+func moveRedLeft(tx *core.Tx, h *tnode) *tnode {
+	flipColors(tx, h)
+	if r := loadTNode(tx, h.right); r != nil && isRed(tx, loadTNode(tx, r.left)) {
+		tx.Store(h.right, rotateRight(tx, r))
+		h = rotateLeft(tx, h)
+		flipColors(tx, h)
+	}
+	return h
+}
+
+func moveRedRight(tx *core.Tx, h *tnode) *tnode {
+	flipColors(tx, h)
+	if l := loadTNode(tx, h.left); l != nil && isRed(tx, loadTNode(tx, l.left)) {
+		h = rotateRight(tx, h)
+		flipColors(tx, h)
+	}
+	return h
+}
+
+func minNode(tx *core.Tx, h *tnode) *tnode {
+	for {
+		l := loadTNode(tx, h.left)
+		if l == nil {
+			return h
+		}
+		h = l
+	}
+}
+
+func deleteMin(tx *core.Tx, h *tnode) *tnode {
+	if loadTNode(tx, h.left) == nil {
+		return nil
+	}
+	if !isRed(tx, loadTNode(tx, h.left)) && !isRed(tx, loadTNode(tx, loadTNode(tx, h.left).left)) {
+		h = moveRedLeft(tx, h)
+	}
+	tx.Store(h.left, deleteMin(tx, loadTNode(tx, h.left)))
+	return fixUp(tx, h)
+}
+
+// DeleteTx unbinds key inside the caller's transaction; it reports
+// whether the key was present.
+func (m *TreeMap) DeleteTx(tx *core.Tx, key int) bool {
+	if _, ok := m.GetTx(tx, key); !ok {
+		return false
+	}
+	var del func(h *tnode) *tnode
+	del = func(h *tnode) *tnode {
+		if key < h.key {
+			l := loadTNode(tx, h.left)
+			if !isRed(tx, l) && l != nil && !isRed(tx, loadTNode(tx, l.left)) {
+				h = moveRedLeft(tx, h)
+			}
+			tx.Store(h.left, del(loadTNode(tx, h.left)))
+		} else {
+			if isRed(tx, loadTNode(tx, h.left)) {
+				h = rotateRight(tx, h)
+			}
+			if key == h.key && loadTNode(tx, h.right) == nil {
+				return nil
+			}
+			r := loadTNode(tx, h.right)
+			if !isRed(tx, r) && r != nil && !isRed(tx, loadTNode(tx, r.left)) {
+				h = moveRedRight(tx, h)
+			}
+			if key == h.key {
+				// Replace with the successor's key/value; keys are
+				// immutable per node, so graft a fresh node keeping
+				// the children and color cells' contents.
+				succ := minNode(tx, loadTNode(tx, h.right))
+				repl := &tnode{
+					key:   succ.key,
+					val:   m.tm.NewCell(tx.Load(succ.val)),
+					left:  m.tm.NewCell(loadTNode(tx, h.left)),
+					right: m.tm.NewCell(deleteMin(tx, loadTNode(tx, h.right))),
+					red:   m.tm.NewCell(isRed(tx, h)),
+				}
+				h = repl
+			} else {
+				tx.Store(h.right, del(loadTNode(tx, h.right)))
+			}
+		}
+		return fixUp(tx, h)
+	}
+	newRoot := del(loadTNode(tx, m.root))
+	if newRoot != nil {
+		tx.Store(newRoot.red, false)
+	}
+	tx.Store(m.root, newRoot)
+	return true
+}
+
+// LenTx counts the bindings inside the caller's transaction.
+func (m *TreeMap) LenTx(tx *core.Tx) int {
+	n := 0
+	m.AscendTx(tx, func(int, any) bool { n++; return true })
+	return n
+}
+
+// AscendTx visits bindings in ascending key order inside the caller's
+// transaction, stopping when fn returns false.
+func (m *TreeMap) AscendTx(tx *core.Tx, fn func(key int, val any) bool) {
+	var walk func(h *tnode) bool
+	walk = func(h *tnode) bool {
+		if h == nil {
+			return true
+		}
+		if !walk(loadTNode(tx, h.left)) {
+			return false
+		}
+		if !fn(h.key, tx.Load(h.val)) {
+			return false
+		}
+		return walk(loadTNode(tx, h.right))
+	}
+	walk(loadTNode(tx, m.root))
+}
+
+// RangeTx visits bindings with lo <= key <= hi ascending inside the
+// caller's transaction, pruning subtrees outside the range. Under
+// Snapshot semantics this is a consistent range query over a live tree.
+func (m *TreeMap) RangeTx(tx *core.Tx, lo, hi int, fn func(key int, val any) bool) {
+	var walk func(h *tnode) bool
+	walk = func(h *tnode) bool {
+		if h == nil {
+			return true
+		}
+		if h.key > lo {
+			if !walk(loadTNode(tx, h.left)) {
+				return false
+			}
+		}
+		if h.key >= lo && h.key <= hi {
+			if !fn(h.key, tx.Load(h.val)) {
+				return false
+			}
+		}
+		if h.key < hi {
+			return walk(loadTNode(tx, h.right))
+		}
+		return true
+	}
+	walk(loadTNode(tx, m.root))
+}
+
+// Range returns the keys in [lo, hi] as one atomic snapshot.
+func (m *TreeMap) Range(lo, hi int) ([]int, error) {
+	var out []int
+	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
+		out = out[:0]
+		m.RangeTx(tx, lo, hi, func(k int, _ any) bool {
+			out = append(out, k)
+			return true
+		})
+		return nil
+	})
+	return out, err
+}
+
+// Get returns the value bound to key.
+func (m *TreeMap) Get(key int) (val any, found bool, err error) {
+	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		val, found = m.GetTx(tx, key)
+		return nil
+	})
+	return val, found, err
+}
+
+// Put atomically binds key to val; it reports whether the key was new.
+func (m *TreeMap) Put(key int, val any) (inserted bool, err error) {
+	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		inserted = m.PutTx(tx, key, val)
+		return nil
+	})
+	return inserted, err
+}
+
+// Delete atomically unbinds key; it reports whether the key was present.
+func (m *TreeMap) Delete(key int) (removed bool, err error) {
+	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		removed = m.DeleteTx(tx, key)
+		return nil
+	})
+	return removed, err
+}
+
+// Len returns the number of bindings under the read-only semantics.
+func (m *TreeMap) Len() (int, error) {
+	var n int
+	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
+		n = m.LenTx(tx)
+		return nil
+	})
+	return n, err
+}
+
+// Keys returns all keys ascending as one atomic snapshot.
+func (m *TreeMap) Keys() ([]int, error) {
+	var out []int
+	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
+		out = out[:0]
+		m.AscendTx(tx, func(k int, _ any) bool {
+			out = append(out, k)
+			return true
+		})
+		return nil
+	})
+	return out, err
+}
+
+// checkInvariants verifies red-black invariants inside tx: no red right
+// links, no consecutive red left links, equal black height on all paths.
+// It returns the black height. Used by the tests.
+func (m *TreeMap) checkInvariants(tx *core.Tx) (int, error) {
+	var walk func(h *tnode) (int, error)
+	walk = func(h *tnode) (int, error) {
+		if h == nil {
+			return 1, nil
+		}
+		l, r := loadTNode(tx, h.left), loadTNode(tx, h.right)
+		if isRed(tx, r) {
+			return 0, fmt.Errorf("key %d: red right link", h.key)
+		}
+		if isRed(tx, h) && isRed(tx, l) {
+			return 0, fmt.Errorf("key %d: two red links in a row", h.key)
+		}
+		if l != nil && l.key >= h.key {
+			return 0, fmt.Errorf("key %d: left child %d out of order", h.key, l.key)
+		}
+		if r != nil && r.key <= h.key {
+			return 0, fmt.Errorf("key %d: right child %d out of order", h.key, r.key)
+		}
+		lb, err := walk(l)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := walk(r)
+		if err != nil {
+			return 0, err
+		}
+		if lb != rb {
+			return 0, fmt.Errorf("key %d: black height %d vs %d", h.key, lb, rb)
+		}
+		if !isRed(tx, h) {
+			lb++
+		}
+		return lb, nil
+	}
+	root := loadTNode(tx, m.root)
+	if isRed(tx, root) {
+		return 0, fmt.Errorf("red root")
+	}
+	return walk(root)
+}

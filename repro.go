@@ -1,0 +1,136 @@
+// Package repro is a Go reproduction of "Democratizing Transactional
+// Programming" (Gramoli & Guerraoui, Middleware 2011): a polymorphic
+// software transactional memory in which transactions of different
+// semantics — classic (opaque), elastic, and snapshot — run concurrently
+// over the same shared data while each transaction keeps its own guarantee.
+//
+// # Quickstart
+//
+//	tm := repro.New()
+//	acct := repro.NewVar(tm, 100)
+//	err := tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+//		acct.Set(tx, acct.Get(tx)-10)
+//		return nil
+//	})
+//
+// A novice uses Classic everywhere and gets single-global-lock atomicity
+// (opacity). An expert labels a data-structure parse Elastic to tolerate
+// false conflicts, or a size/iterator operation Snapshot to read a
+// consistent multiversion snapshot that neither aborts nor is aborted by
+// concurrent updates — the paper's democratization argument.
+//
+// The transactional closures may run several times; they must be free of
+// side effects other than through transactional variables. Composition is
+// by passing the *Tx down (flat nesting): the outer Atomically call decides
+// the semantics label for the whole composite, exactly as in section 4.2
+// of the paper.
+package repro
+
+import (
+	"repro/internal/core"
+)
+
+// Re-exported runtime types. The implementation lives in internal/core;
+// these aliases are the supported public surface.
+type (
+	// TM is a transactional memory runtime. Create one per shared-memory
+	// domain with New; all Vars and transactions of a domain must use the
+	// same TM.
+	TM = core.TM
+	// Tx is an in-progress transaction handle, valid only inside the
+	// closure passed to TM.Atomically.
+	Tx = core.Tx
+	// Semantics selects a transaction's consistency guarantee.
+	Semantics = core.Semantics
+	// Option configures a TM at construction time.
+	Option = core.Option
+	// Stats is a snapshot of runtime counters.
+	Stats = core.Stats
+	// AbortReason classifies why attempts abort (visible in Stats).
+	AbortReason = core.AbortReason
+	// ContentionManager arbitrates conflicts; see the internal/cm package
+	// for the provided policies.
+	ContentionManager = core.ContentionManager
+	// SemanticsError reports an operation illegal under a transaction's
+	// semantics, e.g. a Store inside a Snapshot transaction.
+	SemanticsError = core.SemanticsError
+)
+
+// Transaction semantics labels (the tx-begin hint of section 5).
+const (
+	// Classic is opacity: the novice default.
+	Classic = core.Classic
+	// Elastic cuts parse transactions at false conflicts (section 4.2).
+	Elastic = core.Elastic
+	// Snapshot reads a consistent multiversion snapshot (section 5.1).
+	Snapshot = core.Snapshot
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrWriteInSnapshot is returned by Atomically when the closure
+	// attempted a Store under Snapshot semantics.
+	ErrWriteInSnapshot = core.ErrWriteInSnapshot
+	// ErrRetryLimit is returned when WithMaxRetries was exceeded.
+	ErrRetryLimit = core.ErrRetryLimit
+	// ErrRetryNoReads is returned when Tx.Retry is called with an empty
+	// read set: nothing could ever wake the transaction.
+	ErrRetryNoReads = core.ErrRetryNoReads
+	// ErrRetryNotClassic is returned when Tx.Retry is used outside a
+	// Classic transaction.
+	ErrRetryNotClassic = core.ErrRetryNotClassic
+)
+
+// Configuration options, re-exported from the runtime.
+var (
+	// WithContentionManager installs a conflict-arbitration policy.
+	WithContentionManager = core.WithContentionManager
+	// WithMaxVersions sets how many committed versions cells retain.
+	WithMaxVersions = core.WithMaxVersions
+	// WithElasticWindow sets the elastic consistency-window size.
+	WithElasticWindow = core.WithElasticWindow
+	// WithMaxRetries bounds attempts per transaction (0 = unlimited).
+	WithMaxRetries = core.WithMaxRetries
+	// WithReadExtension enables LSA-style read-version extension for
+	// classic transactions (default off = plain TL2).
+	WithReadExtension = core.WithReadExtension
+	// WithBackoff sets the randomized retry backoff window.
+	WithBackoff = core.WithBackoff
+	// WithSpinBudget sets pre-arbitration spinning.
+	WithSpinBudget = core.WithSpinBudget
+)
+
+// New builds a transactional memory runtime.
+func New(opts ...Option) *TM { return core.New(opts...) }
+
+// Var is a typed transactional variable: the public, generics-friendly
+// face of a memory cell. The zero Var is not usable; create Vars with
+// NewVar and access them only inside transactions of the same TM.
+type Var[T any] struct {
+	cell *core.Cell
+}
+
+// NewVar allocates a transactional variable holding initial.
+func NewVar[T any](tm *TM, initial T) *Var[T] {
+	return &Var[T]{cell: tm.NewCell(initial)}
+}
+
+// Get returns the variable's value as observed by tx under its semantics.
+func (v *Var[T]) Get(tx *Tx) T {
+	val, ok := tx.Load(v.cell).(T)
+	if !ok {
+		// Unreachable through this API: only Set stores values, and Set
+		// accepts exactly T. Fail loudly rather than return a silent zero.
+		panic("repro: transactional variable holds a foreign type")
+	}
+	return val
+}
+
+// Set buffers a write of value; it becomes visible atomically at commit.
+// Under Snapshot semantics the transaction aborts with ErrWriteInSnapshot.
+func (v *Var[T]) Set(tx *Tx, value T) { tx.Store(v.cell, value) }
+
+// Release early-releases the variable from tx's read set (section 4.1):
+// future conflicts on it are ignored. Expert-only; see the package tests
+// for the composition anomaly this enables.
+func (v *Var[T]) Release(tx *Tx) { tx.Release(v.cell) }
