@@ -4,7 +4,8 @@ package core
 type EventKind int
 
 const (
-	// EventBegin marks the start of a transaction attempt.
+	// EventBegin marks the start of a transaction attempt (Version holds
+	// the clock value the attempt started from, i.e. its read version).
 	EventBegin EventKind = iota + 1
 	// EventRead is a shared-memory read (with the version observed).
 	EventRead

@@ -173,7 +173,8 @@ func (tx *Tx) beginAttempt() {
 	tx.rv = now
 	tx.ub = now
 	tx.tm.stats.attempts.Add(1)
-	tx.record(Event{Kind: EventBegin, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem})
+	tx.record(Event{Kind: EventBegin, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem,
+		Version: now})
 }
 
 // run executes the user closure, converting internal abort unwinds into

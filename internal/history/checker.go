@@ -54,6 +54,7 @@ type ReadObs struct {
 type TxExec struct {
 	ID        uint64
 	Sem       core.Semantics
+	BeginVer  uint64 // clock value the committed attempt started from
 	CommitVer uint64 // write version for updaters; rv/ub for read-only
 	HasWrites bool
 	// PreSealReads are elastic reads performed before the first write
@@ -77,6 +78,7 @@ type ExecLog struct {
 func Analyze(events []core.Event) (*ExecLog, error) {
 	type pending struct {
 		attempt int
+		begin   uint64
 		reads   [][]ReadObs // [0] pre-seal, [1] post-seal
 		writes  []uint64
 		sealed  bool
@@ -89,6 +91,7 @@ func Analyze(events []core.Event) (*ExecLog, error) {
 		case core.EventBegin:
 			open[ev.TxID] = &pending{
 				attempt: ev.Attempt,
+				begin:   ev.Version,
 				reads:   [][]ReadObs{nil, nil},
 				sem:     ev.Sem,
 			}
@@ -130,6 +133,7 @@ func Analyze(events []core.Event) (*ExecLog, error) {
 			tx := TxExec{
 				ID:            ev.TxID,
 				Sem:           p.sem,
+				BeginVer:      p.begin,
 				CommitVer:     ev.Version,
 				HasWrites:     len(p.writes) > 0,
 				PreSealReads:  p.reads[0],
@@ -217,27 +221,32 @@ func (l *ExecLog) groupInterval(group []ReadObs) (lo, hi uint64, ok bool) {
 //
 // windowSize must match the TM's elastic window configuration.
 func (l *ExecLog) CheckConsistency(windowSize int) error {
+	for i := range l.Txs {
+		if err := l.CheckTx(&l.Txs[i], windowSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckTx verifies one committed transaction against its own semantics;
+// it is the per-transaction body of CheckConsistency, exposed for the
+// verdict API.
+func (l *ExecLog) CheckTx(tx *TxExec, windowSize int) error {
 	if windowSize < 1 {
 		windowSize = 1
 	}
-	for i := range l.Txs {
-		tx := &l.Txs[i]
-		var err error
-		switch {
-		case tx.Sem == core.Snapshot:
-			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
-		case tx.Sem == core.Elastic:
-			err = l.checkElastic(tx, windowSize)
-		case tx.HasWrites:
-			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
-		default:
-			// Classic read-only: serialization point is its read
-			// version, recorded as CommitVer.
-			err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
-		}
-		if err != nil {
-			return fmt.Errorf("tx %d (%s): %w", tx.ID, tx.Sem, err)
-		}
+	var err error
+	if tx.Sem == core.Elastic {
+		err = l.checkElastic(tx, windowSize)
+	} else {
+		// Snapshot and classic updaters serialize at CommitVer; classic
+		// read-only transactions at their read version, which is also
+		// recorded as CommitVer.
+		err = l.checkAtInstant(tx, allReads(tx), tx.CommitVer)
+	}
+	if err != nil {
+		return fmt.Errorf("tx %d (%s): %w", tx.ID, tx.Sem, err)
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package history
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// shardCount trades memory for contention; transactions hash across shards
+// by ID, so concurrent workers rarely share a lock.
+const shardCount = 32
+
+// ShardedCollector is a Collector variant for high-throughput recording:
+// events are bucketed by transaction ID across independently-locked shards,
+// so concurrent workers do not serialize on one mutex for every Load/Store
+// (a single-mutex recorder throttles the storm AND synchronizes the very
+// interleavings it exists to explore). Events() concatenates the shards:
+// the per-transaction event order Analyze depends on is preserved because a
+// transaction's events all land in its shard in program order; no cross-
+// transaction ordering is lost that Analyze consumes (the global write
+// history is rebuilt from commit versions, which are sorted).
+type ShardedCollector struct {
+	shards [shardCount]struct {
+		mu     sync.Mutex
+		events []core.Event
+	}
+}
+
+var _ core.Recorder = (*ShardedCollector)(nil)
+
+// NewShardedCollector returns an empty sharded collector.
+func NewShardedCollector() *ShardedCollector { return &ShardedCollector{} }
+
+// Record implements core.Recorder.
+func (c *ShardedCollector) Record(ev core.Event) {
+	s := &c.shards[ev.TxID%shardCount]
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns the recorded events, shard by shard. Within a shard (and
+// therefore within a transaction) arrival order is preserved. Call it after
+// the workers have stopped; it does not snapshot across shards.
+func (c *ShardedCollector) Events() []core.Event {
+	var out []core.Event
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// SemReport is the verdict for all committed transactions of one semantics.
+type SemReport struct {
+	Txs        int   // committed transactions checked
+	Violations int   // transactions whose guarantee did not hold
+	First      error // first violation, for the headline message
+}
+
+func (r SemReport) ok() bool { return r.Violations == 0 }
+
+// Verdict is the cross-semantics outcome of checking one recorded history:
+// every committed transaction is checked against its *own* guarantee —
+// opacity/strict commit-point consistency for classic, the cut rule for
+// elastic, snapshot consistency (one multiversion cut, no backward reads)
+// for snapshot — and the failures are reported per semantics. This is the
+// paper's section 5 mixed-correctness criterion as a machine verdict.
+type Verdict struct {
+	Classic  SemReport
+	Elastic  SemReport
+	Snapshot SemReport
+	// Errs holds up to maxVerdictErrs violations across all semantics,
+	// in log order.
+	Errs []error
+}
+
+const maxVerdictErrs = 8
+
+// OK reports whether every committed transaction kept its guarantee.
+func (v *Verdict) OK() bool {
+	return v.Classic.ok() && v.Elastic.ok() && v.Snapshot.ok()
+}
+
+// Err returns nil when the verdict is clean and a summarizing error
+// otherwise.
+func (v *Verdict) Err() error {
+	if v.OK() {
+		return nil
+	}
+	return fmt.Errorf("history verdict: %s", v)
+}
+
+// String renders a one-line summary, e.g.
+// "classic 120/120 ok · elastic 40/41 VIOLATED · snapshot 12/12 ok".
+func (v *Verdict) String() string {
+	part := func(name string, r SemReport) string {
+		if r.ok() {
+			return fmt.Sprintf("%s %d/%d ok", name, r.Txs, r.Txs)
+		}
+		return fmt.Sprintf("%s %d/%d VIOLATED (%v)", name, r.Txs-r.Violations, r.Txs, r.First)
+	}
+	return strings.Join([]string{
+		part("classic", v.Classic),
+		part("elastic", v.Elastic),
+		part("snapshot", v.Snapshot),
+	}, " · ")
+}
+
+// CheckVerdict checks every committed transaction against its own
+// semantics and tallies the outcome per semantics, instead of stopping at
+// the first violation like CheckConsistency. windowSize must match the
+// TM's elastic window configuration.
+func (l *ExecLog) CheckVerdict(windowSize int) *Verdict {
+	v := &Verdict{}
+	for i := range l.Txs {
+		tx := &l.Txs[i]
+		var r *SemReport
+		switch tx.Sem {
+		case core.Elastic:
+			r = &v.Elastic
+		case core.Snapshot:
+			r = &v.Snapshot
+		default:
+			r = &v.Classic
+		}
+		r.Txs++
+		if err := l.CheckTx(tx, windowSize); err != nil {
+			r.Violations++
+			if r.First == nil {
+				r.First = err
+			}
+			if len(v.Errs) < maxVerdictErrs {
+				v.Errs = append(v.Errs, err)
+			}
+		}
+	}
+	return v
+}
+
+// SerializationOrder returns the committed transactions sorted by their
+// serialization instant: updaters take effect exactly at their write
+// version; read-only transactions observe the state as of their recorded
+// version, i.e. after any updater sharing it. Ties among read-only
+// transactions keep transaction-ID order for determinism.
+//
+// Replaying abstract operations in this order against a sequential model
+// is the linearizability check used by the storm harness: the TM's own
+// commit order must explain every observed operation result.
+func (l *ExecLog) SerializationOrder() []TxExec {
+	out := make([]TxExec, len(l.Txs))
+	copy(out, l.Txs)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.CommitVer != b.CommitVer {
+			return a.CommitVer < b.CommitVer
+		}
+		if a.HasWrites != b.HasWrites {
+			return a.HasWrites // the updater publishes the instant
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// ValidInterval returns the instants [lo, hi] at which the read's observed
+// version was the cell's current state.
+func (l *ExecLog) ValidInterval(r ReadObs) (lo, hi uint64) {
+	return l.validInterval(r)
+}
+
+// DecidingReadWindow returns the validity interval of the transaction's
+// final read. A traversal's result (contains, get, a failed add/remove) is
+// decided by the last location it inspects, and the elastic cut rule makes
+// each read's piece overlap its successor's, so when the result was truly
+// the live state at some instant, that instant lies inside this interval.
+// Taking the max ceiling over ALL reads instead would let one
+// never-overwritten read (a list head, say) stretch the window to the end
+// of the run and accept observations that never coexisted with the
+// traversal. A transaction with no reads gets an unbounded window.
+//
+// The storm model checker clamps the window below by BeginVer and uses it
+// as the linearization window of elastic abstract operations.
+func (l *ExecLog) DecidingReadWindow(tx *TxExec) (lo, hi uint64) {
+	reads := allReads(tx)
+	if len(reads) == 0 {
+		return tx.BeginVer, ^uint64(0)
+	}
+	return l.validInterval(reads[len(reads)-1])
+}

@@ -1,0 +1,169 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ev is shorthand for building synthetic histories.
+func begin(tx uint64, sem core.Semantics, rv uint64) core.Event {
+	return core.Event{Kind: core.EventBegin, TxID: tx, Attempt: 1, Sem: sem, Version: rv}
+}
+func read(tx uint64, sem core.Semantics, cell, ver uint64) core.Event {
+	return core.Event{Kind: core.EventRead, TxID: tx, Attempt: 1, Sem: sem, Cell: cell, Version: ver}
+}
+func write(tx uint64, sem core.Semantics, cell uint64) core.Event {
+	return core.Event{Kind: core.EventWrite, TxID: tx, Attempt: 1, Sem: sem, Cell: cell}
+}
+func commit(tx uint64, sem core.Semantics, ver uint64) core.Event {
+	return core.Event{Kind: core.EventCommit, TxID: tx, Attempt: 1, Sem: sem, Version: ver}
+}
+
+// writersFixture commits cell 1 at versions 1 and 3, cell 2 at version 2.
+func writersFixture() []core.Event {
+	return []core.Event{
+		begin(10, core.Classic, 0), write(10, core.Classic, 1), commit(10, core.Classic, 1),
+		begin(11, core.Classic, 1), write(11, core.Classic, 2), commit(11, core.Classic, 2),
+		begin(12, core.Classic, 2), write(12, core.Classic, 1), commit(12, core.Classic, 3),
+	}
+}
+
+func TestCheckVerdictClean(t *testing.T) {
+	events := append(writersFixture(),
+		// A classic read-only tx at instant 2: cell1@1 (valid [1,2]) and
+		// cell2@2 (valid [2,∞)) coexist at 2.
+		begin(20, core.Classic, 2), read(20, core.Classic, 1, 1), read(20, core.Classic, 2, 2),
+		commit(20, core.Classic, 2),
+	)
+	log, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := log.CheckVerdict(2)
+	if !v.OK() {
+		t.Fatalf("clean history flagged: %s", v)
+	}
+	if v.Classic.Txs != 4 || v.Snapshot.Txs != 0 {
+		t.Fatalf("wrong tallies: %s", v)
+	}
+	if v.Err() != nil {
+		t.Fatalf("clean verdict returned error: %v", v.Err())
+	}
+}
+
+// TestCheckVerdictSnapshotBackwardRead plants an inconsistent multiversion
+// cut: the snapshot claims instant 2 but one read is only valid at 0.
+func TestCheckVerdictSnapshotBackwardRead(t *testing.T) {
+	events := append(writersFixture(),
+		begin(21, core.Snapshot, 2), read(21, core.Snapshot, 1, 0), read(21, core.Snapshot, 2, 2),
+		commit(21, core.Snapshot, 2),
+	)
+	log, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := log.CheckVerdict(2)
+	if v.OK() {
+		t.Fatal("backward snapshot read not flagged")
+	}
+	if v.Snapshot.Violations != 1 || v.Classic.Violations != 0 {
+		t.Fatalf("violation attributed to the wrong semantics: %s", v)
+	}
+	if v.Err() == nil || !strings.Contains(v.String(), "VIOLATED") {
+		t.Fatalf("verdict does not surface the violation: %s", v)
+	}
+}
+
+// TestCheckVerdictClassicStaleRead plants a classic updater whose read was
+// already overwritten before its commit instant.
+func TestCheckVerdictClassicStaleRead(t *testing.T) {
+	events := append(writersFixture(),
+		// Reads cell1@1 (valid [1,2]) but commits at 5: instant 4 is past
+		// the overwrite at 3.
+		begin(22, core.Classic, 1), read(22, core.Classic, 1, 1), write(22, core.Classic, 2),
+		commit(22, core.Classic, 5),
+	)
+	log, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := log.CheckVerdict(2)
+	if v.OK() {
+		t.Fatal("stale classic read not flagged")
+	}
+	if v.Classic.Violations != 1 {
+		t.Fatalf("expected one classic violation: %s", v)
+	}
+	if len(v.Errs) == 0 {
+		t.Fatal("verdict collected no detailed errors")
+	}
+}
+
+// TestSerializationOrder: updaters sort by write version; a read-only tx
+// sharing an updater's version serializes after it (it observes the
+// updater's effects).
+func TestSerializationOrder(t *testing.T) {
+	events := append(writersFixture(),
+		begin(20, core.Classic, 2), read(20, core.Classic, 2, 2), commit(20, core.Classic, 2),
+	)
+	log, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := log.SerializationOrder()
+	var ids []uint64
+	for _, tx := range order {
+		ids = append(ids, tx.ID)
+	}
+	want := []uint64{10, 11, 20, 12}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestBeginVerRecorded: Analyze keeps the begin-instant of the committed
+// attempt.
+func TestBeginVerRecorded(t *testing.T) {
+	log, err := Analyze(writersFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range log.Txs {
+		if tx.ID == 12 && tx.BeginVer != 2 {
+			t.Fatalf("tx 12 BeginVer = %d, want 2", tx.BeginVer)
+		}
+	}
+}
+
+// TestDecidingReadWindow: the window is the validity interval of the LAST
+// read — an earlier unbounded read (cell2 is never overwritten) must not
+// stretch it.
+func TestDecidingReadWindow(t *testing.T) {
+	events := append(writersFixture(),
+		// cell2@2 never overwritten → ∞; cell1@1 overwritten at 3 → valid
+		// [1,2]. The last read (cell1) decides.
+		begin(23, core.Elastic, 1), read(23, core.Elastic, 2, 2), read(23, core.Elastic, 1, 1),
+		commit(23, core.Elastic, 1),
+		// The reverse order: last read unbounded → unbounded window.
+		begin(24, core.Elastic, 1), read(24, core.Elastic, 1, 1), read(24, core.Elastic, 2, 2),
+		commit(24, core.Elastic, 1),
+	)
+	log, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[uint64]*TxExec)
+	for i := range log.Txs {
+		byID[log.Txs[i].ID] = &log.Txs[i]
+	}
+	if lo, hi := log.DecidingReadWindow(byID[23]); lo != 1 || hi != 2 {
+		t.Fatalf("bounded deciding read: window [%d,%d], want [1,2]", lo, hi)
+	}
+	if lo, hi := log.DecidingReadWindow(byID[24]); lo != 2 || hi != ^uint64(0)-1 {
+		t.Fatalf("unbounded deciding read: window [%d,%d], want [2,max-1]", lo, hi)
+	}
+}

@@ -1,0 +1,230 @@
+// Contract tests for the intset.Set interface, run against every
+// implementation in the repo: the transactional structures (over each
+// semantics configuration) and the lock-based / lock-free / copy-on-write
+// baselines. The package under test only defines the contract, so the
+// tests live in an external package to reach the implementers.
+package intset_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/txstruct"
+)
+
+// implementations enumerates every intset.Set in the repo.
+func implementations() map[string]func() intset.Set {
+	return map[string]func() intset.Set{
+		"txlist-classic": func() intset.Set {
+			return txstruct.NewList(core.New(), txstruct.ListConfig{})
+		},
+		"txlist-elastic-snapshot": func() intset.Set {
+			return txstruct.NewList(core.New(), txstruct.ListConfig{
+				Parse: core.Elastic, Size: core.Snapshot,
+			})
+		},
+		"txskiplist": func() intset.Set {
+			return txstruct.NewSkipList(core.New(), core.Snapshot)
+		},
+		"txhashset": func() intset.Set {
+			return txstruct.NewHashSet(core.New(), 4, txstruct.ListConfig{
+				Parse: core.Elastic, Size: core.Snapshot,
+			})
+		},
+		"coarse":  func() intset.Set { return baseline.NewCoarseList() },
+		"cow":     func() intset.Set { return baseline.NewCOWSet() },
+		"lazy":    func() intset.Set { return baseline.NewLazyList() },
+		"harris":  func() intset.Set { return baseline.NewHarrisList() },
+		"striped": func() intset.Set { return baseline.NewStripedHashSet(4) },
+	}
+}
+
+// TestSetContract drives the java.util.Set-style contract: Add reports
+// prior absence, Remove prior presence, Contains and Size agree with the
+// op history.
+func TestSetContract(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			expectSize(t, s, 0)
+
+			for _, v := range []int{5, 1, 9, -3, 0} {
+				expectAdd(t, s, v, true)
+			}
+			expectAdd(t, s, 5, false) // duplicate
+			expectSize(t, s, 5)
+
+			expectContains(t, s, 9, true)
+			expectContains(t, s, -3, true)
+			expectContains(t, s, 7, false)
+
+			expectRemove(t, s, 9, true)
+			expectRemove(t, s, 9, false) // already gone
+			expectContains(t, s, 9, false)
+			expectSize(t, s, 4)
+
+			// Remove head, middle and tail positions of a sorted list.
+			expectRemove(t, s, -3, true)
+			expectRemove(t, s, 1, true)
+			expectRemove(t, s, 5, true)
+			expectRemove(t, s, 0, true)
+			expectSize(t, s, 0)
+
+			if snap, ok := s.(intset.Snapshotter); ok {
+				expectAdd(t, s, 2, true)
+				expectAdd(t, s, 1, true)
+				elems, err := snap.Elements()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(elems) != 2 || elems[0] != 1 || elems[1] != 2 {
+					t.Fatalf("Elements = %v, want [1 2] ascending", elems)
+				}
+			}
+		})
+	}
+}
+
+// TestSetConcurrentSmoke hammers each implementation with concurrent
+// add/remove/contains and then cross-checks size against a serial replay
+// of each worker's observed results.
+func TestSetConcurrentSmoke(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const (
+				workers = 4
+				keys    = 16
+				ops     = 150
+			)
+			// deltas[w][k] accumulates worker w's successful ±1 membership
+			// flips of key k; summed over workers they give the final
+			// membership count of k (0 or 1).
+			deltas := make([]map[int]int, workers)
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					deltas[w] = make(map[int]int)
+					rng := uint64(w)*0x9e3779b97f4a7c15 + 7
+					next := func(n int) int {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						return int(rng % uint64(n))
+					}
+					for i := 0; i < ops; i++ {
+						k := next(keys)
+						switch next(3) {
+						case 0:
+							ok, err := s.Add(k)
+							if err != nil {
+								errs[w] = err
+								return
+							}
+							if ok {
+								deltas[w][k]++
+							}
+						case 1:
+							ok, err := s.Remove(k)
+							if err != nil {
+								errs[w] = err
+								return
+							}
+							if ok {
+								deltas[w][k]--
+							}
+						default:
+							if _, err := s.Contains(k); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			want := 0
+			for k := 0; k < keys; k++ {
+				total := 0
+				for w := 0; w < workers; w++ {
+					total += deltas[w][k]
+				}
+				if total != 0 && total != 1 {
+					t.Fatalf("%s: key %d has impossible membership count %d", name, k, total)
+				}
+				want += total
+				got, err := s.Contains(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != (total == 1) {
+					t.Fatalf("%s: key %d contains=%v, op-balance says %v", name, k, got, total == 1)
+				}
+			}
+			size, err := s.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != want {
+				t.Fatalf("%s: size %d, op-balance says %d", name, size, want)
+			}
+		})
+	}
+}
+
+func expectAdd(t *testing.T, s intset.Set, v int, want bool) {
+	t.Helper()
+	got, err := s.Add(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Add(%d) = %v, want %v", v, got, want)
+	}
+}
+
+func expectRemove(t *testing.T, s intset.Set, v int, want bool) {
+	t.Helper()
+	got, err := s.Remove(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Remove(%d) = %v, want %v", v, got, want)
+	}
+}
+
+func expectContains(t *testing.T, s intset.Set, v int, want bool) {
+	t.Helper()
+	got, err := s.Contains(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Contains(%d) = %v, want %v", v, got, want)
+	}
+}
+
+func expectSize(t *testing.T, s intset.Set, want int) {
+	t.Helper()
+	got, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Size() = %d, want %d", got, want)
+	}
+}

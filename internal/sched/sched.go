@@ -131,6 +131,56 @@ func Render(w io.Writer, results []Result) {
 	fmt.Fprintln(w, "location before the parse reads it, precluding half of all correct schedules.")
 }
 
+// TinyCase is a named tiny workload whose interleavings can be enumerated
+// exhaustively — the same access-program machinery Figure 4 uses, packaged
+// for the storm harness's deterministic live-replay mode, which drives the
+// real runtime through every interleaving and checks the recorded history.
+type TinyCase struct {
+	Name     string
+	Programs [][]history.Access
+}
+
+// TinyCases returns the canonical tiny workloads: the paper's Figure 4
+// construction plus the classic anomaly shapes a transactional memory must
+// preclude or serialize (write skew, dirty-read pair, lost-update pair).
+func TinyCases() []TinyCase {
+	r := func(loc string) history.Access { return history.Access{Kind: history.OpRead, Loc: loc} }
+	w := func(loc string) history.Access { return history.Access{Kind: history.OpWrite, Loc: loc} }
+	return []TinyCase{
+		{
+			Name:     "figure4",
+			Programs: Figure4Programs(),
+		},
+		{
+			// Both read both locations, each writes one: serializable
+			// only in orders where one sees the other's write missing.
+			Name: "write-skew",
+			Programs: [][]history.Access{
+				{r("x"), r("y"), w("x")},
+				{r("x"), r("y"), w("y")},
+			},
+		},
+		{
+			// A two-location writer against a two-location reader: the
+			// reader must never observe the writer half-applied.
+			Name: "dirty-read",
+			Programs: [][]history.Access{
+				{w("x"), w("y")},
+				{r("x"), r("y")},
+			},
+		},
+		{
+			// Two read-modify-writes of the same location: one update
+			// must not be lost.
+			Name: "lost-update",
+			Programs: [][]history.Access{
+				{r("x"), w("x")},
+				{r("x"), w("x")},
+			},
+		},
+	}
+}
+
 // String renders a schedule compactly, e.g. "r0(x) r0(y) w1(x) ...".
 func (r Result) String() string {
 	return fmt.Sprintf("%s: %d total, %d opacity-precluded (%.0f%%), %d TL2-precluded (%.0f%%)",

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// TestTinyCasesShape: every tiny case stays within the exhaustive-
+// enumeration regime and its programs are well-formed.
+func TestTinyCasesShape(t *testing.T) {
+	cases := TinyCases()
+	if len(cases) < 4 {
+		t.Fatalf("only %d tiny cases", len(cases))
+	}
+	seen := make(map[string]bool)
+	for _, tc := range cases {
+		if tc.Name == "" || seen[tc.Name] {
+			t.Fatalf("bad or duplicate case name %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if len(tc.Programs) == 0 || len(tc.Programs) > 3 {
+			t.Fatalf("%s: %d programs outside 1..3", tc.Name, len(tc.Programs))
+		}
+		total := 0
+		for _, p := range tc.Programs {
+			total += len(p)
+		}
+		if total > 9 {
+			t.Fatalf("%s: %d accesses won't enumerate cheaply", tc.Name, total)
+		}
+		if n := len(history.Interleavings(tc.Programs...)); n == 0 {
+			t.Fatalf("%s: no interleavings", tc.Name)
+		}
+	}
+}
+
+// TestTinyCasesFigure4IsFirst pins the paper's construction as the
+// canonical first case, with its 20 interleavings.
+func TestTinyCasesFigure4IsFirst(t *testing.T) {
+	tc := TinyCases()[0]
+	if tc.Name != "figure4" {
+		t.Fatalf("first case is %q, want figure4", tc.Name)
+	}
+	if n := len(history.Interleavings(tc.Programs...)); n != 20 {
+		t.Fatalf("figure4 has %d interleavings, want 20", n)
+	}
+}
+
+// TestTinyCasesAnomaliesPrecluded: the anomaly-shaped cases must contain
+// non-serializable interleavings — otherwise they test nothing.
+func TestTinyCasesAnomaliesPrecluded(t *testing.T) {
+	for _, tc := range TinyCases() {
+		if tc.Name == "dirty-read" {
+			// Reads fully before or after the writer are fine; the
+			// interleaved ones are precluded by strict serializability.
+			all := history.Interleavings(tc.Programs...)
+			bad := 0
+			for _, s := range all {
+				if !history.StrictlySerializable(s) {
+					bad++
+				}
+			}
+			if bad == 0 {
+				t.Fatal("dirty-read case has no precluded interleavings")
+			}
+		}
+	}
+}

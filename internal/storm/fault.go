@@ -1,0 +1,36 @@
+package storm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// VersionSkewRecorder is the deliberately-broken recorder fixture: it
+// forwards events to the wrapped recorder but falsifies the observed
+// version of every n-th read, simulating a runtime whose reads are not
+// actually consistent. A storm recorded through it MUST fail the verdict —
+// that is the checker's own negative test, wired into cmd/stormcheck as
+// -selftest-corrupt.
+type VersionSkewRecorder struct {
+	inner core.Recorder
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewVersionSkewRecorder wraps inner, corrupting every n-th read event
+// (n < 1 is treated as 1: every read).
+func NewVersionSkewRecorder(inner core.Recorder, every int) *VersionSkewRecorder {
+	if every < 1 {
+		every = 1
+	}
+	return &VersionSkewRecorder{inner: inner, every: uint64(every)}
+}
+
+// Record implements core.Recorder.
+func (r *VersionSkewRecorder) Record(ev core.Event) {
+	if ev.Kind == core.EventRead && r.n.Add(1)%r.every == 0 {
+		ev.Version += 1 << 40 // a version no commit will ever produce
+	}
+	r.inner.Record(ev)
+}

@@ -1,0 +1,526 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/txstruct"
+)
+
+// workload is one pluggable storm target: it executes seeded random
+// operations as transactions and later checks the recorded history against
+// its own abstract model.
+type workload interface {
+	name() string
+	// prepopulate runs serial recorded setup and returns its op records.
+	prepopulate(rng *rand.Rand) ([]OpRecord, error)
+	// step runs one random operation, choosing the semantics from the mix
+	// restricted to what the operation tolerates.
+	step(rng *rand.Rand, mix Mix) (OpRecord, error)
+	// check verifies the abstract operations against the recorded history
+	// and compares the model's final state with the live structure. It runs
+	// once, after all workers have stopped.
+	check(log *history.ExecLog, recs []OpRecord) error
+}
+
+// Workloads names every registered storm workload.
+func Workloads() []string {
+	return []string{"cells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue"}
+}
+
+func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
+	// Elastic updaters need the window to cover both the write target and
+	// the read that justified it (a list insert reads pred and curr; a
+	// transfer reads both accounts): at window 1 the runtime legitimately
+	// drops the earlier read from revalidation, so histories that lose
+	// updates are PERMITTED by elastic semantics — running them would make
+	// the harness blame the runtime for a config foot-gun.
+	elastic := window >= 2
+	switch name {
+	case "cells":
+		return newCellsWorkload(tm, keys), nil
+	case "bank":
+		return newBankWorkload(tm, keys, elastic), nil
+	case "linkedlist":
+		list := txstruct.NewList(tm, txstruct.ListConfig{})
+		return &setWorkload{tag: "linkedlist", tm: tm, set: list, keys: keys, elasticOK: elastic}, nil
+	case "skiplist":
+		sl := txstruct.NewSkipList(tm, core.Snapshot)
+		return &setWorkload{tag: "skiplist", tm: tm, set: sl, keys: keys}, nil
+	case "hashset":
+		hs := txstruct.NewHashSet(tm, 8, txstruct.ListConfig{})
+		return &setWorkload{tag: "hashset", tm: tm, set: hs, keys: keys, elasticOK: elastic}, nil
+	case "treemap":
+		return &treeWorkload{tm: tm, m: txstruct.NewTreeMap(tm, core.Snapshot), keys: keys}, nil
+	case "queue":
+		return &queueWorkload{tm: tm, q: txstruct.NewQueue(tm, core.Snapshot), keys: keys}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Workloads())
+	}
+}
+
+// ---- intset-shaped structures (linkedlist, skiplist, hashset) ----
+
+// setTx is the transactional face shared by the intset structures.
+type setTx interface {
+	AddTx(*core.Tx, int) bool
+	RemoveTx(*core.Tx, int) bool
+	ContainsTx(*core.Tx, int) bool
+	SizeTx(*core.Tx) int
+}
+
+type setWorkload struct {
+	tag       string
+	tm        *core.TM
+	set       setTx
+	keys      int
+	elasticOK bool // elastic parses are only safe where the window covers the write target
+}
+
+func (w *setWorkload) name() string { return w.tag }
+
+func (w *setWorkload) prepopulate(rng *rand.Rand) ([]OpRecord, error) {
+	var recs []OpRecord
+	for i := 0; i < w.keys/2; i++ {
+		rec, err := w.exec(core.Classic, Op{Kind: OpAdd, Key: rng.Intn(w.keys)})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (w *setWorkload) updateSems() []core.Semantics {
+	if w.elasticOK {
+		return []core.Semantics{core.Classic, core.Elastic}
+	}
+	return []core.Semantics{core.Classic}
+}
+
+func (w *setWorkload) readSems() []core.Semantics {
+	if w.elasticOK {
+		return []core.Semantics{core.Classic, core.Elastic, core.Snapshot}
+	}
+	return []core.Semantics{core.Classic, core.Snapshot}
+}
+
+func (w *setWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	roll := rng.Intn(100)
+	key := rng.Intn(w.keys)
+	switch {
+	case roll < 30:
+		return w.exec(mix.pick(rng, w.updateSems()), Op{Kind: OpAdd, Key: key})
+	case roll < 60:
+		return w.exec(mix.pick(rng, w.updateSems()), Op{Kind: OpRemove, Key: key})
+	case roll < 90:
+		return w.exec(mix.pick(rng, w.readSems()), Op{Kind: OpContains, Key: key})
+	default:
+		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot}), Op{Kind: OpSize})
+	}
+}
+
+func (w *setWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
+	var txid uint64
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		switch op.Kind {
+		case OpAdd:
+			op.Bool = w.set.AddTx(tx, op.Key)
+		case OpRemove:
+			op.Bool = w.set.RemoveTx(tx, op.Key)
+		case OpContains:
+			op.Bool = w.set.ContainsTx(tx, op.Key)
+		case OpSize:
+			op.Int = w.set.SizeTx(tx)
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{op}}, err
+}
+
+func (w *setWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	members, err := checkSetModel(log, recs)
+	if err != nil {
+		return err
+	}
+	// The model's final membership must be the live structure's.
+	var size int
+	live := make(map[int]bool)
+	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		size = w.set.SizeTx(tx)
+		clear(live)
+		for k := 0; k < w.keys; k++ {
+			if w.set.ContainsTx(tx, k) {
+				live[k] = true
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if size != len(members) {
+		return fmt.Errorf("%s: final size %d, model has %d members", w.tag, size, len(members))
+	}
+	for k := range members {
+		if !live[k] {
+			return fmt.Errorf("%s: model has key %d, live structure does not", w.tag, k)
+		}
+	}
+	return nil
+}
+
+// ---- treemap ----
+
+type treeWorkload struct {
+	tm   *core.TM
+	m    *txstruct.TreeMap
+	keys int
+}
+
+func (w *treeWorkload) name() string { return "treemap" }
+
+func (w *treeWorkload) prepopulate(rng *rand.Rand) ([]OpRecord, error) {
+	var recs []OpRecord
+	for i := 0; i < w.keys/2; i++ {
+		rec, err := w.exec(core.Classic, Op{Kind: OpPut, Key: rng.Intn(w.keys), Val: rng.Intn(1 << 16)})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (w *treeWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	roll := rng.Intn(100)
+	key := rng.Intn(w.keys)
+	classicOnly := []core.Semantics{core.Classic}
+	reads := []core.Semantics{core.Classic, core.Snapshot}
+	switch {
+	case roll < 30:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpPut, Key: key, Val: rng.Intn(1 << 16)})
+	case roll < 55:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpDelete, Key: key})
+	case roll < 85:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpGet, Key: key})
+	default:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpLen})
+	}
+}
+
+func (w *treeWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
+	var txid uint64
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		switch op.Kind {
+		case OpPut:
+			op.Bool = w.m.PutTx(tx, op.Key, op.Val)
+		case OpDelete:
+			op.Bool = w.m.DeleteTx(tx, op.Key)
+		case OpGet:
+			v, found := w.m.GetTx(tx, op.Key)
+			op.Bool = found
+			if found {
+				op.Int, _ = v.(int)
+			}
+		case OpLen:
+			op.Int = w.m.LenTx(tx)
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{op}}, err
+}
+
+func (w *treeWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	vals, err := checkMapModel(log, recs)
+	if err != nil {
+		return err
+	}
+	keys, err := w.m.Keys()
+	if err != nil {
+		return err
+	}
+	want := make([]int, 0, len(vals))
+	for k := range vals {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	if len(keys) != len(want) {
+		return fmt.Errorf("treemap: final key count %d, model has %d", len(keys), len(want))
+	}
+	for i, k := range want {
+		if keys[i] != k {
+			return fmt.Errorf("treemap: final key[%d] = %d, model has %d", i, keys[i], k)
+		}
+		v, found, err := w.m.Get(k)
+		if err != nil {
+			return err
+		}
+		if !found || v != vals[k] {
+			return fmt.Errorf("treemap: final value of %d is %v (found=%v), model has %d",
+				k, v, found, vals[k])
+		}
+	}
+	return nil
+}
+
+// ---- queue ----
+
+type queueWorkload struct {
+	tm   *core.TM
+	q    *txstruct.Queue
+	keys int
+}
+
+func (w *queueWorkload) name() string { return "queue" }
+
+func (w *queueWorkload) prepopulate(rng *rand.Rand) ([]OpRecord, error) {
+	var recs []OpRecord
+	for i := 0; i < w.keys/4; i++ {
+		rec, err := w.exec(core.Classic, Op{Kind: OpEnq, Val: -i - 1})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (w *queueWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	roll := rng.Intn(100)
+	classicOnly := []core.Semantics{core.Classic}
+	reads := []core.Semantics{core.Classic, core.Snapshot}
+	switch {
+	case roll < 40:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpEnq, Val: rng.Int()})
+	case roll < 80:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpDeq})
+	default:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpLen})
+	}
+}
+
+func (w *queueWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
+	var txid uint64
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		switch op.Kind {
+		case OpEnq:
+			w.q.EnqueueTx(tx, op.Val)
+		case OpDeq:
+			v, ok := w.q.DequeueTx(tx)
+			op.Bool = ok
+			if ok {
+				op.Int, _ = v.(int)
+			}
+		case OpLen:
+			op.Int = w.q.LenTx(tx)
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{op}}, err
+}
+
+func (w *queueWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	fifo, err := checkQueueModel(log, recs)
+	if err != nil {
+		return err
+	}
+	var items []any
+	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		items = w.q.ItemsTx(tx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(items) != len(fifo) {
+		return fmt.Errorf("queue: final len %d, model has %d", len(items), len(fifo))
+	}
+	for i, v := range fifo {
+		if items[i] != v {
+			return fmt.Errorf("queue: final item[%d] = %v, model has %d", i, items[i], v)
+		}
+	}
+	return nil
+}
+
+// ---- raw cells ----
+
+type cellsWorkload struct {
+	tm    *core.TM
+	cells []*core.Cell
+}
+
+func newCellsWorkload(tm *core.TM, keys int) *cellsWorkload {
+	w := &cellsWorkload{tm: tm, cells: make([]*core.Cell, keys)}
+	for i := range w.cells {
+		w.cells[i] = tm.NewCell(0)
+	}
+	return w
+}
+
+func (w *cellsWorkload) name() string { return "cells" }
+
+func (w *cellsWorkload) prepopulate(*rand.Rand) ([]OpRecord, error) { return nil, nil }
+
+// pickCells draws 1..3 distinct cell indexes (fewer when the workload has
+// fewer cells than the draw — without the clamp the distinct-draw loop
+// would spin forever).
+func (w *cellsWorkload) pickCells(rng *rand.Rand) []int {
+	n := 1 + rng.Intn(3)
+	if n > len(w.cells) {
+		n = len(w.cells)
+	}
+	seen := make(map[int]bool, n)
+	var out []int
+	for len(out) < n {
+		k := rng.Intn(len(w.cells))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (w *cellsWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	keys := w.pickCells(rng)
+	if rng.Intn(100) < 50 {
+		ops := make([]Op, len(keys))
+		for i, k := range keys {
+			ops[i] = Op{Kind: OpWrite, Key: k, Val: rng.Intn(1 << 20)}
+		}
+		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic}), ops)
+	}
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		ops[i] = Op{Kind: OpRead, Key: k}
+	}
+	return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic, core.Snapshot}), ops)
+}
+
+func (w *cellsWorkload) exec(sem core.Semantics, ops []Op) (OpRecord, error) {
+	var txid uint64
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		for i := range ops {
+			switch ops[i].Kind {
+			case OpWrite:
+				tx.Store(w.cells[ops[i].Key], ops[i].Val)
+			case OpRead:
+				v, _ := tx.Load(w.cells[ops[i].Key]).(int)
+				ops[i].Int = v
+			}
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: ops}, err
+}
+
+func (w *cellsWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	finals, err := checkCellsModel(log, recs)
+	if err != nil {
+		return err
+	}
+	return w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		for key, want := range finals {
+			if got, _ := tx.Load(w.cells[key]).(int); got != want {
+				return fmt.Errorf("cells: final cell %d = %d, model has %d", key, got, want)
+			}
+		}
+		return nil
+	})
+}
+
+// ---- bank ----
+
+type bankWorkload struct {
+	tm        *core.TM
+	accounts  []*core.Cell
+	total     int
+	elasticOK bool // transfers read both accounts: need window >= 2
+}
+
+func newBankWorkload(tm *core.TM, keys int, elasticOK bool) *bankWorkload {
+	w := &bankWorkload{tm: tm, accounts: make([]*core.Cell, keys), total: 100 * keys, elasticOK: elasticOK}
+	for i := range w.accounts {
+		w.accounts[i] = tm.NewCell(100)
+	}
+	return w
+}
+
+func (w *bankWorkload) name() string { return "bank" }
+
+func (w *bankWorkload) prepopulate(*rand.Rand) ([]OpRecord, error) { return nil, nil }
+
+func (w *bankWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	if rng.Intn(100) < 80 {
+		from := rng.Intn(len(w.accounts))
+		to := rng.Intn(len(w.accounts))
+		for to == from {
+			to = rng.Intn(len(w.accounts))
+		}
+		amount := 1 + rng.Intn(5)
+		transferSems := []core.Semantics{core.Classic}
+		if w.elasticOK {
+			transferSems = append(transferSems, core.Elastic)
+		}
+		sem := mix.pick(rng, transferSems)
+		var txid uint64
+		err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+			txid = tx.ID()
+			fv, _ := tx.Load(w.accounts[from]).(int)
+			tv, _ := tx.Load(w.accounts[to]).(int)
+			tx.Store(w.accounts[from], fv-amount)
+			tx.Store(w.accounts[to], tv+amount)
+			return nil
+		})
+		return OpRecord{TxID: txid, Sem: sem,
+			Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount}}}, err
+	}
+	// Whole-state audit: the sum is invariant, so EVERY committed audit
+	// must observe exactly the total — the sharpest cross-semantics check.
+	sem := mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot})
+	var txid uint64
+	var sum int
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		sum = 0
+		for _, c := range w.accounts {
+			v, _ := tx.Load(c).(int)
+			sum += v
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{{Kind: OpSum, Int: sum}}}, err
+}
+
+func (w *bankWorkload) check(_ *history.ExecLog, recs []OpRecord) error {
+	for _, r := range recs {
+		for _, op := range r.Ops {
+			if op.Kind == OpSum && op.Int != w.total {
+				return fmt.Errorf("bank: tx %d (%s) audit saw total %d, want %d",
+					r.TxID, r.Sem, op.Int, w.total)
+			}
+		}
+	}
+	var sum int
+	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		sum = 0
+		for _, c := range w.accounts {
+			v, _ := tx.Load(c).(int)
+			sum += v
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if sum != w.total {
+		return fmt.Errorf("bank: final total %d, want %d", sum, w.total)
+	}
+	return nil
+}
