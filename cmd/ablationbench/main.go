@@ -26,6 +26,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/storm"
 	"repro/internal/txstruct"
 )
 
@@ -39,10 +40,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ablationbench", flag.ContinueOnError)
 	var (
-		which   = fs.String("run", "cm,versions,window,baseline", "comma-separated ablations")
-		size    = fs.Int("size", 1024, "initial collection size")
-		dur     = fs.Duration("dur", 150*time.Millisecond, "duration per point")
-		threads = fs.Int("threads", 4, "worker goroutines")
+		which    = fs.String("run", "cm,versions,window,baseline", "comma-separated ablations")
+		size     = fs.Int("size", 1024, "initial collection size")
+		dur      = fs.Duration("dur", 150*time.Millisecond, "duration per point")
+		threads  = fs.Int("threads", 4, "worker goroutines")
+		jsonOut  = fs.Bool("json", false, "append the run to the JSON trajectory file")
+		soak     = fs.Bool("soak", true, "run a correctness storm before the sweeps")
+		outPath  = fs.String("out", "BENCH_ablation.json", "JSON trajectory file (with -json)")
+		runLabel = fs.String("label", "run", "label recorded for this run in the trajectory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,28 +59,47 @@ func run(args []string) error {
 		Duration:    *dur,
 		Threads:     *threads,
 	}
+	if *soak {
+		// Every perf run doubles as a correctness run: the shared
+		// pre-sweep storm with full history verification.
+		rep, err := storm.Soak(core.ClockGV1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("soak: %s\n\n", rep)
+	}
+	var rec *bench.JSONRun
+	if *jsonOut {
+		rec = bench.NewJSONRun("ablationbench", *runLabel, "gv1", wl)
+	}
 	for _, name := range strings.Split(*which, ",") {
 		switch strings.TrimSpace(name) {
 		case "cm":
-			if err := cmSweep(wl); err != nil {
+			if err := cmSweep(wl, rec); err != nil {
 				return err
 			}
 		case "versions":
-			if err := versionSweep(wl); err != nil {
+			if err := versionSweep(wl, rec); err != nil {
 				return err
 			}
 		case "window":
-			if err := windowSweep(wl); err != nil {
+			if err := windowSweep(wl, rec); err != nil {
 				return err
 			}
 		case "baseline":
-			if err := baselineSweep(wl); err != nil {
+			if err := baselineSweep(wl, rec); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("unknown ablation %q", name)
 		}
 		fmt.Println()
+	}
+	if rec != nil {
+		if err := bench.AppendJSONRun(*outPath, rec); err != nil {
+			return err
+		}
+		fmt.Printf("appended run %q to %s\n", *runLabel, *outPath)
 	}
 	return nil
 }
@@ -85,7 +109,7 @@ func printHeader(title string) {
 	fmt.Println(strings.Repeat("-", len(title)))
 }
 
-func cmSweep(wl bench.Workload) error {
+func cmSweep(wl bench.Workload, rec *bench.JSONRun) error {
 	printHeader(fmt.Sprintf("ablation: contention managers (%d threads, %d elements, classic everything)",
 		wl.Threads, wl.InitialSize))
 	fmt.Printf("%-12s %12s %10s %8s\n", "policy", "ops/s", "aborts/att", "kills")
@@ -102,11 +126,14 @@ func cmSweep(wl bench.Workload) error {
 			return err
 		}
 		fmt.Printf("%-12s %12.0f %9.1f%% %8d\n", name, r.Throughput, 100*r.AbortRate(), r.TxKills)
+		if rec != nil {
+			rec.AddPoint("cm", name, r)
+		}
 	}
 	return nil
 }
 
-func versionSweep(wl bench.Workload) error {
+func versionSweep(wl bench.Workload, rec *bench.JSONRun) error {
 	printHeader(fmt.Sprintf("ablation: retained versions vs snapshot success (%d threads, %d elements)",
 		wl.Threads, wl.InitialSize))
 	fmt.Printf("%-10s %12s %10s %14s %12s\n", "versions", "ops/s", "aborts/att", "snap-too-old", "old-reads")
@@ -123,11 +150,14 @@ func versionSweep(wl bench.Workload) error {
 		fmt.Printf("%-10d %12.0f %9.1f%% %14d %12d\n",
 			depth, r.Throughput, 100*r.AbortRate(),
 			st.Aborts[core.AbortSnapshotTooOld], st.SnapshotOldReads)
+		if rec != nil {
+			rec.AddPoint("versions", f.Name, r)
+		}
 	}
 	return nil
 }
 
-func windowSweep(wl bench.Workload) error {
+func windowSweep(wl bench.Workload, rec *bench.JSONRun) error {
 	printHeader(fmt.Sprintf("ablation: elastic window size (%d threads, %d elements)",
 		wl.Threads, wl.InitialSize))
 	fmt.Printf("%-10s %12s %10s %14s\n", "window", "ops/s", "aborts/att", "cuts")
@@ -140,11 +170,14 @@ func windowSweep(wl bench.Workload) error {
 			return err
 		}
 		fmt.Printf("%-10d %12.0f %9.1f%% %14d\n", ws, r.Throughput, 100*r.AbortRate(), r.TxCuts)
+		if rec != nil {
+			rec.AddPoint("window", f.Name, r)
+		}
 	}
 	return nil
 }
 
-func baselineSweep(wl bench.Workload) error {
+func baselineSweep(wl bench.Workload, rec *bench.JSONRun) error {
 	parseOnly := wl
 	parseOnly.SizePct = 0
 	printHeader(fmt.Sprintf("ablation: parse-only baselines (%d threads, %d elements, no size ops)",
@@ -168,6 +201,9 @@ func baselineSweep(wl bench.Workload) error {
 			return err
 		}
 		fmt.Printf("%-18s %12.0f\n", f.Name, r.Throughput)
+		if rec != nil {
+			rec.AddPoint("baseline", f.Name, r)
+		}
 	}
 	return nil
 }

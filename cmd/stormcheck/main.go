@@ -11,11 +11,14 @@
 //	stormcheck [-workload skiplist|linkedlist|hashset|treemap|queue|cells|bank|all]
 //	           [-workers 4] [-ops 200] [-keys 32] [-seed 1]
 //	           [-mix 60,25,15] [-duration 0] [-chaos 10] [-window 2]
+//	           [-clock gv1|gvpass|gvsharded|all]
 //	           [-explore] [-selftest-corrupt] [-v]
 //
 // -mix weighs classic,elastic,snapshot. -duration overrides -ops with a
-// wall-clock bound. -explore additionally runs the exhaustive
-// tiny-interleaving suite. -selftest-corrupt records the storm through a
+// wall-clock bound. -clock selects the commit-versioning scheme under test
+// ('all' sweeps every scheme — storms and explorer alike — so relaxed
+// clocks are held to the same guarantees as the default). -explore
+// additionally runs the exhaustive tiny-interleaving suite. -selftest-corrupt records the storm through a
 // deliberately-broken recorder; the run MUST then fail, proving the
 // checker is alive (the flag exists for tests and demos).
 package main
@@ -29,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/storm"
@@ -54,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		duration = fs.Duration("duration", 0, "run until this deadline instead of -ops")
 		chaos    = fs.Int("chaos", 10, "% of ops preceded by a seeded scheduler perturbation (0 disables)")
 		window   = fs.Int("window", 2, "elastic window size")
+		clockSch = fs.String("clock", "gv1", "clock scheme under test, or 'all'")
 		explore  = fs.Bool("explore", false, "also run the exhaustive tiny-interleaving suite")
 		corrupt  = fs.Bool("selftest-corrupt", false, "record through a broken recorder; the run must fail")
 		verbose  = fs.Bool("v", false, "print per-violation detail")
@@ -65,47 +70,65 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var schemes []clock.Scheme
+	if *clockSch == "all" {
+		schemes = clock.Schemes()
+	} else {
+		s, err := clock.ParseScheme(*clockSch)
+		if err != nil {
+			return err
+		}
+		schemes = []clock.Scheme{s}
+	}
 
 	names := []string{*workload}
 	if *workload == "all" {
 		names = storm.Workloads()
 	}
 	var failures int
-	for _, name := range names {
-		cfg := storm.Config{
-			Workload: name,
-			Workers:  *workers,
-			Ops:      *ops,
-			Keys:     *keys,
-			Seed:     *seed,
-			Mix:      mix,
-			Duration: *duration,
-			Chaos:    *chaos,
-			Window:   *window,
+	for _, scheme := range schemes {
+		if len(schemes) > 1 {
+			fmt.Fprintf(out, "--- clock scheme %s ---\n", scheme)
 		}
-		if *corrupt {
-			cfg.WrapRecorder = func(inner core.Recorder) core.Recorder {
-				return storm.NewVersionSkewRecorder(inner, 5)
+		for _, name := range names {
+			cfg := storm.Config{
+				Workload: name,
+				Workers:  *workers,
+				Ops:      *ops,
+				Keys:     *keys,
+				Seed:     *seed,
+				Mix:      mix,
+				Duration: *duration,
+				Chaos:    *chaos,
+				Window:   *window,
+				Clock:    scheme,
 			}
-		}
-		rep, err := storm.Run(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, rep)
-		if rerr := rep.Err(); rerr != nil {
-			failures++
-			if *verbose && rep.Verdict != nil {
-				for _, e := range rep.Verdict.Errs {
-					fmt.Fprintln(out, "  ", e)
+			if *corrupt {
+				cfg.WrapRecorder = func(inner core.Recorder) core.Recorder {
+					return storm.NewVersionSkewRecorder(inner, 5)
+				}
+			}
+			rep, err := storm.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, rep)
+			if rerr := rep.Err(); rerr != nil {
+				failures++
+				if *verbose && rep.Verdict != nil {
+					for _, e := range rep.Verdict.Errs {
+						fmt.Fprintln(out, "  ", e)
+					}
 				}
 			}
 		}
 	}
 
 	if *explore {
-		if err := runExplore(out); err != nil {
-			return err
+		for _, scheme := range schemes {
+			if err := runExplore(out, scheme); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -122,7 +145,7 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func runExplore(out io.Writer) error {
+func runExplore(out io.Writer, scheme clock.Scheme) error {
 	var failed int
 	for _, tc := range sched.TinyCases() {
 		progs := make([]storm.TinyProgram, len(tc.Programs))
@@ -130,7 +153,7 @@ func runExplore(out io.Writer) error {
 			progs[i] = storm.TinyProgram{Sem: core.Classic, Accesses: p}
 		}
 		start := time.Now()
-		rep, err := storm.ExploreTiny(tc.Name, progs)
+		rep, err := storm.ExploreTiny(tc.Name, progs, core.WithClockScheme(scheme))
 		if err != nil {
 			return err
 		}
@@ -139,12 +162,12 @@ func runExplore(out io.Writer) error {
 			failed++
 			status = "FAILED: " + rerr.Error()
 		}
-		fmt.Fprintf(out, "explore %-12s %3d schedules, %3d commits, %2d aborts in %v — %s\n",
-			tc.Name, rep.Schedules, rep.Commits, rep.Aborts,
+		fmt.Fprintf(out, "explore %-12s [%s] %3d schedules, %3d commits, %2d aborts in %v — %s\n",
+			tc.Name, scheme, rep.Schedules, rep.Commits, rep.Aborts,
 			time.Since(start).Round(time.Millisecond), status)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d tiny case(s) failed exhaustive exploration", failed)
+		return fmt.Errorf("%d tiny case(s) failed exhaustive exploration under %s", failed, scheme)
 	}
 	return nil
 }

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"runtime"
+	"time"
+)
+
+// This file implements the machine-readable side of the bench harness: a
+// JSON "trajectory" file that accumulates one entry per benchmark run, so
+// performance PRs can commit a before/after pair and later sessions can
+// extend the same file instead of starting a fresh measurement story.
+
+// JSONPoint is one measured (implementation, thread-count) point.
+type JSONPoint struct {
+	Threads    int     `json:"threads"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Speedup    float64 `json:"speedup,omitempty"` // over the sequential baseline; absent where not normalized (ablation points)
+	TxCommits  uint64  `json:"tx_commits,omitempty"`
+	TxAborts   uint64  `json:"tx_aborts,omitempty"`
+	TxAttempts uint64  `json:"tx_attempts,omitempty"`
+	AbortRate  float64 `json:"abort_rate,omitempty"`
+}
+
+// JSONSeries is one implementation's curve within a figure.
+type JSONSeries struct {
+	Impl   string      `json:"impl"`
+	Points []JSONPoint `json:"points"`
+}
+
+// JSONFigure is one figure of a run: the sequential denominator plus every
+// implementation's curve.
+type JSONFigure struct {
+	Name         string       `json:"name"`
+	SeqOpsPerSec float64      `json:"seq_ops_per_sec"`
+	Series       []JSONSeries `json:"series"`
+}
+
+// JSONWorkload records the workload parameters a run measured under.
+type JSONWorkload struct {
+	InitialSize int    `json:"initial_size"`
+	UpdatePct   int    `json:"update_pct"`
+	SizePct     int    `json:"size_pct"`
+	Duration    string `json:"duration"`
+}
+
+// JSONRun is one benchmark invocation: the environment, the workload, the
+// clock scheme under test and every figure measured.
+type JSONRun struct {
+	Bench      string       `json:"bench"`
+	Label      string       `json:"label"`
+	Time       string       `json:"time"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Scheme     string       `json:"clock_scheme"`
+	Workload   JSONWorkload `json:"workload"`
+	Figures    []JSONFigure `json:"figures"`
+}
+
+// JSONFile is the on-disk trajectory: runs in append order.
+type JSONFile struct {
+	Runs []JSONRun `json:"runs"`
+}
+
+// NewJSONRun starts a run entry for the given tool, label and clock scheme.
+func NewJSONRun(benchName, label, scheme string, w Workload) *JSONRun {
+	return &JSONRun{
+		Bench:      benchName,
+		Label:      label,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scheme:     scheme,
+		Workload: JSONWorkload{
+			InitialSize: w.InitialSize,
+			UpdatePct:   w.UpdatePct,
+			SizePct:     w.SizePct,
+			Duration:    w.Duration.String(),
+		},
+	}
+}
+
+// AddFigure appends one measured figure (its series plus the sequential
+// denominator) to the run.
+func (r *JSONRun) AddFigure(name string, series []Series, seq Result) {
+	jf := JSONFigure{Name: name, SeqOpsPerSec: seq.Throughput}
+	for _, s := range series {
+		js := JSONSeries{Impl: s.Impl}
+		for i, raw := range s.Raw {
+			js.Points = append(js.Points, JSONPoint{
+				Threads:    raw.Threads,
+				Ops:        raw.Ops,
+				OpsPerSec:  raw.Throughput,
+				Speedup:    s.Speedups[i],
+				TxCommits:  raw.TxCommits,
+				TxAborts:   raw.TxAborts,
+				TxAttempts: raw.TxAttempts,
+				AbortRate:  raw.AbortRate(),
+			})
+		}
+		jf.Series = append(jf.Series, js)
+	}
+	r.Figures = append(r.Figures, jf)
+}
+
+// AddPoint appends a single measured point as a one-point series under the
+// named figure, creating the figure on first use — the shape the ablation
+// sweeps record, where each configuration is one measurement.
+func (r *JSONRun) AddPoint(figure, impl string, res Result) {
+	var jf *JSONFigure
+	for i := range r.Figures {
+		if r.Figures[i].Name == figure {
+			jf = &r.Figures[i]
+			break
+		}
+	}
+	if jf == nil {
+		r.Figures = append(r.Figures, JSONFigure{Name: figure})
+		jf = &r.Figures[len(r.Figures)-1]
+	}
+	jf.Series = append(jf.Series, JSONSeries{
+		Impl: impl,
+		Points: []JSONPoint{{
+			Threads:    res.Threads,
+			Ops:        res.Ops,
+			OpsPerSec:  res.Throughput,
+			TxCommits:  res.TxCommits,
+			TxAborts:   res.TxAborts,
+			TxAttempts: res.TxAttempts,
+			AbortRate:  res.AbortRate(),
+		}},
+	})
+}
+
+// AppendJSONRun loads the trajectory at path (an absent file is an empty
+// trajectory), appends run, and writes the file back, so successive runs —
+// across PRs — accumulate in one committed artifact.
+func AppendJSONRun(path string, run *JSONRun) error {
+	var file JSONFile
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// first run: start a fresh trajectory
+	case err != nil:
+		return fmt.Errorf("bench json: %w", err)
+	default:
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench json: %s is not a trajectory file: %w", path, err)
+		}
+	}
+	file.Runs = append(file.Runs, *run)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	out = append(out, '\n')
+	// Write-then-rename: the trajectory accumulates runs across PRs, so an
+	// interrupted write must never truncate the existing history.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	return nil
+}

@@ -6,38 +6,260 @@
 // clock is the single piece of shared metadata that all transaction
 // semantics (classic, elastic, snapshot) agree on, which is what makes it
 // possible for them to cohabit over the same memory cells.
+//
+// Because the clock is the one word every update commit touches, it is also
+// the first scalability wall: a single fetch-and-add serializes all commits
+// through one cache line. The package therefore offers the TL2 GV4/GV5
+// family of contention-reduced schemes:
+//
+//   - GV1 (default): one word, atomic increment. Write versions are unique
+//     and every clock transition corresponds to exactly one commit, which
+//     licenses the classic TL2 "wv == rv+1 ⇒ skip read validation"
+//     inference.
+//   - GVPassOnFailure (TL2's GV4): commit attempts one CAS; a failed CAS
+//     adopts the winner's value instead of retrying, so the clock word is
+//     written at most once per contention epoch. Two commits may share a
+//     write version — safe because both hold their (necessarily disjoint)
+//     write locks and both validate their full read sets: with shared
+//     versions the "wv == rv+1" shortcut is no longer sound (a committer
+//     that adopted the current value may still be installing), so Commit
+//     reports strict=false and the runtime always validates.
+//   - GVSharded: the ROADMAP's striped clock. Stripe i publishes only
+//     versions ≡ i (mod stripes); a commit reads its own stripe, scans the
+//     maximum across all stripes, and CASes only its own stripe to the
+//     smallest value above that maximum with its residue. Commits on
+//     different stripes never touch the same cache line. Versions stay
+//     unique and the global maximum stays monotone, but a committer
+//     preempted between scan and CAS may publish below another stripe's
+//     maximum, so the wv == rv+1 inference is NOT licensed
+//     (strict=false) and commits always validate — with striding the
+//     shortcut would almost never fire anyway.
+//
+// Scheme safety is exercised end to end by cmd/stormcheck, which runs the
+// seeded storms and the exhaustive tiny-interleaving explorer under every
+// scheme.
 package clock
 
-import "sync/atomic"
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Scheme selects the commit-versioning algorithm of a Clock.
+type Scheme int
+
+const (
+	// GV1 is the single fetch-and-add word (TL2's baseline scheme).
+	GV1 Scheme = iota
+	// GVPassOnFailure adopts the winning value when the commit CAS fails
+	// (TL2's GV4). Write versions may be shared; commits must always
+	// validate their read sets (Commit reports strict=false).
+	GVPassOnFailure
+	// GVSharded stripes the clock across cache-line-padded words with
+	// disjoint version residues, so concurrent commits on different
+	// stripes do not contend. Versions are unique but may be published
+	// out of order, so commits always validate (Commit reports
+	// strict=false).
+	GVSharded
+)
+
+// String returns the scheme's registry name.
+func (s Scheme) String() string {
+	switch s {
+	case GV1:
+		return "gv1"
+	case GVPassOnFailure:
+		return "gvpass"
+	case GVSharded:
+		return "gvsharded"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme resolves a registry name ("gv1", "gvpass", "gvsharded").
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown clock scheme %q (want gv1, gvpass or gvsharded)", name)
+}
+
+// Schemes lists every scheme, for tests and CI gates that must cover all.
+func Schemes() []Scheme { return []Scheme{GV1, GVPassOnFailure, GVSharded} }
+
+// maxStripes bounds the sharded clock's footprint; beyond ~16 stripes the
+// O(stripes) Now() scan costs readers more than commit spreading saves.
+const maxStripes = 16
+
+// padded is one clock word alone on its cache line, so commits through one
+// stripe do not invalidate the line of another.
+type padded struct {
+	v atomic.Uint64
+	_ [56]byte
+}
 
 // Clock is a monotonically increasing global version counter.
 //
-// The zero value is ready to use and starts at version 0: freshly created
-// memory cells carry version 0 so they are readable by every transaction.
+// The zero value is ready to use as a GV1 clock and starts at version 0:
+// freshly created memory cells carry version 0 so they are readable by
+// every transaction. Other schemes are built with NewScheme.
 type Clock struct {
-	t atomic.Uint64
+	scheme  Scheme
+	mask    uint64 // len(stripes)-1; stripe counts are powers of two
+	_       [48]byte
+	t       padded   // the clock word of GV1 and GVPassOnFailure
+	stripes []padded // GVSharded only
 }
 
-// New returns a clock starting at version 0.
-func New() *Clock {
-	return &Clock{}
+// New returns a GV1 clock starting at version 0.
+func New() *Clock { return NewScheme(GV1) }
+
+// NewScheme returns a clock of the given scheme starting at version 0.
+// GVSharded sizes itself to the host (a power of two near GOMAXPROCS,
+// capped at 16 stripes).
+func NewScheme(s Scheme) *Clock {
+	c := &Clock{scheme: s}
+	if s == GVSharded {
+		n := stripeCount()
+		c.mask = uint64(n - 1)
+		c.stripes = make([]padded, n)
+	}
+	return c
 }
+
+// stripeCount picks the sharded stripe width: the smallest power of two
+// covering GOMAXPROCS, at least 2, at most maxStripes.
+func stripeCount() int {
+	target := runtime.GOMAXPROCS(0)
+	if target > maxStripes {
+		target = maxStripes
+	}
+	n := 2
+	for n < target {
+		n <<= 1
+	}
+	return n
+}
+
+// Scheme reports the clock's commit-versioning scheme.
+func (c *Clock) Scheme() Scheme { return c.scheme }
 
 // Now returns the current version without advancing the clock.
 // Transactions call it to obtain their read version (classic), their
 // snapshot upper bound (snapshot), or a piece read version (elastic).
 func (c *Clock) Now() uint64 {
-	return c.t.Load()
+	if c.scheme != GVSharded {
+		return c.t.v.Load()
+	}
+	var m uint64
+	for i := range c.stripes {
+		if v := c.stripes[i].v.Load(); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
-// Advance increments the clock and returns the new version. Committing
-// update transactions call it exactly once to obtain their write version.
+// Commit draws a write version for a committing update transaction. hint
+// spreads commits across stripes under GVSharded (callers pass a cheap
+// per-committer value, e.g. a transaction-ID block); other schemes ignore
+// it.
+//
+// strict reports that the "wv == rv+1 ⇒ no concurrent commit intervened"
+// inference is licensed: write versions are unique and drawn in the order
+// they are published, so a version adjacent to the committer's read
+// version proves quiescence. Only GV1 provides this. When strict is false
+// (GVPassOnFailure: shared/adopted versions; GVSharded: out-of-order
+// publication), the caller must validate its read set unconditionally.
+//
+// Caller contract: Commit must be called with ALL of the transaction's
+// write locks already held, and the locks released only after the new
+// records are installed. The non-strict schemes' opacity argument rests on
+// exactly this lock-then-draw ordering — it guarantees any reader whose
+// read version admits wv began after the locks were taken, so no reader
+// can mix a committer's old and new values. Drawing wv before locking
+// (a legal ordering in some TL2 variants) would silently break them.
+func (c *Clock) Commit(hint uint64) (wv uint64, strict bool) {
+	switch c.scheme {
+	case GVPassOnFailure:
+		cur := c.t.v.Load()
+		if c.t.v.CompareAndSwap(cur, cur+1) {
+			return cur + 1, false
+		}
+		// Lost the race: adopt the winner's (or a later) value. The
+		// reload is ≥ cur+1 > the adopter's read version, because cur
+		// was sampled after the adopter's reads and the clock is
+		// monotone — so adopted versions still order after everything
+		// the transaction observed.
+		return c.t.v.Load(), false
+	case GVSharded:
+		i := hint & c.mask
+		n := uint64(len(c.stripes))
+		for {
+			// Order matters: read the own stripe BEFORE scanning the
+			// maximum. The scan includes the own stripe, so m >= old and
+			// next > old; the CAS then succeeds only if the stripe still
+			// holds the pre-scan value. (CASing against a value re-read
+			// after the scan could trivially succeed with next <= old,
+			// re-issuing or regressing versions.)
+			old := c.stripes[i].v.Load()
+			m := c.Now()
+			// Smallest value > m with residue i (mod n): commits publish
+			// versions strictly above everything any stripe had published
+			// at scan time, preserving global monotonicity.
+			next := m + 1 + (i+n-(m+1)%n)%n
+			if c.stripes[i].v.CompareAndSwap(old, next) {
+				// strict=false: versions are unique, but a committer
+				// preempted between its scan and its CAS can publish a
+				// version below another stripe's already-published
+				// maximum, so "wv == rv+1" does not prove the absence of
+				// a concurrent commit. Callers must always validate.
+				return next, false
+			}
+			// Same-stripe race: recompute against the fresh maximum.
+		}
+	default: // GV1
+		return c.t.v.Add(1), true
+	}
+}
+
+// Advance increments the clock and returns the fresh, unique new version.
+// It exists for tests and tools that need a version transition without a
+// committing transaction, so unlike Commit it never adopts a concurrent
+// winner's value: non-sharded schemes use a plain fetch-and-add and the
+// sharded scheme's Commit already issues unique versions.
 func (c *Clock) Advance() uint64 {
-	return c.t.Add(1)
+	if c.scheme != GVSharded {
+		return c.t.v.Add(1)
+	}
+	wv, _ := c.Commit(0)
+	return wv
 }
 
-// AdvanceBy increments the clock by delta and returns the new version.
-// It exists for tests that need to simulate clock skew between runs.
+// AdvanceBy advances the clock by at least delta and returns the new
+// version. It exists for tests that need to simulate clock skew between
+// runs.
 func (c *Clock) AdvanceBy(delta uint64) uint64 {
-	return c.t.Add(delta)
+	if c.scheme != GVSharded {
+		return c.t.v.Add(delta)
+	}
+	n := uint64(len(c.stripes))
+	for {
+		// Same read-own-stripe-then-scan discipline as Commit, so the
+		// CAS cannot regress the stripe.
+		old := c.stripes[0].v.Load()
+		m := c.Now()
+		// Smallest multiple of n that is ≥ m+delta keeps stripe 0's
+		// residue while jumping by at least delta.
+		next := (m + delta + n - 1) / n * n
+		if next <= m {
+			next += n
+		}
+		if c.stripes[0].v.CompareAndSwap(old, next) {
+			return next
+		}
+	}
 }

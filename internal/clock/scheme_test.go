@@ -1,0 +1,121 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSchemeRegistry pins the name round-trip every CLI flag relies on.
+func TestSchemeRegistry(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("ParseScheme(%q) = %v, want %v", s, got, s)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Fatal("ParseScheme accepted an unknown name")
+	}
+}
+
+// TestSchemeContract is the clock contract every scheme must honour, under
+// 64-goroutine hammering (run with -race in CI):
+//
+//  1. Now() never decreases;
+//  2. Commit() returns a version strictly above every Now() the committer
+//     sampled beforehand (write versions order after observed state);
+//  3. unique-version schemes (GV1, GVSharded) never issue the same write
+//     version twice; GVPassOnFailure may share versions by design;
+//  4. every scheme stays monotone in the sense of (2);
+//  5. after the storm, Now() is at least the largest issued version.
+func TestSchemeContract(t *testing.T) {
+	const (
+		workers = 64
+		per     = 500
+	)
+	for _, s := range Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			c := NewScheme(s)
+			issued := make([][]uint64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					vs := make([]uint64, 0, per)
+					prevNow := uint64(0)
+					for i := 0; i < per; i++ {
+						rv := c.Now()
+						if rv < prevNow {
+							t.Errorf("Now() went backwards: %d after %d", rv, prevNow)
+							return
+						}
+						prevNow = rv
+						wv, _ := c.Commit(uint64(w))
+						if wv <= rv {
+							t.Errorf("Commit() = %d not above prior Now() = %d", wv, rv)
+							return
+						}
+						vs = append(vs, wv)
+					}
+					issued[w] = vs
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			var max uint64
+			seen := make(map[uint64]int, workers*per)
+			for _, vs := range issued {
+				for _, v := range vs {
+					seen[v]++
+					if v > max {
+						max = v
+					}
+				}
+			}
+			if s != GVPassOnFailure {
+				for v, n := range seen {
+					if n > 1 {
+						t.Fatalf("unique-version scheme issued version %d %d times", v, n)
+					}
+				}
+			}
+			if s == GVSharded {
+				// Residue discipline: every stripe only publishes its own
+				// residue class, which is what makes versions unique.
+				n := uint64(len(c.stripes))
+				for i := range c.stripes {
+					v := c.stripes[i].v.Load()
+					if v != 0 && v%n != uint64(i) {
+						t.Fatalf("stripe %d holds %d (residue %d, want %d)", i, v, v%n, i)
+					}
+				}
+			}
+			if now := c.Now(); now < max {
+				t.Fatalf("final Now() = %d below largest issued version %d", now, max)
+			}
+		})
+	}
+}
+
+// TestShardedAdvanceBy pins the skew helper's contract on the striped
+// clock: the jump is at least delta and lands on stripe 0's residue.
+func TestShardedAdvanceBy(t *testing.T) {
+	c := NewScheme(GVSharded)
+	before := c.Now()
+	got := c.AdvanceBy(10)
+	if got < before+10 {
+		t.Fatalf("AdvanceBy(10) = %d, want >= %d", got, before+10)
+	}
+	if got%uint64(len(c.stripes)) != 0 {
+		t.Fatalf("AdvanceBy landed on %d, not a stripe-0 residue", got)
+	}
+	if c.Now() != got {
+		t.Fatalf("Now() = %d after AdvanceBy returned %d", c.Now(), got)
+	}
+}

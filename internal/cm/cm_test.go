@@ -3,6 +3,7 @@ package cm
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -74,14 +75,15 @@ func TestPoliciesMakeProgress(t *testing.T) {
 }
 
 // TestDecisions spot-checks each policy's arbitration logic using two live
-// transactions created through a scratch TM.
+// transactions. The handles come from separate scratch TMs: the runtime
+// pools handles per TM, so two completed transactions of one TM would
+// alias the same recycled handle. Distinct TMs pin distinct handles, and
+// the policies only consult age/identity/karma, never the owning TM.
 func TestDecisions(t *testing.T) {
-	tm := core.New()
-	// Materialize two Tx handles with different ages: run them to
-	// completion but keep the handles (they remain usable as CM inputs).
 	var older, younger *core.Tx
-	_ = tm.Atomically(core.Classic, func(tx *core.Tx) error { older = tx; return nil })
-	_ = tm.Atomically(core.Classic, func(tx *core.Tx) error { younger = tx; return nil })
+	_ = core.New().Atomically(core.Classic, func(tx *core.Tx) error { older = tx; return nil })
+	time.Sleep(2 * time.Millisecond) // distinct birth stamps for the age policies
+	_ = core.New().Atomically(core.Classic, func(tx *core.Tx) error { younger = tx; return nil })
 
 	if d := (Suicide{}).Arbitrate(younger, older, 0); d != core.DecisionAbortSelf {
 		t.Errorf("suicide: %v", d)

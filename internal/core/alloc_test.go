@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The zero-allocation transaction lifecycle is a load-bearing property of
+// the commit-path scalability work: a read-only Atomically call must not
+// touch the heap once the TM's handle pool is warm. These assertions are
+// the regression fence — any new allocation on the path (a closure passed
+// to sort, an event escaping, a slice regrown per call) trips them.
+
+// measureAllocs runs AllocsPerRun twice and keeps the smaller average: a
+// GC between runs may evict the handle pool and charge one refill
+// allocation to an unlucky iteration, which is not a hot-path regression.
+func measureAllocs(f func()) float64 {
+	a := testing.AllocsPerRun(200, f)
+	if a == 0 {
+		return 0
+	}
+	b := testing.AllocsPerRun(200, f)
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func TestReadOnlyTransactionsAllocateNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector builds defeat sync.Pool reuse by design")
+	}
+	for _, sem := range []Semantics{Classic, Elastic, Snapshot} {
+		for _, scheme := range []ClockScheme{ClockGV1, ClockGVPass, ClockGVSharded} {
+			t.Run(fmt.Sprintf("%s/%s", sem, scheme), func(t *testing.T) {
+				tm := New(WithClockScheme(scheme))
+				cells := make([]*Cell, 8)
+				for i := range cells {
+					cells[i] = tm.NewCell(i)
+				}
+				fn := func(tx *Tx) error {
+					for _, c := range cells {
+						_ = tx.Load(c)
+					}
+					return nil
+				}
+				// Warm the pool and the handle's read-set capacity.
+				for i := 0; i < 3; i++ {
+					if err := tm.Atomically(sem, fn); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := measureAllocs(func() {
+					if err := tm.Atomically(sem, fn); err != nil {
+						t.Error(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("read-only %s transaction allocates %.1f objects/op, want 0", sem, allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateTransactionsAllocateLittle fences the update path: the only
+// tolerated allocations are value boxing (storing a non-pointer into the
+// any-typed cell) and the fresh version record each commit installs.
+func TestUpdateTransactionsAllocateLittle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector builds defeat sync.Pool reuse by design")
+	}
+	tm := New()
+	c := tm.NewCell(0)
+	fn := func(tx *Tx) error {
+		v, _ := tx.Load(c).(int)
+		tx.Store(c, v+1) // +1 alloc: boxing; +1 alloc: the installed record
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if err := tm.Atomically(Classic, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := measureAllocs(func() {
+		if err := tm.Atomically(Classic, fn); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("single-cell update transaction allocates %.1f objects/op, want <= 3", allocs)
+	}
+}

@@ -41,6 +41,13 @@ func (d Decision) String() string {
 // may have just released); treating nil as "wait once more" is reasonable.
 // attempt counts consecutive arbitrations for the same conflict.
 //
+// The owner pointer may refer to a handle that has finished and been
+// recycled for a new transaction (handles are pooled): policies must only
+// consult owner through the race-free accessors ID, Birth, Priority, Work,
+// Killed and Kill — never Semantics, Attempt or the transactional
+// operations, which are exclusive to the owning goroutine. A stale owner
+// read yields a heuristically outdated but harmless answer.
+//
 // OnCommit and OnAbort let stateful policies (e.g. Karma) account for work.
 type ContentionManager interface {
 	Arbitrate(tx, owner *Tx, attempt int) Decision

@@ -2,7 +2,7 @@ package core
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 )
 
 // commit attempts to make the transaction's writes visible atomically.
@@ -17,8 +17,9 @@ import (
 //  2. acquire versioned locks on the write set in global cell-id order
 //     (deadlock freedom), arbitrating contention through the CM;
 //  3. draw the write version wv from the global clock;
-//  4. validate the read set (skippable when wv == rv+1: no concurrent
-//     commit happened since the transaction's reads were known valid);
+//  4. validate the read set (skippable under a strict clock scheme when
+//     wv == rv+1: no concurrent commit happened since the transaction's
+//     reads were known valid);
 //  5. install new records — keeping the configured number of past
 //     versions for snapshot readers — and release the locks at wv.
 func (tx *Tx) commit() bool {
@@ -33,14 +34,36 @@ func (tx *Tx) commit() bool {
 		tx.finish(statusCommitted)
 		tx.tm.stats.commits.Add(1)
 		tx.tm.stats.readOnlyCommits.Add(1)
-		tx.record(Event{Kind: EventCommit, TxID: tx.id, Attempt: tx.attempt,
+		tx.record(Event{Kind: EventCommit, TxID: tx.id.Load(), Attempt: tx.attempt,
 			Sem: tx.sem, Version: tx.rv})
 		return true
 	}
 
-	sort.Slice(tx.writes, func(i, j int) bool {
-		return tx.writes[i].cell.id < tx.writes[j].cell.id
-	})
+	// Sort the write set by cell ID. Typical write sets are a handful of
+	// entries and often already ordered (structures walk cells in creation
+	// order), so an inline insertion sort beats sort.Slice — which costs a
+	// closure allocation and reflection-based swaps — on every update
+	// commit. Large write sets fall back to the generic pdqsort to avoid
+	// going quadratic.
+	ws := tx.writes
+	const insertionSortMax = 32
+	if len(ws) <= insertionSortMax {
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j].cell.id < ws[j-1].cell.id; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+	} else {
+		slices.SortFunc(ws, func(a, b writeEntry) int {
+			switch {
+			case a.cell.id < b.cell.id:
+				return -1
+			case a.cell.id > b.cell.id:
+				return 1
+			}
+			return 0
+		})
+	}
 	for i := range tx.writes {
 		if !tx.acquire(&tx.writes[i]) {
 			reason := tx.abortReason
@@ -51,8 +74,12 @@ func (tx *Tx) commit() bool {
 		}
 	}
 
-	wv := tx.tm.clock.Advance()
-	if wv != tx.rv+1 {
+	// Draw the write version. Under a strict scheme, wv == rv+1 proves no
+	// concurrent commit intervened since the reads were validated, so the
+	// read set need not be re-checked; non-strict schemes (adopted/shared
+	// versions) must always validate.
+	wv, strict := tx.tm.clock.Commit(tx.idEnd / txIDBatch)
+	if !strict || wv != tx.rv+1 {
 		if !tx.validateReads() {
 			return tx.commitFail(len(tx.writes), AbortValidation)
 		}
@@ -69,7 +96,7 @@ func (tx *Tx) commit() bool {
 	}
 	tx.finish(statusCommitted)
 	tx.tm.stats.commits.Add(1)
-	tx.record(Event{Kind: EventCommit, TxID: tx.id, Attempt: tx.attempt,
+	tx.record(Event{Kind: EventCommit, TxID: tx.id.Load(), Attempt: tx.attempt,
 		Sem: tx.sem, Version: wv})
 	return true
 }
@@ -86,7 +113,7 @@ func (tx *Tx) commitFail(n int, reason AbortReason) bool {
 	}
 	tx.finish(statusAborted)
 	tx.abortReason = reason
-	tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+	tx.record(Event{Kind: EventAbort, TxID: tx.id.Load(), Attempt: tx.attempt,
 		Sem: tx.sem, Reason: reason})
 	return false
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose runtime (deliberately) defeats sync.Pool reuse and adds
+// instrumentation allocations — allocation-count assertions are
+// meaningless there.
+const raceEnabled = true

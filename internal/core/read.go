@@ -92,7 +92,7 @@ func (tx *Tx) readClassic(c *Cell) any {
 		}
 		tx.reads = append(tx.reads, readEntry{cell: c, ver: ver})
 		if tx.tm.recorder != nil {
-			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Cell: c.id, Version: ver})
 		}
 		return rec.value
@@ -124,7 +124,7 @@ func (tx *Tx) readElastic(c *Cell) any {
 		}
 		tx.pushWindow(c, ver)
 		if tx.tm.recorder != nil {
-			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Cell: c.id, Version: ver})
 		}
 		return rec.value
@@ -172,22 +172,33 @@ func (tx *Tx) windowValid() bool {
 
 // pushWindow appends a read to the elastic window, cutting the oldest
 // entry when the window overflows. A repeated read of a cell already in
-// the window refreshes its position instead of duplicating it.
+// the window refreshes its position instead of duplicating it. The window
+// is maintained in one left-shifting pass per push — no per-entry splices,
+// which would go quadratic under window churn on long traversals.
 func (tx *Tx) pushWindow(c *Cell, ver uint64) {
-	for i := range tx.window {
-		if tx.window[i].cell == c {
-			tx.window = append(tx.window[:i], tx.window[i+1:]...)
-			break
+	w := tx.window
+	for i := range w {
+		if w[i].cell == c {
+			// Refresh: slide the newer entries left over the stale one
+			// and reuse its slot at the end.
+			copy(w[i:], w[i+1:])
+			w[len(w)-1] = readEntry{cell: c, ver: ver}
+			return
 		}
 	}
-	tx.window = append(tx.window, readEntry{cell: c, ver: ver})
-	if len(tx.window) > tx.tm.windowSize {
-		drop := len(tx.window) - tx.tm.windowSize
-		tx.window = append(tx.window[:0], tx.window[drop:]...)
+	if len(w) >= tx.tm.windowSize {
+		// Cut: evict the oldest entries in the same shift that makes room
+		// for the new one.
+		drop := len(w) - tx.tm.windowSize + 1
+		copy(w, w[drop:])
+		w[len(w)-drop] = readEntry{cell: c, ver: ver}
+		tx.window = w[:len(w)-drop+1]
 		tx.cuts += drop
 		tx.tm.stats.cuts.Add(uint64(drop))
-		tx.record(Event{Kind: EventCut, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem})
+		tx.record(Event{Kind: EventCut, TxID: tx.id.Load(), Attempt: tx.attempt, Sem: tx.sem})
+		return
 	}
+	tx.window = append(w, readEntry{cell: c, ver: ver})
 }
 
 // readSnapshot returns the value current at the transaction's start time,
@@ -213,7 +224,7 @@ func (tx *Tx) readSnapshot(c *Cell) any {
 			tx.tm.stats.snapshotOld.Add(1)
 		}
 		if tx.tm.recorder != nil {
-			tx.record(Event{Kind: EventRead, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Cell: c.id, Version: hit.version})
 		}
 		return hit.value

@@ -192,6 +192,6 @@ func (tx *Tx) rollbackBranch() {
 		clear(tx.released)
 	}
 	if tx.tm.recorder != nil {
-		tx.record(Event{Kind: EventRollback, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem})
+		tx.record(Event{Kind: EventRollback, TxID: tx.id.Load(), Attempt: tx.attempt, Sem: tx.sem})
 	}
 }

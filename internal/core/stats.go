@@ -5,17 +5,26 @@ import "sync/atomic"
 // abortReasonCount is sized to index AbortReason values directly.
 const abortReasonCount = int(AbortExplicit) + 1
 
+// padUint64 is an atomic counter alone on its cache line. The stats
+// counters are bumped by every transaction on every core; packing them
+// into adjacent words would make logically independent counters (commits
+// on one worker, attempts on another) fight over the same line.
+type padUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
 // counters aggregates runtime statistics with atomic updates. One instance
 // lives in each TM; Stats() copies it out.
 type counters struct {
-	commits         atomic.Uint64
-	readOnlyCommits atomic.Uint64
-	attempts        atomic.Uint64
-	aborts          [abortReasonCount]atomic.Uint64
-	cuts            atomic.Uint64
-	snapshotOld     atomic.Uint64
-	kills           atomic.Uint64
-	extensions      atomic.Uint64
+	commits         padUint64
+	readOnlyCommits padUint64
+	attempts        padUint64
+	aborts          [abortReasonCount]padUint64
+	cuts            padUint64
+	snapshotOld     padUint64
+	kills           padUint64
+	extensions      padUint64
 }
 
 // Stats is a point-in-time snapshot of a TM's counters.

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -37,12 +37,61 @@ type TM struct {
 	backoffMax   time.Duration
 
 	stats      counters
-	nextCellID atomic.Uint64
-	nextTxID   atomic.Uint64
+	nextCellID padUint64 // drained in blocks of cellIDBatch via cellIDs
+	nextTxID   padUint64 // drained in blocks of txIDBatch by pooled handles
+
+	// txPool recycles Tx handles (and their read/write/window sets) across
+	// Atomically calls: with it, a read-only transaction allocates nothing.
+	txPool sync.Pool
+	// cellIDs recycles *cellIDBlock allocators so NewCell touches the
+	// global counter once per cellIDBatch cells instead of every call.
+	cellIDs sync.Pool
+}
+
+// cellIDBatch is how many cell identities one pooled allocator block draws
+// from the global counter at a time.
+const cellIDBatch = 64
+
+// cellIDBlock is a private run of pre-drawn cell IDs ([next, end)).
+type cellIDBlock struct{ next, end uint64 }
+
+// drawBlock refills a half-open run [next, end) of batch pre-drawn
+// identities from a shared counter — the one place the block arithmetic
+// lives for both transaction and cell IDs.
+func drawBlock(counter *padUint64, batch uint64) (next, end uint64) {
+	hi := counter.Add(batch)
+	return hi - batch + 1, hi + 1
 }
 
 // Option configures a TM.
 type Option func(*TM)
+
+// ClockScheme selects the commit-versioning algorithm of the TM's global
+// clock; see the internal/clock package for the trade-offs.
+type ClockScheme = clock.Scheme
+
+// Clock scheme labels, re-exported for callers configuring a TM.
+const (
+	// ClockGV1 is the single fetch-and-add clock word (the default).
+	ClockGV1 = clock.GV1
+	// ClockGVPass adopts the winner's value when the commit CAS fails
+	// (TL2's GV4); commits always validate their read sets.
+	ClockGVPass = clock.GVPassOnFailure
+	// ClockGVSharded stripes the clock across padded words so commits on
+	// different stripes never contend.
+	ClockGVSharded = clock.GVSharded
+)
+
+// WithClockScheme selects the global-clock commit-versioning scheme. The
+// default, ClockGV1, serializes all update commits on one fetch-and-add;
+// the alternatives trade that single hot word for either adopted (shared)
+// write versions (ClockGVPass) or striped unique versions
+// (ClockGVSharded). Every scheme preserves each semantics' guarantee —
+// cmd/stormcheck runs its storms and the exhaustive explorer under all of
+// them.
+func WithClockScheme(s ClockScheme) Option {
+	return func(tm *TM) { tm.clock = clock.NewScheme(s) }
+}
 
 // WithContentionManager installs a conflict-arbitration policy. The default
 // policy waits briefly and then aborts the blocked transaction.
@@ -147,8 +196,22 @@ func New(opts ...Option) *TM {
 
 // NewCell allocates a transactional memory location holding initial.
 // The cell starts at version 0, readable by every transaction.
+//
+// Cell IDs are drawn from pooled blocks, so IDs are unique and totally
+// ordered (all the commit lock order needs) but not dense in creation
+// order.
 func (tm *TM) NewCell(initial any) *Cell {
-	c := &Cell{id: tm.nextCellID.Add(1)}
+	b, _ := tm.cellIDs.Get().(*cellIDBlock)
+	if b == nil {
+		b = new(cellIDBlock)
+	}
+	if b.next == b.end {
+		b.next, b.end = drawBlock(&tm.nextCellID, cellIDBatch)
+	}
+	id := b.next
+	b.next++
+	tm.cellIDs.Put(b)
+	c := &Cell{id: id}
 	c.cur.Store(&record{value: initial, version: 0})
 	return c
 }
@@ -158,6 +221,9 @@ func (tm *TM) Stats() Stats { return tm.stats.snapshot() }
 
 // ClockNow exposes the current global version, for tests and tools.
 func (tm *TM) ClockNow() uint64 { return tm.clock.Now() }
+
+// ClockScheme reports which commit-versioning scheme the TM's clock uses.
+func (tm *TM) ClockScheme() ClockScheme { return tm.clock.Scheme() }
 
 // errRetryAttempt is the internal marker for "this attempt aborted, retry".
 var errRetryAttempt = errors.New("internal: retry attempt")
@@ -179,13 +245,86 @@ func (tm *TM) Atomically(sem Semantics, fn func(*Tx) error) error {
 	return tm.atomically(nil, sem, fn)
 }
 
+// getTx pulls a recycled handle from the pool (or allocates the first time
+// a P sees the TM) and stamps it with a fresh identity.
+func (tm *TM) getTx(sem Semantics) *Tx {
+	tx, _ := tm.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{tm: tm}
+	}
+	tx.begin(sem)
+	return tx
+}
+
+// maxPooledEntries caps the read/window capacity a pooled handle may keep:
+// one giant transaction must not pin its read set in the pool forever.
+const maxPooledEntries = 1 << 14
+
+// maxPooledWrites caps the kept capacity of the value-bearing slices
+// (writes, hooks). It is much smaller than maxPooledEntries because these
+// are zeroed on every putTx — the cap bounds that memclr — and typical
+// write sets are a handful of entries; a rare bulk-load transaction simply
+// reallocates next time instead of taxing every later reuse.
+const maxPooledWrites = 512
+
+// putTx returns a finished handle to the pool. Stale owner pointers held
+// briefly by contention managers may still observe the handle after this;
+// every accessor the ContentionManager contract permits on owner (ID,
+// Birth, Priority, Work, Killed, Kill) is atomic, so a late reader gets a
+// heuristically stale but race-free view (at worst a spurious cooperative
+// kill of the next transaction using the handle, which simply retries).
+//
+// Value- and closure-bearing state (buffered writes, Defer hooks, the
+// released set) is cleared so an idle pooled handle does not pin user
+// values or captured scopes: in the zero-allocation steady state GC runs
+// rarely, so the pool drains slowly. The read/window sets are deliberately
+// NOT cleared — they hold only cell pointers, and zeroing a traversal-
+// sized read set would memclr hundreds of kilobytes per transaction — so
+// an idle handle can transitively pin up to maxPooledEntries cells (and
+// their short record chains) per pooled handle until its next reuse. That
+// retention is bounded and rotates; the capacity cap above bounds the
+// worst case.
+func (tm *TM) putTx(tx *Tx) {
+	if cap(tx.reads) > maxPooledEntries {
+		tx.reads = nil
+	}
+	if cap(tx.window) > maxPooledEntries {
+		tx.window = nil
+	}
+	tx.writes = trimClear(tx.writes)
+	tx.onCommit = trimClear(tx.onCommit)
+	tx.onAbort = trimClear(tx.onAbort)
+	// The released map keeps its bucket array across clear(); drop an
+	// early-release-heavy transaction's map entirely so a pooled handle
+	// stays within the same bounded-retention policy as the slices.
+	if len(tx.released) > maxPooledWrites {
+		tx.released = nil
+	} else if len(tx.released) > 0 {
+		clear(tx.released)
+	}
+	tm.txPool.Put(tx)
+}
+
+// trimClear drops an oversized backing array entirely, and otherwise
+// zeroes it in full (dropping the references it pins), returning the slice
+// empty with capacity intact.
+func trimClear[E any](s []E) []E {
+	if cap(s) > maxPooledWrites {
+		return nil
+	}
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
 // atomically is the retry engine shared by Atomically, AtomicallyCtx and
 // OrElse. ctx may be nil (no cancellation).
 func (tm *TM) atomically(ctx context.Context, sem Semantics, fn func(*Tx) error) error {
 	if !sem.Valid() {
 		return fmt.Errorf("atomically: invalid semantics %d", int(sem))
 	}
-	tx := newTx(tm, sem)
+	tx := tm.getTx(sem)
+	defer tm.putTx(tx)
 	var ws waitSet
 	for {
 		if ctx != nil {

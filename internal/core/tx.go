@@ -39,13 +39,24 @@ type writeEntry struct {
 //
 // One Tx value is reused across the retries of a single Atomically call so
 // contention managers can accumulate per-transaction state (age, karma)
-// across attempts.
+// across attempts. Handles are additionally recycled across Atomically
+// calls through the TM's pool (with a fresh identity each time), which is
+// what makes the read-only transaction lifecycle allocation-free.
+//
+// Recycling sharpens the "only valid inside the closure" contract: a
+// handle retained past its Atomically call soon becomes another
+// transaction's live handle, so out-of-contract use that previously
+// panicked deterministically (checkUsable) may instead alias the new
+// transaction. Never stash a *Tx.
 type Tx struct {
 	tm      *TM
-	id      uint64
 	sem     Semantics
 	attempt int
-	birth   time.Time // first attempt start; used by age-based CMs
+
+	// idNext/idEnd are the handle's private block of pre-drawn transaction
+	// IDs ([idNext, idEnd)); refilled from the TM's global counter once per
+	// txIDBatch transactions so the counter's cache line stays quiet.
+	idNext, idEnd uint64
 
 	rv uint64 // read version: classic start time / elastic piece start
 	ub uint64 // snapshot upper bound
@@ -76,27 +87,57 @@ type Tx struct {
 	// estimate without an atomic add on every memory access.
 	workLocal int64
 
-	// Fields below are read concurrently by contention managers.
+	// Fields below are read concurrently by contention managers (which may
+	// hold a stale owner pointer to a handle that has since been recycled
+	// for a new transaction, so identity and age are atomics too: a stale
+	// reader gets a heuristically wrong but race-free answer).
+	id       atomic.Uint64
+	birth    atomic.Int64 // first attempt start, nanos since processStart; age-based CMs
 	killed   atomic.Bool
 	priority atomic.Int64 // karma accumulated across attempts
 	work     atomic.Int64 // reads+writes performed in this attempt
 }
 
-// newTx allocates a transaction handle bound to tm.
-func newTx(tm *TM, sem Semantics) *Tx {
-	id := tm.nextTxID.Add(1)
-	return &Tx{
-		tm:    tm,
-		id:    id,
-		sem:   sem,
-		birth: time.Now(),
-		rnd:   id*2654435761 + 0x9e3779b97f4a7c15,
+// txIDBatch is how many transaction identities a pooled handle draws from
+// the TM's global counter at once. 64 turns the per-transaction global
+// fetch-and-add into one every 64 transactions.
+const txIDBatch = 64
+
+// processStart anchors transaction birth stamps. Ages are stored as
+// monotonic-clock offsets from this instant (not wall-clock nanos), so the
+// elder/younger ordering used by age-based contention managers is immune
+// to wall-clock steps.
+var processStart = time.Now()
+
+// begin stamps the handle with a fresh identity and per-call state; it is
+// the reset point of the pooled-transaction lifecycle.
+func (tx *Tx) begin(sem Semantics) {
+	if tx.idNext == tx.idEnd {
+		tx.idNext, tx.idEnd = drawBlock(&tx.tm.nextTxID, txIDBatch)
 	}
+	id := tx.idNext
+	tx.idNext++
+	tx.id.Store(id)
+	tx.sem = sem
+	tx.attempt = 0
+	tx.status = statusIdle
+	tx.birth.Store(int64(time.Since(processStart)))
+	tx.priority.Store(0)
+	tx.rnd = id*2654435761 + 0x9e3779b97f4a7c15
+}
+
+// newTx allocates a fresh, unpooled handle — the escape hatch for
+// white-box tests that drive the protocol below Atomically. The runtime
+// itself recycles handles through TM.getTx/putTx.
+func newTx(tm *TM, sem Semantics) *Tx {
+	tx := &Tx{tm: tm}
+	tx.begin(sem)
+	return tx
 }
 
 // ID returns the transaction's unique identity within its TM. The identity
 // is stable across retries of the same Atomically call.
-func (tx *Tx) ID() uint64 { return tx.id }
+func (tx *Tx) ID() uint64 { return tx.id.Load() }
 
 // Semantics returns the semantics label the transaction was started with.
 func (tx *Tx) Semantics() Semantics { return tx.sem }
@@ -105,8 +146,12 @@ func (tx *Tx) Semantics() Semantics { return tx.sem }
 func (tx *Tx) Attempt() int { return tx.attempt }
 
 // Birth returns when the transaction first started; age-based contention
-// managers (Greedy, Timestamp) prioritize older transactions.
-func (tx *Tx) Birth() time.Time { return tx.birth }
+// managers (Greedy, Timestamp) prioritize older transactions. The value
+// carries processStart's monotonic reading, so Before/Equal comparisons
+// between transactions order by true age.
+func (tx *Tx) Birth() time.Time {
+	return processStart.Add(time.Duration(tx.birth.Load()))
+}
 
 // flushEvery is how many accesses may pass between flushes of the local
 // work counter (and checks of the kill flag) on the read fast path.
@@ -173,7 +218,7 @@ func (tx *Tx) beginAttempt() {
 	tx.rv = now
 	tx.ub = now
 	tx.tm.stats.attempts.Add(1)
-	tx.record(Event{Kind: EventBegin, TxID: tx.id, Attempt: tx.attempt, Sem: tx.sem,
+	tx.record(Event{Kind: EventBegin, TxID: tx.id.Load(), Attempt: tx.attempt, Sem: tx.sem,
 		Version: now})
 }
 
@@ -189,19 +234,19 @@ func (tx *Tx) run(fn func(*Tx) error) (err error) {
 		case abortSignal:
 			tx.finish(statusAborted)
 			tx.abortReason = sig.reason
-			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventAbort, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Reason: sig.reason})
 			err = errRetryAttempt
 		case retrySignal:
 			// Status stays active until the engine captures the wait
 			// set; the recorder sees an abort (the attempt's accesses
 			// do not commit).
-			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventAbort, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Reason: AbortExplicit})
 			err = errBlockRetry
 		case permanentError:
 			tx.finish(statusAborted)
-			tx.record(Event{Kind: EventAbort, TxID: tx.id, Attempt: tx.attempt,
+			tx.record(Event{Kind: EventAbort, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Reason: AbortSemantics})
 			err = sig
 		default:
@@ -259,20 +304,21 @@ func (tx *Tx) Release(c *Cell) {
 		tx.released = make(map[*Cell]struct{}, 2)
 	}
 	tx.released[c] = struct{}{}
-	for i := 0; i < len(tx.reads); {
-		if tx.reads[i].cell == c {
-			tx.reads = append(tx.reads[:i], tx.reads[i+1:]...)
-			continue
+	tx.reads = compactOut(tx.reads, c)
+	tx.window = compactOut(tx.window, c)
+}
+
+// compactOut removes every entry for cell c in one in-place pass,
+// preserving order. The splice-per-hit alternative is quadratic when a
+// cell recurs (repeated reads of a hot location before its release).
+func compactOut(entries []readEntry, c *Cell) []readEntry {
+	out := entries[:0]
+	for _, e := range entries {
+		if e.cell != c {
+			out = append(out, e)
 		}
-		i++
 	}
-	for i := 0; i < len(tx.window); {
-		if tx.window[i].cell == c {
-			tx.window = append(tx.window[:i], tx.window[i+1:]...)
-			continue
-		}
-		i++
-	}
+	return out
 }
 
 // Defer registers side-effect hooks for the current attempt: onCommit

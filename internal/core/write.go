@@ -34,7 +34,7 @@ func (tx *Tx) Store(c *Cell, value any) {
 		tx.writes = append(tx.writes, writeEntry{cell: c, value: value})
 	}
 	if tx.tm.recorder != nil {
-		tx.record(Event{Kind: EventWrite, TxID: tx.id, Attempt: tx.attempt,
+		tx.record(Event{Kind: EventWrite, TxID: tx.id.Load(), Attempt: tx.attempt,
 			Sem: tx.sem, Cell: c.id})
 	}
 }

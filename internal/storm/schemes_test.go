@@ -1,0 +1,71 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// TestStormAcrossClockSchemes runs the seeded mixed-semantics storm under
+// every commit-versioning scheme: the relaxed clocks (adopted and striped
+// versions) must uphold exactly the guarantees the default clock does —
+// the observable-behavior obligation that lets WithClockScheme be a pure
+// performance knob.
+func TestStormAcrossClockSchemes(t *testing.T) {
+	for _, workload := range []string{"cells", "linkedlist", "bank"} {
+		for _, s := range clock.Schemes() {
+			t.Run(workload+"/"+s.String(), func(t *testing.T) {
+				rep, err := Run(Config{
+					Workload: workload,
+					Workers:  4,
+					Ops:      120,
+					Keys:     16,
+					Seed:     7,
+					Chaos:    10,
+					Clock:    s,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rerr := rep.Err(); rerr != nil {
+					t.Fatalf("scheme %s violated its guarantees: %v", s, rerr)
+				}
+				if rep.Stats.Commits == 0 {
+					t.Fatalf("scheme %s committed nothing", s)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreTinyAcrossClockSchemes drives one conflict-heavy tiny case
+// through every interleaving under each scheme. The write-skew shape is
+// the one a shared write version could break if a non-strict scheme ever
+// skipped read validation.
+func TestExploreTinyAcrossClockSchemes(t *testing.T) {
+	progs := []TinyProgram{
+		{Sem: core.Classic, Accesses: []history.Access{
+			{Kind: history.OpRead, Loc: "x"}, {Kind: history.OpWrite, Loc: "y"},
+		}},
+		{Sem: core.Classic, Accesses: []history.Access{
+			{Kind: history.OpRead, Loc: "y"}, {Kind: history.OpWrite, Loc: "x"},
+		}},
+	}
+	for _, s := range clock.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			rep, err := ExploreTiny("write-skew-"+s.String(), progs,
+				core.WithClockScheme(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rerr := rep.Err(); rerr != nil {
+				t.Fatalf("scheme %s failed exhaustive exploration: %v", s, rerr)
+			}
+			if rep.Schedules == 0 || rep.Commits == 0 {
+				t.Fatalf("scheme %s: degenerate exploration %+v", s, rep)
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package storm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Soak runs the benches' shared pre-sweep correctness storm: a quick
+// seeded mixed-semantics run over the linked list (the structure family
+// the Collection benchmark measures) with full history verification,
+// under the clock scheme about to be benchmarked. It returns an error when
+// the storm cannot run or when any transaction violated its guarantee —
+// the ROADMAP's "every perf run doubles as a correctness run".
+//
+// One definition keeps collectionbench and ablationbench soaking the same
+// configuration.
+func Soak(scheme core.ClockScheme) (*Report, error) {
+	rep, err := Run(Config{
+		Workload: "linkedlist",
+		Workers:  4,
+		Ops:      150,
+		Keys:     32,
+		Seed:     1,
+		Chaos:    10,
+		Clock:    scheme,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rerr := rep.Err(); rerr != nil {
+		return rep, fmt.Errorf("correctness soak failed, refusing to benchmark a broken runtime: %w", rerr)
+	}
+	return rep, nil
+}
