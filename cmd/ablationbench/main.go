@@ -62,11 +62,14 @@ func run(args []string) error {
 	if *soak {
 		// Every perf run doubles as a correctness run: the shared
 		// pre-sweep storm with full history verification.
-		rep, err := storm.Soak(core.ClockGV1)
+		reps, err := storm.Soak(core.ClockGV1)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("soak: %s\n\n", rep)
+		for _, rep := range reps {
+			fmt.Printf("soak: %s\n", rep)
+		}
+		fmt.Println()
 	}
 	var rec *bench.JSONRun
 	if *jsonOut {

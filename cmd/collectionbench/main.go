@@ -8,9 +8,13 @@
 //
 //	collectionbench [-fig 5|7|9|all] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
-//	                [-scheme gv1|gvpass|gvsharded] [-extra]
+//	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
 //	                [-json] [-out BENCH_collection.json] [-label run]
 //	                [-soak=true]
+//
+// -typed=false swaps the transactional lists for their untyped boxing
+// comparators (nodes in `any`-payload cells), so one binary measures what
+// the typed-cell records buy on the update path.
 //
 // Every sweep is preceded by a short mixed-semantics storm (internal/storm)
 // under the same clock scheme, so each performance run doubles as a
@@ -62,6 +66,7 @@ func run(args []string) error {
 		runLabel = fs.String("label", "run", "label recorded for this run in the trajectory")
 		schemeFl = fs.String("scheme", "gv1", "clock scheme for the transactional implementations")
 		soak     = fs.Bool("soak", true, "run a correctness storm before the sweep")
+		typed    = fs.Bool("typed", true, "bench the typed-cell lists; false swaps in the untyped boxing comparators")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +103,17 @@ func run(args []string) error {
 		}
 	default:
 		return fmt.Errorf("unknown figure %q (want 5, 7, 9 or all)", *fig)
+	}
+	if !*typed {
+		// The boxing comparator: the same figures over lists whose nodes
+		// live in untyped cells, so one binary measures the typed-cell win.
+		for i := range figures {
+			boxed, err := bench.BoxedVariant(figures[i])
+			if err != nil {
+				return err
+			}
+			figures[i] = boxed
+		}
 	}
 	if *soak {
 		if err := runSoak(scheme); err != nil {
@@ -160,13 +176,20 @@ func run(args []string) error {
 // runSoak runs the shared pre-sweep correctness storm (storm.Soak) under
 // the clock scheme about to be measured.
 func runSoak(scheme clock.Scheme) error {
-	fmt.Printf("soak: storm over linkedlist under %s … ", scheme)
-	rep, err := storm.Soak(scheme)
+	fmt.Printf("soak: storms over linkedlist+typedcells under %s … ", scheme)
+	reps, err := storm.Soak(scheme)
 	if err != nil {
 		fmt.Println("FAILED")
 		return err
 	}
-	fmt.Printf("ok (%d commits, %s)\n\n", rep.Stats.Commits, rep.Verdict)
+	fmt.Print("ok (")
+	for i, rep := range reps {
+		if i > 0 {
+			fmt.Print("; ")
+		}
+		fmt.Printf("%s: %d commits, %s", rep.Workload, rep.Stats.Commits, rep.Verdict)
+	}
+	fmt.Print(")\n\n")
 	return nil
 }
 

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	stormcheck [-workload skiplist|linkedlist|hashset|treemap|queue|cells|bank|all]
+//	stormcheck [-workload skiplist|linkedlist|hashset|treemap|queue|cells|typedcells|bank|all]
 //	           [-workers 4] [-ops 200] [-keys 32] [-seed 1]
 //	           [-mix 60,25,15] [-duration 0] [-chaos 10] [-window 2]
 //	           [-clock gv1|gvpass|gvsharded|all]

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/txstruct"
+)
+
+// boxedList is the sorted transactional linked list over UNTYPED cells —
+// algorithm-for-algorithm the same structure as txstruct.List, kept as the
+// boxing comparator for the -typed bench toggle. Every next-pointer load
+// pays an interface type assertion and every commit installs a fresh boxed
+// version record, which is exactly the tax the typed-cell migration
+// removed; benching both under one binary is what makes the win visible in
+// the JSON trajectory.
+//
+// It intentionally lives in the bench package, not txstruct: it is a
+// measurement artifact, not a data structure anyone should reach for.
+type boxedNode struct {
+	val  int
+	next *core.Cell // holds *boxedNode
+}
+
+type boxedList struct {
+	tm   *core.TM
+	cfg  txstruct.ListConfig
+	head *core.Cell // holds *boxedNode
+}
+
+var _ intset.Set = (*boxedList)(nil)
+
+func newBoxedList(tm *core.TM, cfg txstruct.ListConfig) *boxedList {
+	if cfg.Parse == 0 {
+		cfg.Parse = core.Classic
+	}
+	if cfg.Size == 0 {
+		cfg.Size = core.Classic
+	}
+	return &boxedList{tm: tm, cfg: cfg, head: tm.NewCell((*boxedNode)(nil))}
+}
+
+func loadBoxed(tx *core.Tx, c *core.Cell) *boxedNode {
+	n, ok := tx.Load(c).(*boxedNode)
+	if !ok {
+		panic(fmt.Sprintf("bench: boxed list cell holds %T, want *boxedNode", tx.Load(c)))
+	}
+	return n
+}
+
+func (l *boxedList) containsTx(tx *core.Tx, v int) bool {
+	curr := loadBoxed(tx, l.head)
+	for curr != nil && curr.val < v {
+		curr = loadBoxed(tx, curr.next)
+	}
+	return curr != nil && curr.val == v
+}
+
+func (l *boxedList) addTx(tx *core.Tx, v int) bool {
+	var prev *boxedNode
+	curr := loadBoxed(tx, l.head)
+	for curr != nil && curr.val < v {
+		prev = curr
+		curr = loadBoxed(tx, curr.next)
+	}
+	if curr != nil && curr.val == v {
+		return false
+	}
+	n := &boxedNode{val: v, next: l.tm.NewCell(curr)}
+	if prev == nil {
+		tx.Store(l.head, n)
+	} else {
+		tx.Store(prev.next, n)
+	}
+	return true
+}
+
+func (l *boxedList) removeTx(tx *core.Tx, v int) bool {
+	var prev *boxedNode
+	curr := loadBoxed(tx, l.head)
+	for curr != nil && curr.val < v {
+		prev = curr
+		curr = loadBoxed(tx, curr.next)
+	}
+	if curr == nil || curr.val != v {
+		return false
+	}
+	succ := loadBoxed(tx, curr.next)
+	if prev == nil {
+		tx.Store(l.head, succ)
+	} else {
+		tx.Store(prev.next, succ)
+	}
+	// Republish the removed node's next pointer, matching txstruct.List's
+	// removal discipline (parses paused on the node detect the removal).
+	tx.Store(curr.next, succ)
+	return true
+}
+
+func (l *boxedList) sizeTx(tx *core.Tx) int {
+	n := 0
+	for curr := loadBoxed(tx, l.head); curr != nil; curr = loadBoxed(tx, curr.next) {
+		n++
+	}
+	return n
+}
+
+// Contains implements intset.Set under the parse semantics.
+func (l *boxedList) Contains(v int) (bool, error) {
+	var found bool
+	err := l.tm.Atomically(l.cfg.Parse, func(tx *core.Tx) error {
+		found = l.containsTx(tx, v)
+		return nil
+	})
+	return found, err
+}
+
+// Add implements intset.Set under the parse semantics.
+func (l *boxedList) Add(v int) (bool, error) {
+	var added bool
+	err := l.tm.Atomically(l.cfg.Parse, func(tx *core.Tx) error {
+		added = l.addTx(tx, v)
+		return nil
+	})
+	return added, err
+}
+
+// Remove implements intset.Set under the parse semantics.
+func (l *boxedList) Remove(v int) (bool, error) {
+	var removed bool
+	err := l.tm.Atomically(l.cfg.Parse, func(tx *core.Tx) error {
+		removed = l.removeTx(tx, v)
+		return nil
+	})
+	return removed, err
+}
+
+// Size implements intset.Set under the size semantics.
+func (l *boxedList) Size() (int, error) {
+	var n int
+	err := l.tm.Atomically(l.cfg.Size, func(tx *core.Tx) error {
+		n = l.sizeTx(tx)
+		return nil
+	})
+	return n, err
+}
+
+// boxedListFactory builds an instrumented boxing-comparator factory.
+func boxedListFactory(name string, cfg txstruct.ListConfig, opts ...core.Option) Factory {
+	return Factory{
+		Name: name,
+		NewInstrumented: func() (intset.Set, StatsFn) {
+			tm := core.New(opts...)
+			return newBoxedList(tm, cfg), tm.Stats
+		},
+		SupportsAtomicSize: true,
+	}
+}
+
+// BoxedClassicSTMFactory is ClassicSTMFactory's untyped-cell twin.
+func BoxedClassicSTMFactory(opts ...core.Option) Factory {
+	return boxedListFactory("classic-stm-boxed", txstruct.ListConfig{
+		Parse: core.Classic, Size: core.Classic,
+	}, opts...)
+}
+
+// BoxedElasticMixedFactory is ElasticMixedFactory's untyped-cell twin.
+func BoxedElasticMixedFactory(opts ...core.Option) Factory {
+	return boxedListFactory("elastic+classic-boxed", txstruct.ListConfig{
+		Parse: core.Elastic, Size: core.Classic,
+	}, opts...)
+}
+
+// BoxedSnapshotMixedFactory is SnapshotMixedFactory's untyped-cell twin.
+func BoxedSnapshotMixedFactory(opts ...core.Option) Factory {
+	return boxedListFactory("elastic+snapshot-boxed", txstruct.ListConfig{
+		Parse: core.Elastic, Size: core.Snapshot,
+	}, opts...)
+}
+
+// BoxedVariant maps a figure onto its boxing comparators: every
+// transactional-list implementation is replaced by its untyped twin (other
+// impls — COW, baselines — pass through). Used by collectionbench's
+// -typed=false toggle. It errors when no implementation was swapped: a
+// "-boxed" figure that silently kept the typed lists would invalidate the
+// comparison the toggle exists for.
+func BoxedVariant(fig Figure) (Figure, error) {
+	out := fig
+	out.Name = fig.Name + "-boxed"
+	out.Caption = fig.Caption + " (untyped boxing cells)"
+	out.Impls = make([]Factory, len(fig.Impls))
+	swapped := 0
+	for i, f := range fig.Impls {
+		switch f.Name {
+		case "classic-stm":
+			out.Impls[i] = BoxedClassicSTMFactory(fig.stmOpts...)
+			swapped++
+		case "elastic+classic":
+			out.Impls[i] = BoxedElasticMixedFactory(fig.stmOpts...)
+			swapped++
+		case "elastic+snapshot":
+			out.Impls[i] = BoxedSnapshotMixedFactory(fig.stmOpts...)
+			swapped++
+		default:
+			out.Impls[i] = f
+		}
+	}
+	if swapped == 0 {
+		return Figure{}, fmt.Errorf("boxed variant of %q: no transactional list implementation recognized — factory names drifted?", fig.Name)
+	}
+	return out, nil
+}

@@ -152,6 +152,10 @@ type Figure struct {
 	Impls    []Factory
 	Workload Workload
 	Threads  []int
+	// stmOpts remembers the TM options the figure's transactional
+	// factories were built with, so BoxedVariant can rebuild their
+	// untyped twins under identical configuration.
+	stmOpts []core.Option
 }
 
 // DefaultThreads is the paper's sweep (1..64 hardware threads on the
@@ -168,6 +172,7 @@ func Figure5(w Workload, threads []int, opts ...core.Option) Figure {
 		Impls:    []Factory{ClassicSTMFactory(opts...), COWFactory()},
 		Workload: w,
 		Threads:  threads,
+		stmOpts:  opts,
 	}
 }
 
@@ -180,6 +185,7 @@ func Figure7(w Workload, threads []int, opts ...core.Option) Figure {
 		Impls:    []Factory{ElasticMixedFactory(opts...), ClassicSTMFactory(opts...), COWFactory()},
 		Workload: w,
 		Threads:  threads,
+		stmOpts:  opts,
 	}
 }
 
@@ -192,6 +198,7 @@ func Figure9(w Workload, threads []int, opts ...core.Option) Figure {
 		Impls:    []Factory{SnapshotMixedFactory(opts...), ClassicSTMFactory(opts...), COWFactory()},
 		Workload: w,
 		Threads:  threads,
+		stmOpts:  opts,
 	}
 }
 

@@ -19,6 +19,7 @@ package boost
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -169,17 +170,26 @@ func (s *SetView) ContainsTx(tx *core.Tx, v int) (bool, error) {
 // Transactions accumulate a private delta that is applied atomically at
 // commit, so concurrent updaters never conflict on the counter — the
 // database ancestor of the paper's snapshot-style relaxations.
+//
+// The committed value is a plain atomic (no mutex on the read path, no
+// boxing on the aggregate), and the per-transaction delta boxes recycle
+// through a pool — the same de-allocation treatment the typed-cell work
+// gave the runtime's own update path.
 type EscrowCounter struct {
-	mu    sync.Mutex
-	value int64
+	value atomic.Int64
 	// pending tracks per-transaction deltas registered this attempt, so
 	// reads inside the owning transaction see their own updates.
 	pending sync.Map // *core.Tx -> *int64
+	// boxPool recycles the delta boxes across transactions: a warm
+	// AddTx/commit cycle allocates nothing.
+	boxPool sync.Pool
 }
 
 // NewEscrowCounter returns a counter starting at initial.
 func NewEscrowCounter(initial int64) *EscrowCounter {
-	return &EscrowCounter{value: initial}
+	c := &EscrowCounter{}
+	c.value.Store(initial)
+	return c
 }
 
 // AddTx adds delta on behalf of tx, applied at commit and discarded on
@@ -190,17 +200,22 @@ func (c *EscrowCounter) AddTx(tx *core.Tx, delta int64) {
 		*(p.(*int64)) += delta
 		return
 	}
-	d := new(int64)
+	d, _ := c.boxPool.Get().(*int64)
+	if d == nil {
+		d = new(int64)
+	}
 	*d = delta
 	c.pending.Store(tx, d)
 	tx.Defer(
 		func() {
-			c.mu.Lock()
-			c.value += *d
-			c.mu.Unlock()
+			c.value.Add(*d)
 			c.pending.Delete(tx)
+			c.boxPool.Put(d)
 		},
-		func() { c.pending.Delete(tx) },
+		func() {
+			c.pending.Delete(tx)
+			c.boxPool.Put(d)
+		},
 	)
 }
 
@@ -209,9 +224,7 @@ func (c *EscrowCounter) AddTx(tx *core.Tx, delta int64) {
 // consistent with respect to other counters — the documented price of the
 // escrow relaxation.
 func (c *EscrowCounter) GetTx(tx *core.Tx) int64 {
-	c.mu.Lock()
-	v := c.value
-	c.mu.Unlock()
+	v := c.value.Load()
 	if p, ok := c.pending.Load(tx); ok {
 		v += *(p.(*int64))
 	}
@@ -220,7 +233,5 @@ func (c *EscrowCounter) GetTx(tx *core.Tx) int64 {
 
 // Value returns the committed value (no transaction required).
 func (c *EscrowCounter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.value
+	return c.value.Load()
 }

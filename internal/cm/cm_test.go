@@ -25,7 +25,11 @@ func TestNewRegistry(t *testing.T) {
 
 // TestPoliciesMakeProgress runs a deliberately conflicting workload under
 // every policy and requires full completion (no livelock/deadlock) with a
-// conserved invariant.
+// conserved invariant. The hot spot is hammered through BOTH cell faces —
+// the untyped Cell and a TypedCell[int] — because arbitration happens in
+// the shared engine below the typed skin: a policy must see identical
+// conflicts (and the same owner accessors) whichever entry point the
+// transactions used.
 func TestPoliciesMakeProgress(t *testing.T) {
 	for _, name := range Names() {
 		name := name
@@ -35,8 +39,10 @@ func TestPoliciesMakeProgress(t *testing.T) {
 				t.Fatal(err)
 			}
 			tm := core.New(core.WithContentionManager(policy))
-			// One hot cell hammered by all workers: worst-case conflicts.
+			// Two hot cells hammered by all workers: worst-case conflicts,
+			// split across the untyped and typed APIs.
 			hot := tm.NewCell(0)
+			hotTyped := core.NewTypedCell(tm, 0)
 			const (
 				workers = 4
 				incs    = 150
@@ -44,12 +50,19 @@ func TestPoliciesMakeProgress(t *testing.T) {
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
 					for i := 0; i < incs; i++ {
 						err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
-							v, _ := tx.Load(hot).(int)
-							tx.Store(hot, v+1)
+							if (w+i)%2 == 0 {
+								v, _ := tx.Load(hot).(int)
+								tx.Store(hot, v+1)
+								hotTyped.Store(tx, hotTyped.Load(tx)+1)
+							} else {
+								hotTyped.Store(tx, hotTyped.Load(tx)+1)
+								v, _ := tx.Load(hot).(int)
+								tx.Store(hot, v+1)
+							}
 							return nil
 						})
 						if err != nil {
@@ -57,22 +70,28 @@ func TestPoliciesMakeProgress(t *testing.T) {
 							return
 						}
 					}
-				}()
+				}(w)
 			}
 			wg.Wait()
-			var got int
+			var got, gotTyped int
 			if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
 				got, _ = tx.Load(hot).(int)
+				gotTyped = hotTyped.Load(tx)
 				return nil
 			}); err != nil {
 				t.Fatal(err)
 			}
-			if got != workers*incs {
-				t.Fatalf("hot counter = %d, want %d", got, workers*incs)
+			if got != workers*incs || gotTyped != workers*incs {
+				t.Fatalf("hot counters = %d/%d, want %d for both", got, gotTyped, workers*incs)
 			}
 		})
 	}
 }
+
+// The deterministic typed-path arbitration contract test (a held lock
+// observed through purely typed operations must reach Arbitrate with a
+// live owner handle) lives in internal/core's cm_typed_test.go, where the
+// white-box lock control needed to force the conflict exists.
 
 // TestDecisions spot-checks each policy's arbitration logic using two live
 // transactions. The handles come from separate scratch TMs: the runtime

@@ -6,19 +6,110 @@ import "sync/atomic"
 // hold the version of the last committed write (TL2 versioned lock).
 const lockedBit uint64 = 1
 
-// record is one immutable committed version of a cell's value. Updaters
-// keep a short chain of predecessors (two versions by default, per the
-// paper's section 5.1) so snapshot transactions can read into the past.
-// Records are never mutated after publication; truncating the history is
-// done by copying, which keeps readers race-free.
-type record struct {
-	value   any
-	version uint64
-	prev    *record
+// cellShape classifies how a cell's payload crosses the runtime. The shape
+// is fixed at cell creation (it is a property of the cell's static type T)
+// and decides both the in-flight representation and whether committed
+// records may be recycled:
+//
+//   - shapeWord: T is at most eight pointer-free bytes (int, bool, float64,
+//     small pure-value structs). The payload is bit-stored in an atomic
+//     word; records recycle through the cell's freelist, so a warm update
+//     commit allocates nothing.
+//   - shapePtr: T is a single pointer word (*S, map, chan, func,
+//     unsafe.Pointer). The payload is stored in an atomic pointer — still
+//     scanned by the GC — and records recycle.
+//   - shapeRef: everything else (interfaces, strings, slices, large
+//     structs). The payload is boxed into an `any` field that is immutable
+//     after publication, so records of shapeRef cells are never recycled:
+//     readers may copy the interface without synchronization.
+type cellShape uint8
+
+const (
+	shapeRef cellShape = iota
+	shapeWord
+	shapePtr
+)
+
+// rec is one committed version slot of a cell.
+//
+// Records of word- and pointer-shaped cells are RECYCLED: once retired from
+// the version chain they enter the cell's freelist and a later commit
+// rewrites them in place. Readers may therefore observe a record mid-rewrite,
+// which is safe under two rules enforced here:
+//
+//  1. every mutable field (word, ptr, version, prev) is atomic, so a torn
+//     racing read cannot happen at the memory level;
+//  2. readers bracket every record access between two loads of the cell's
+//     meta word and discard the copy unless both agree (see sample and
+//     sampleAt). Records are only rewritten while the cell's write lock is
+//     held, and every successful commit publishes a strictly larger version
+//     (each committer draws its write version after acquiring the lock, so
+//     after the previous writer pushed its version into the global clock —
+//     true under all clock schemes), so "meta unchanged across the bracket"
+//     proves no install — and hence no record rewrite — intervened. An
+//     aborting lock holder restores the old meta word, but aborts never
+//     touch records.
+//
+// The ref field is the exception: it is written once before the record is
+// published and never again (shapeRef records are excluded from recycling),
+// which is what lets readers copy the interface with a plain load.
+type rec struct {
+	word    atomic.Uint64        // shapeWord payload bits
+	ptr     atomic.Pointer[byte] // shapePtr payload (GC-visible)
+	version atomic.Uint64
+	prev    atomic.Pointer[rec] // older version, or freelist link when retired
+	ref     any                 // shapeRef payload; immutable after publication
 }
 
-// Cell is a single transactional memory location. It is the untyped
-// substrate under the public Var[T] API.
+// load copies the record's payload for a cell of shape s — only the field
+// the shape selects, keeping the per-read cost at one load. Callers must
+// validate the copy with a meta bracket before trusting it (see the rec
+// contract above).
+func (r *rec) load(s cellShape) vbox {
+	switch s {
+	case shapeWord:
+		return vbox{word: r.word.Load()}
+	case shapePtr:
+		// *byte → any is a static-type interface write: no allocation.
+		return vbox{ref: r.ptr.Load()}
+	default:
+		return vbox{ref: r.ref}
+	}
+}
+
+// set writes the payload into the record's shape-selected field. Only
+// callers holding the cell's lock (install) or owning an unpublished
+// record (initCell) may use it.
+func (r *rec) set(s cellShape, v vbox) {
+	switch s {
+	case shapeWord:
+		r.word.Store(v.word)
+	case shapePtr:
+		p, _ := v.ref.(*byte)
+		r.ptr.Store(p)
+	default:
+		r.ref = v.ref
+	}
+}
+
+// vbox carries one cell payload through the runtime — read results, write
+// buffers, installs — without committing to a representation: exactly one
+// of the fields is meaningful, selected by the cell's shape. It is the
+// untyped currency that lets one engine serve every TypedCell[T]
+// instantiation (and the untyped Cell) with a single code path.
+//
+// Pointer-shaped payloads travel in ref as a *byte (a static-type
+// interface write, so no allocation) and only land in the record's atomic
+// pointer field at install; keeping vbox at three words makes every read
+// return and write-set entry cheaper.
+type vbox struct {
+	word uint64
+	ref  any
+}
+
+// cell is the untyped engine under every transactional memory location:
+// the versioned lock, the version chain and the identity the commit path
+// sorts by. TypedCell[T] and Cell embed it and add only encoding.
 //
 // Layout:
 //   - meta: version<<1 | lockedBit — the versioned write lock;
@@ -26,20 +117,21 @@ type record struct {
 //   - owner: the transaction currently holding the write lock, for
 //     contention management and cooperative kill;
 //   - id:   unique per-TM identity used to sort commit-time lock
-//     acquisition, which makes commits deadlock-free.
+//     acquisition, which makes commits deadlock-free;
+//   - free: retired records awaiting reuse, linked through prev. Only the
+//     lock holder touches it.
 //
-// Cells must be created through TM.NewCell and used only with transactions
-// of the same TM: versions are meaningful only against one clock.
-type Cell struct {
+// Cells must be created through TM.NewCell / NewTypedCell and used only
+// with transactions of the same TM: versions are meaningful only against
+// one clock.
+type cell struct {
 	id    uint64
+	shape cellShape
 	meta  atomic.Uint64
-	cur   atomic.Pointer[record]
+	cur   atomic.Pointer[rec]
 	owner atomic.Pointer[Tx]
+	free  *rec
 }
-
-// ID returns the cell's unique identity within its TM. It is stable for
-// the life of the cell and is the identity used by the history recorder.
-func (c *Cell) ID() uint64 { return c.id }
 
 // version extracts the version from a meta word.
 func version(meta uint64) uint64 { return meta >> 1 }
@@ -47,26 +139,48 @@ func version(meta uint64) uint64 { return meta >> 1 }
 // isLocked reports whether a meta word carries the lock bit.
 func isLocked(meta uint64) bool { return meta&lockedBit != 0 }
 
-// sample reads a consistent (version, record) pair without locking: it
-// samples meta, loads the record, and resamples meta. ok is false when the
-// cell was locked or changed mid-sample; the caller retries or aborts.
-func (c *Cell) sample() (ver uint64, rec *record, ok bool) {
+// The flat read bracket — sample meta, copy the current record's payload,
+// resample meta, keep the copy only if both agree — is open-coded in
+// Tx.readClassic and Tx.readElastic (the shape dispatch pushed a helper
+// past the inliner's budget, and a call frame per read is measurable on
+// traversals). The payload copy happens INSIDE the meta bracket — that is
+// what makes record recycling safe (see rec). sampleAt below is the same
+// protocol extended with a chain walk for snapshot reads.
+
+// sampleAt walks the version chain for the newest record with version <=
+// ub and copies its payload, all inside one meta bracket. Used by snapshot
+// reads. ok is false when the cell was locked or changed mid-walk (retry);
+// tooOld reports that every retained version is newer than ub. cur is the
+// cell's newest version, letting the caller detect a past-version read.
+func (c *cell) sampleAt(ub uint64) (ver, cur uint64, v vbox, ok, tooOld bool) {
 	m1 := c.meta.Load()
 	if isLocked(m1) {
-		return 0, nil, false
+		return 0, 0, vbox{}, false, false
 	}
-	rec = c.cur.Load()
-	m2 := c.meta.Load()
-	if m1 != m2 {
-		return 0, nil, false
+	r := c.cur.Load()
+	for r != nil {
+		if rv := r.version.Load(); rv <= ub {
+			ver = rv
+			break
+		}
+		r = r.prev.Load()
 	}
-	return version(m1), rec, true
+	if r != nil {
+		v = r.load(c.shape)
+	}
+	if c.meta.Load() != m1 {
+		return 0, 0, vbox{}, false, false
+	}
+	if r == nil {
+		return 0, version(m1), vbox{}, true, true
+	}
+	return ver, version(m1), v, true, false
 }
 
 // tryLock attempts to acquire the versioned write lock for tx. It returns
 // the pre-lock version on success. It does not spin: arbitration on
 // contention is the caller's job (see Tx.acquire).
-func (c *Cell) tryLock(tx *Tx) (prevVersion uint64, ok bool) {
+func (c *cell) tryLock(tx *Tx) (prevVersion uint64, ok bool) {
 	m := c.meta.Load()
 	if isLocked(m) {
 		return 0, false
@@ -80,60 +194,78 @@ func (c *Cell) tryLock(tx *Tx) (prevVersion uint64, ok bool) {
 
 // unlock releases the lock, publishing newVersion. When the holder aborts
 // it passes the pre-lock version back, restoring the cell unchanged.
-func (c *Cell) unlock(newVersion uint64) {
+func (c *cell) unlock(newVersion uint64) {
 	c.owner.Store(nil)
 	c.meta.Store(newVersion << 1)
 }
 
-// install publishes value as the new current record with version wv,
-// retaining at most keep total versions. The caller must hold the lock.
+// install publishes v as the new current record with version wv, retaining
+// at most keep total versions. The caller must hold the lock.
 //
-// History is truncated by copying the last retained record with a nil
-// prev, never by mutating a published record, so concurrent snapshot
-// readers walking the chain are safe.
-func (c *Cell) install(value any, wv uint64, keep int) {
+// Word- and pointer-shaped cells draw the new record from the freelist and
+// push the version they retire back, so the steady state allocates nothing:
+// the update hot path cycles a fixed set of keep+1 records per cell.
+// Ref-shaped cells allocate a fresh record every install (their payload
+// field cannot be rewritten race-free) and drop retired ones to the GC —
+// the price of the untyped `any` representation, and the boxing tax the
+// typed API exists to avoid.
+func (c *cell) install(v vbox, wv uint64, keep int) {
 	old := c.cur.Load()
-	var prev *record
-	if keep > 1 && old != nil {
-		prev = truncate(old, keep-1)
+	var r *rec
+	if c.shape != shapeRef && c.free != nil {
+		r = c.free
+		c.free = r.prev.Load()
+	} else {
+		r = new(rec)
 	}
-	c.cur.Store(&record{value: value, version: wv, prev: prev})
+	r.set(c.shape, v)
+	r.version.Store(wv)
+	r.prev.Store(old)
+	c.cur.Store(r)
+	c.retire(r, keep)
 }
 
-// truncate returns a chain equivalent to rec limited to depth versions.
-// If rec is already short enough it is shared as-is; otherwise the chain
-// is copied up to the cut point.
-func truncate(rec *record, depth int) *record {
-	if chainLen(rec) <= depth {
-		return rec
-	}
-	// Copy the first depth records, dropping the rest.
-	head := &record{value: rec.value, version: rec.version}
+// retire cuts the version chain headed by head after keep records. The cut
+// is a single atomic store of the retained tail's prev: a snapshot reader
+// concurrently walking the chain either still sees the old suffix (its
+// meta bracket will reject the result, since retire only runs under the
+// lock mid-install) or sees nil and reports tooOld — exactly what it would
+// report a moment later anyway. Retired records of recycling shapes go to
+// the freelist; ref-shaped ones are left to the GC.
+func (c *cell) retire(head *rec, keep int) {
 	tail := head
-	for cur, i := rec.prev, 1; cur != nil && i < depth; cur, i = cur.prev, i+1 {
-		cp := &record{value: cur.value, version: cur.version}
-		tail.prev = cp
-		tail = cp
+	for i := 1; i < keep; i++ {
+		next := tail.prev.Load()
+		if next == nil {
+			return
+		}
+		tail = next
 	}
-	return head
+	retired := tail.prev.Load()
+	if retired == nil {
+		return
+	}
+	tail.prev.Store(nil)
+	if c.shape == shapeRef {
+		return
+	}
+	last := retired
+	for {
+		next := last.prev.Load()
+		if next == nil {
+			break
+		}
+		last = next
+	}
+	last.prev.Store(c.free)
+	c.free = retired
 }
 
-// chainLen counts records in a version chain.
-func chainLen(rec *record) int {
+// chainLen counts records in a version chain (tests and diagnostics).
+func chainLen(r *rec) int {
 	n := 0
-	for ; rec != nil; rec = rec.prev {
+	for ; r != nil; r = r.prev.Load() {
 		n++
 	}
 	return n
-}
-
-// readAt returns the newest record with version <= ub, or nil when every
-// retained version is newer. Used by snapshot reads.
-func readAt(rec *record, ub uint64) *record {
-	for ; rec != nil; rec = rec.prev {
-		if rec.version <= ub {
-			return rec
-		}
-	}
-	return nil
 }

@@ -90,7 +90,7 @@ func (tx *Tx) commit() bool {
 
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		w.cell.install(w.value, wv, tx.tm.keepVersions)
+		w.cell.install(w.val, wv, tx.tm.keepVersions)
 		w.cell.unlock(wv)
 		w.locked = false
 	}
@@ -172,7 +172,7 @@ func (tx *Tx) validateReads() bool {
 	}
 	// Reads of cells we locked ourselves validate against the pre-lock
 	// version; the write set is small, so a linear scan suffices.
-	check := func(c *Cell, ver uint64) bool {
+	check := func(c *cell, ver uint64) bool {
 		m := c.meta.Load()
 		if !isLocked(m) {
 			return version(m) == ver

@@ -557,49 +557,56 @@ func TestVersionChainTruncation(t *testing.T) {
 			return nil
 		})
 	}
-	if n := chainLen(c.cur.Load()); n > 3 {
+	if n := chainLen(c.h.cur.Load()); n > 3 {
 		t.Fatalf("version chain grew to %d, want <= 3", n)
 	}
 }
 
-func TestReadAt(t *testing.T) {
-	r3 := &record{value: "c", version: 30}
-	r2 := &record{value: "b", version: 20, prev: r3}
-	r1 := &record{value: "a", version: 10, prev: r2}
-	tests := []struct {
-		ub   uint64
-		want any
-	}{
-		{ub: 35, want: "a"},
-		{ub: 30, want: "a"}, // hmm: r1 has version 10 <= 30 -> newest <= ub is r1
-		{ub: 9, want: nil},
+func TestSampleAt(t *testing.T) {
+	// Build a three-version chain (10, 20, 30) and check that sampleAt
+	// returns the newest record with version <= ub, or tooOld below the
+	// retained horizon.
+	tm := New(WithMaxVersions(3))
+	c := NewTypedCell(tm, 0)
+	tx := newTx(tm, Classic)
+	tx.beginAttempt()
+	for i, wv := range []uint64{10, 20, 30} {
+		if _, ok := c.h.tryLock(tx); !ok {
+			t.Fatal("lock failed")
+		}
+		c.h.install(encodeVal(c.h.shape, i+1), wv, tm.keepVersions)
+		c.h.unlock(wv)
 	}
-	// Note: the chain is newest-first; readAt returns the newest record
-	// with version <= ub.
+	tx.finish(statusAborted)
+	tests := []struct {
+		ub     uint64
+		want   int
+		tooOld bool
+	}{
+		{ub: 35, want: 3},
+		{ub: 30, want: 3},
+		{ub: 25, want: 2},
+		{ub: 10, want: 1},
+		{ub: 9, tooOld: true},
+	}
 	for _, tt := range tests {
-		got := readAt(r1, tt.ub)
-		if tt.want == nil {
-			if got != nil {
-				t.Fatalf("readAt(ub=%d) = %v, want nil", tt.ub, got.value)
-			}
+		ver, cur, v, ok, tooOld := c.h.sampleAt(tt.ub)
+		if !ok {
+			t.Fatalf("sampleAt(%d) not ok on a quiescent cell", tt.ub)
+		}
+		if cur != 30 {
+			t.Fatalf("sampleAt(%d) cur = %d, want 30", tt.ub, cur)
+		}
+		if tooOld != tt.tooOld {
+			t.Fatalf("sampleAt(%d) tooOld = %v, want %v", tt.ub, tooOld, tt.tooOld)
+		}
+		if tt.tooOld {
 			continue
 		}
-		if got == nil {
-			t.Fatalf("readAt(ub=%d) = nil, want %v", tt.ub, tt.want)
+		if got := decodeVal[int](c.h.shape, v); got != tt.want || ver != uint64(tt.want*10) {
+			t.Fatalf("sampleAt(%d) = (%d, ver %d), want (%d, ver %d)",
+				tt.ub, got, ver, tt.want, tt.want*10)
 		}
-	}
-	// Proper newest-first chain.
-	n1 := &record{value: 1, version: 10}
-	n2 := &record{value: 2, version: 20, prev: n1}
-	n3 := &record{value: 3, version: 30, prev: n2}
-	if got := readAt(n3, 25); got == nil || got.value != 2 {
-		t.Fatalf("readAt(25) = %v, want 2", got)
-	}
-	if got := readAt(n3, 5); got != nil {
-		t.Fatalf("readAt(5) = %v, want nil", got.value)
-	}
-	if got := readAt(n3, 30); got == nil || got.value != 3 {
-		t.Fatalf("readAt(30) = %v, want 3", got)
 	}
 }
 

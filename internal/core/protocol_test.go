@@ -22,7 +22,7 @@ func TestSnapshotWaitsOutHeldLock(t *testing.T) {
 	c := tm.NewCell(10)
 	holder := newTx(tm, Classic)
 	holder.beginAttempt()
-	if _, ok := c.tryLock(holder); !ok {
+	if _, ok := c.h.tryLock(holder); !ok {
 		t.Fatal("could not take the lock")
 	}
 
@@ -47,8 +47,8 @@ func TestSnapshotWaitsOutHeldLock(t *testing.T) {
 	// Publish a new version and release; the snapshot started before the
 	// writer's version draw, so it reads the OLD value from the chain.
 	wv := tm.clock.Advance()
-	c.install(20, wv, tm.keepVersions)
-	c.unlock(wv)
+	c.h.install(vbox{ref: 20}, wv, tm.keepVersions)
+	c.h.unlock(wv)
 	select {
 	case v := <-got:
 		if v != 10 {
@@ -65,7 +65,7 @@ func TestClassicReadWaitsThenProceeds(t *testing.T) {
 	c := tm.NewCell(1)
 	holder := newTx(tm, Classic)
 	holder.beginAttempt()
-	if _, ok := c.tryLock(holder); !ok {
+	if _, ok := c.h.tryLock(holder); !ok {
 		t.Fatal("could not take the lock")
 	}
 	done := make(chan int, 1)
@@ -84,7 +84,7 @@ func TestClassicReadWaitsThenProceeds(t *testing.T) {
 	}
 	// Abort-release: version restored unchanged; the reader proceeds and
 	// sees the old value.
-	c.unlock(0)
+	c.h.unlock(0)
 	select {
 	case v := <-done:
 		if v != 1 {
@@ -103,20 +103,20 @@ func TestTryLockRefusesHeldCell(t *testing.T) {
 	b := newTx(tm, Classic)
 	a.beginAttempt()
 	b.beginAttempt()
-	if _, ok := c.tryLock(a); !ok {
+	if _, ok := c.h.tryLock(a); !ok {
 		t.Fatal("first lock failed")
 	}
-	if _, ok := c.tryLock(b); ok {
+	if _, ok := c.h.tryLock(b); ok {
 		t.Fatal("second lock succeeded on a held cell")
 	}
-	if owner := c.owner.Load(); owner != a {
+	if owner := c.h.owner.Load(); owner != a {
 		t.Fatalf("owner = %v, want a", owner)
 	}
-	c.unlock(0)
-	if _, ok := c.tryLock(b); !ok {
+	c.h.unlock(0)
+	if _, ok := c.h.tryLock(b); !ok {
 		t.Fatal("lock failed after release")
 	}
-	c.unlock(0)
+	c.h.unlock(0)
 	a.finish(statusAborted)
 	b.finish(statusAborted)
 }
@@ -129,55 +129,83 @@ func TestUnlockRestoresVersionOnAbort(t *testing.T) {
 		tx.Store(c, "y")
 		return nil
 	})
-	verBefore := version(c.meta.Load())
+	verBefore := version(c.h.meta.Load())
 	tx := newTx(tm, Classic)
 	tx.beginAttempt()
-	prev, ok := c.tryLock(tx)
+	prev, ok := c.h.tryLock(tx)
 	if !ok {
 		t.Fatal("lock failed")
 	}
 	if prev != verBefore {
 		t.Fatalf("tryLock returned version %d, want %d", prev, verBefore)
 	}
-	c.unlock(prev) // abort path: restore unchanged
-	if got := version(c.meta.Load()); got != verBefore {
+	c.h.unlock(prev) // abort path: restore unchanged
+	if got := version(c.h.meta.Load()); got != verBefore {
 		t.Fatalf("version after abort-release = %d, want %d", got, verBefore)
 	}
-	if isLocked(c.meta.Load()) {
+	if isLocked(c.h.meta.Load()) {
 		t.Fatal("cell still locked")
 	}
 	tx.finish(statusAborted)
 }
 
-func TestSampleDetectsLock(t *testing.T) {
+func TestSampleAtDetectsLock(t *testing.T) {
 	tm := New()
 	c := tm.NewCell(5)
-	if _, _, ok := c.sample(); !ok {
-		t.Fatal("sample of a quiescent cell failed")
+	if _, _, _, ok, _ := c.h.sampleAt(^uint64(0)); !ok {
+		t.Fatal("sampleAt of a quiescent cell failed")
 	}
 	tx := newTx(tm, Classic)
 	tx.beginAttempt()
-	c.tryLock(tx)
-	if _, _, ok := c.sample(); ok {
-		t.Fatal("sample succeeded on a locked cell")
+	c.h.tryLock(tx)
+	if _, _, _, ok, _ := c.h.sampleAt(^uint64(0)); ok {
+		t.Fatal("sampleAt succeeded on a locked cell")
 	}
-	c.unlock(0)
+	c.h.unlock(0)
 	tx.finish(statusAborted)
 }
 
-func TestTruncateSharesShortChains(t *testing.T) {
-	r1 := &record{value: 1, version: 1}
-	r2 := &record{value: 2, version: 2, prev: r1}
-	if got := truncate(r2, 2); got != r2 {
-		t.Fatal("short chain should be shared, not copied")
+func TestRetireRecyclesTypedRecords(t *testing.T) {
+	// A word-shaped cell cycles a fixed set of records: the record retired
+	// by one install must come back as the record installed two commits
+	// later (keep=2), proving the freelist actually recycles.
+	tm := New()
+	c := NewTypedCell(tm, 0)
+	tx := newTx(tm, Classic)
+	tx.beginAttempt()
+	seen := make(map[*rec]int)
+	for i := 1; i <= 8; i++ {
+		wv := tm.clock.Advance()
+		if _, ok := c.h.tryLock(tx); !ok {
+			t.Fatal("lock failed")
+		}
+		c.h.install(encodeVal(c.h.shape, i), wv, tm.keepVersions)
+		c.h.unlock(wv)
+		seen[c.h.cur.Load()]++
 	}
-	cut := truncate(r2, 1)
-	if cut == r2 || cut.prev != nil || cut.value != 2 {
-		t.Fatalf("truncate(2 records, depth 1) = %+v", cut)
+	tx.finish(statusAborted)
+	// keep=2 steady state touches at most keep+1 distinct records.
+	if len(seen) > tm.keepVersions+1 {
+		t.Fatalf("8 installs touched %d distinct records, want <= %d (recycling)",
+			len(seen), tm.keepVersions+1)
 	}
-	// Original chain untouched (immutable records).
-	if r2.prev != r1 {
-		t.Fatal("truncate mutated the source chain")
+	// An untyped (ref-shaped) cell must NOT recycle: records are immutable.
+	u := tm.NewCell(0)
+	useen := make(map[*rec]bool)
+	for i := 1; i <= 8; i++ {
+		wv := tm.clock.Advance()
+		tx2 := newTx(tm, Classic)
+		tx2.beginAttempt()
+		if _, ok := u.h.tryLock(tx2); !ok {
+			t.Fatal("lock failed")
+		}
+		u.h.install(vbox{ref: i}, wv, tm.keepVersions)
+		u.h.unlock(wv)
+		tx2.finish(statusAborted)
+		if useen[u.h.cur.Load()] {
+			t.Fatal("ref-shaped cell reused a record; published records must stay immutable")
+		}
+		useen[u.h.cur.Load()] = true
 	}
 }
 
@@ -188,23 +216,23 @@ func TestInstallKeepsConfiguredDepth(t *testing.T) {
 		wv := tm.clock.Advance()
 		tx := newTx(tm, Classic)
 		tx.beginAttempt()
-		if _, ok := c.tryLock(tx); !ok {
+		if _, ok := c.h.tryLock(tx); !ok {
 			t.Fatal("lock failed")
 		}
-		c.install(i, wv, tm.keepVersions)
-		c.unlock(wv)
+		c.h.install(vbox{ref: i}, wv, tm.keepVersions)
+		c.h.unlock(wv)
 		tx.finish(statusCommitted)
 	}
-	if n := chainLen(c.cur.Load()); n != 3 {
+	if n := chainLen(c.h.cur.Load()); n != 3 {
 		t.Fatalf("chain length %d, want 3", n)
 	}
 	// The retained versions are the newest three, in descending order.
-	rec := c.cur.Load()
+	r := c.h.cur.Load()
 	want := []int{6, 5, 4}
 	for i, w := range want {
-		if rec == nil || rec.value != w {
-			t.Fatalf("version %d: got %+v, want value %d", i, rec, w)
+		if r == nil || r.ref != w {
+			t.Fatalf("version %d: got %+v, want value %d", i, r, w)
 		}
-		rec = rec.prev
+		r = r.prev.Load()
 	}
 }

@@ -8,40 +8,47 @@ import "runtime"
 //
 // Load never returns an inconsistent value: attempts that observe a
 // conflict are unwound and retried by Atomically.
+//
+// Load is the untyped entry point; TypedCell.Load / LoadT are the typed
+// equivalents sharing the same engine (tx.load).
 func (tx *Tx) Load(c *Cell) any {
-	tx.checkUsable()
 	if c == nil {
 		panic("core: Load of nil cell")
 	}
+	return tx.load(&c.h).ref
+}
+
+// load is the shared read engine under every Load entry point, typed and
+// untyped: it consults the write set, then dispatches on the transaction's
+// semantics. It returns the payload still encoded; the caller decodes.
+func (tx *Tx) load(c *cell) vbox {
+	tx.checkUsable()
 	tx.step()
 	// Read-your-writes: the write set of list/set operations holds at
 	// most a handful of entries, so a linear scan beats a map.
 	for i := range tx.writes {
 		if tx.writes[i].cell == c {
-			return tx.writes[i].value
+			return tx.writes[i].val
 		}
 	}
-	var v any
 	switch tx.sem {
 	case Snapshot:
-		v = tx.readSnapshot(c)
+		return tx.readSnapshot(c)
 	case Elastic:
 		if tx.hasWrites {
-			v = tx.readClassic(c)
-		} else {
-			v = tx.readElastic(c)
+			return tx.readClassic(c)
 		}
+		return tx.readElastic(c)
 	default:
-		v = tx.readClassic(c)
+		return tx.readClassic(c)
 	}
-	return v
 }
 
 // waitCell handles an observed lock or torn sample on c during a read:
 // it spins within the TM's spin budget, then asks the contention manager.
 // It returns normally when the caller should resample, and unwinds the
 // attempt when the caller should give up.
-func (tx *Tx) waitCell(c *Cell, round int) {
+func (tx *Tx) waitCell(c *cell, round int) {
 	if round < tx.tm.spinBudget {
 		if round&7 == 7 {
 			runtime.Gosched()
@@ -73,13 +80,22 @@ func (tx *Tx) waitCell(c *Cell, round int) {
 // readClassic performs an opaque (TL2-style) read: the observed version
 // must not exceed the transaction's read version, and the read is recorded
 // for commit-time validation.
-func (tx *Tx) readClassic(c *Cell) any {
+func (tx *Tx) readClassic(c *cell) vbox {
 	for round := 0; ; round++ {
-		ver, rec, ok := c.sample()
-		if !ok {
+		// The sample bracket is open-coded here (and in readElastic): the
+		// shape dispatch pushed cell.sample past the inliner's budget, and
+		// a call frame per read is measurable on traversal workloads.
+		m1 := c.meta.Load()
+		if isLocked(m1) {
 			tx.waitCell(c, round)
 			continue
 		}
+		v := c.cur.Load().load(c.shape)
+		if c.meta.Load() != m1 {
+			tx.waitCell(c, round)
+			continue
+		}
+		ver := version(m1)
 		if ver > tx.rv {
 			// The location changed after this transaction started:
 			// serializing the transaction at its start time is no
@@ -95,7 +111,7 @@ func (tx *Tx) readClassic(c *Cell) any {
 			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Cell: c.id, Version: ver})
 		}
-		return rec.value
+		return v
 	}
 }
 
@@ -104,13 +120,19 @@ func (tx *Tx) readClassic(c *Cell) any {
 // reads is revalidated, and the oldest window entry beyond the window size
 // is cut away. Unlike a classic read there is no bound against the start
 // time: reading past a concurrent commit simply starts a new piece.
-func (tx *Tx) readElastic(c *Cell) any {
+func (tx *Tx) readElastic(c *cell) vbox {
 	for round := 0; ; round++ {
-		ver, rec, ok := c.sample()
-		if !ok {
+		m1 := c.meta.Load()
+		if isLocked(m1) {
 			tx.waitCell(c, round)
 			continue
 		}
+		v := c.cur.Load().load(c.shape)
+		if c.meta.Load() != m1 {
+			tx.waitCell(c, round)
+			continue
+		}
+		ver := version(m1)
 		// Validate the window: every recent read must still hold its
 		// recorded version, otherwise no consistent cut exists.
 		if !tx.windowValid() {
@@ -127,7 +149,7 @@ func (tx *Tx) readElastic(c *Cell) any {
 			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
 				Sem: tx.sem, Cell: c.id, Version: ver})
 		}
-		return rec.value
+		return v
 	}
 }
 
@@ -175,7 +197,7 @@ func (tx *Tx) windowValid() bool {
 // the window refreshes its position instead of duplicating it. The window
 // is maintained in one left-shifting pass per push — no per-entry splices,
 // which would go quadratic under window churn on long traversals.
-func (tx *Tx) pushWindow(c *Cell, ver uint64) {
+func (tx *Tx) pushWindow(c *cell, ver uint64) {
 	w := tx.window
 	for i := range w {
 		if w[i].cell == c {
@@ -206,27 +228,25 @@ func (tx *Tx) pushWindow(c *Cell, ver uint64) {
 // overwritten since. Snapshot reads wait out writers holding the lock (the
 // writer published its write version before locking was released, so
 // reading under the lock could tear a commit), but never abort them.
-func (tx *Tx) readSnapshot(c *Cell) any {
+func (tx *Tx) readSnapshot(c *cell) vbox {
 	for round := 0; ; round++ {
-		ver, rec, ok := c.sample()
+		ver, cur, v, ok, tooOld := c.sampleAt(tx.ub)
 		if !ok {
 			tx.waitCell(c, round)
 			continue
 		}
-		_ = ver
-		hit := readAt(rec, tx.ub)
-		if hit == nil {
+		if tooOld {
 			// Every retained version is newer than our snapshot:
 			// updaters only keep finitely many versions.
 			tx.abort(AbortSnapshotTooOld)
 		}
-		if hit != rec {
+		if ver != cur {
 			tx.tm.stats.snapshotOld.Add(1)
 		}
 		if tx.tm.recorder != nil {
 			tx.record(Event{Kind: EventRead, TxID: tx.id.Load(), Attempt: tx.attempt,
-				Sem: tx.sem, Cell: c.id, Version: hit.version})
+				Sem: tx.sem, Cell: c.id, Version: ver})
 		}
-		return hit.value
+		return v
 	}
 }

@@ -194,13 +194,24 @@ func New(opts ...Option) *TM {
 	return tm
 }
 
-// NewCell allocates a transactional memory location holding initial.
-// The cell starts at version 0, readable by every transaction.
+// NewCell allocates an untyped transactional memory location holding
+// initial. The cell starts at version 0, readable by every transaction.
+// Homogeneous hot paths should prefer NewTypedCell, whose specialized
+// representation keeps the update path allocation-free.
 //
 // Cell IDs are drawn from pooled blocks, so IDs are unique and totally
 // ordered (all the commit lock order needs) but not dense in creation
 // order.
 func (tm *TM) NewCell(initial any) *Cell {
+	c := &Cell{}
+	tm.initCell(&c.h, shapeRef, vbox{ref: initial})
+	return c
+}
+
+// initCell stamps a freshly allocated cell engine with its identity, shape
+// and initial version-0 record. It is the single construction point under
+// NewCell and NewTypedCell.
+func (tm *TM) initCell(c *cell, shape cellShape, v vbox) {
 	b, _ := tm.cellIDs.Get().(*cellIDBlock)
 	if b == nil {
 		b = new(cellIDBlock)
@@ -208,12 +219,13 @@ func (tm *TM) NewCell(initial any) *Cell {
 	if b.next == b.end {
 		b.next, b.end = drawBlock(&tm.nextCellID, cellIDBatch)
 	}
-	id := b.next
+	c.id = b.next
 	b.next++
 	tm.cellIDs.Put(b)
-	c := &Cell{id: id}
-	c.cur.Store(&record{value: initial, version: 0})
-	return c
+	c.shape = shape
+	r := new(rec)
+	r.set(shape, v)
+	c.cur.Store(r)
 }
 
 // Stats returns a snapshot of the runtime counters.

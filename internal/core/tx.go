@@ -17,18 +17,21 @@ const (
 
 // readEntry remembers one validated read: the cell and the version whose
 // value the transaction observed. Validation is exact-version: the entry is
-// valid as long as the cell still carries that version.
+// valid as long as the cell still carries that version. Entries reference
+// the untyped cell engine, so reads of Cell and every TypedCell[T]
+// instantiation land in one homogeneous read set.
 type readEntry struct {
-	cell *Cell
+	cell *cell
 	ver  uint64
 }
 
-// writeEntry buffers one write (redo log). prevVer holds the version the
-// cell carried when this transaction locked it at commit, used to restore
-// the cell on abort and to validate reads of self-locked cells.
+// writeEntry buffers one write (redo log) in the engine's encoded form:
+// typed stores park their payload here without boxing. prevVer holds the
+// version the cell carried when this transaction locked it at commit, used
+// to restore the cell on abort and to validate reads of self-locked cells.
 type writeEntry struct {
-	cell    *Cell
-	value   any
+	cell    *cell
+	val     vbox
 	prevVer uint64
 	locked  bool
 }
@@ -70,7 +73,7 @@ type Tx struct {
 	window []readEntry // elastic sliding window (oldest first)
 	// released holds early-released cells; allocated lazily since early
 	// release is a rare expert operation.
-	released map[*Cell]struct{}
+	released map[*cell]struct{}
 
 	hasWrites   bool
 	status      txStatus
@@ -296,12 +299,19 @@ func (tx *Tx) Restart() {
 // a composed caller still depends on breaks atomicity of the composition —
 // the documented addIfAbsent anomaly, demonstrated in the tests.
 func (tx *Tx) Release(c *Cell) {
-	tx.checkUsable()
 	if c == nil {
+		tx.checkUsable()
 		return
 	}
+	tx.release(&c.h)
+}
+
+// release is the shared early-release engine under Tx.Release and
+// TypedCell.Release.
+func (tx *Tx) release(c *cell) {
+	tx.checkUsable()
 	if tx.released == nil {
-		tx.released = make(map[*Cell]struct{}, 2)
+		tx.released = make(map[*cell]struct{}, 2)
 	}
 	tx.released[c] = struct{}{}
 	tx.reads = compactOut(tx.reads, c)
@@ -311,7 +321,7 @@ func (tx *Tx) Release(c *Cell) {
 // compactOut removes every entry for cell c in one in-place pass,
 // preserving order. The splice-per-hit alternative is quadratic when a
 // cell recurs (repeated reads of a hot location before its release).
-func compactOut(entries []readEntry, c *Cell) []readEntry {
+func compactOut(entries []readEntry, c *cell) []readEntry {
 	out := entries[:0]
 	for _, e := range entries {
 		if e.cell != c {

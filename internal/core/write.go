@@ -8,11 +8,22 @@ package core
 // The first Store of an elastic transaction seals its parse phase: the
 // current window becomes the seed read set of the final piece, which from
 // then on behaves like a classic transaction (section 4.2).
+//
+// Store is the untyped entry point and boxes non-pointer values;
+// TypedCell.Store / StoreT are the typed, allocation-free equivalents
+// sharing the same engine (tx.store).
 func (tx *Tx) Store(c *Cell, value any) {
-	tx.checkUsable()
 	if c == nil {
 		panic("core: Store to nil cell")
 	}
+	tx.store(&c.h, vbox{ref: value})
+}
+
+// store is the shared write engine under every Store entry point: it
+// enforces semantics, seals elastic parses, and buffers the encoded value
+// in the write set (redo log), deduplicating per cell.
+func (tx *Tx) store(c *cell, v vbox) {
+	tx.checkUsable()
 	tx.checkKilled()
 	if tx.sem == Snapshot {
 		panic(permanentError{err: &SemanticsError{Sem: Snapshot, Op: "store"}})
@@ -25,13 +36,13 @@ func (tx *Tx) Store(c *Cell, value any) {
 	updated := false
 	for i := range tx.writes {
 		if tx.writes[i].cell == c {
-			tx.writes[i].value = value
+			tx.writes[i].val = v
 			updated = true
 			break
 		}
 	}
 	if !updated {
-		tx.writes = append(tx.writes, writeEntry{cell: c, value: value})
+		tx.writes = append(tx.writes, writeEntry{cell: c, val: v})
 	}
 	if tx.tm.recorder != nil {
 		tx.record(Event{Kind: EventWrite, TxID: tx.id.Load(), Attempt: tx.attempt,

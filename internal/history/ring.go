@@ -1,0 +1,78 @@
+package history
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ringSize is the per-stripe buffer capacity. At 1024 events a stripe
+// amortizes its flush (one lock acquisition and one bulk copy into the
+// backing collector) over a thousand records, which is what lets a soak
+// with recording enabled run at bench speed instead of paying a mutex
+// round-trip and an append-growth check on every Load/Store.
+const ringSize = 1024
+
+// RingCollector is an allocation-free front buffer for a ShardedCollector:
+// events land in fixed-size per-stripe rings (stripe = TxID % shards, the
+// same mapping as the backing collector, so a transaction's events stay in
+// one stripe in program order) and are flushed in bulk when a ring fills.
+//
+// The rings are preallocated inline — the hot Record path never grows a
+// slice and never lets the event escape to the heap, closing the ROADMAP
+// "recorder path still allocates" follow-up. The backing collector remains
+// the storage of record: call Flush (or Events, which flushes) after the
+// workers stop to push the residue down.
+type RingCollector struct {
+	under *ShardedCollector
+	rings [shardCount]eventRing
+}
+
+type eventRing struct {
+	mu  sync.Mutex
+	n   int
+	buf [ringSize]core.Event
+	_   [64]byte // keep neighbouring stripes off one cache line's tail
+}
+
+var _ core.Recorder = (*RingCollector)(nil)
+
+// NewRingCollector returns a ring buffer recording into under.
+func NewRingCollector(under *ShardedCollector) *RingCollector {
+	return &RingCollector{under: under}
+}
+
+// Record implements core.Recorder: append to the event's stripe, flushing
+// the stripe into the backing collector when it fills.
+func (c *RingCollector) Record(ev core.Event) {
+	r := &c.rings[ev.TxID%shardCount]
+	r.mu.Lock()
+	r.buf[r.n] = ev
+	r.n++
+	if r.n == ringSize {
+		c.under.recordBatch(int(ev.TxID%shardCount), r.buf[:r.n])
+		r.n = 0
+	}
+	r.mu.Unlock()
+}
+
+// Flush pushes every stripe's residue into the backing collector. Call it
+// only after the recording workers have stopped (it does not snapshot
+// across stripes).
+func (c *RingCollector) Flush() {
+	for i := range c.rings {
+		r := &c.rings[i]
+		r.mu.Lock()
+		if r.n > 0 {
+			c.under.recordBatch(i, r.buf[:r.n])
+			r.n = 0
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Events flushes the rings and returns the backing collector's events.
+func (c *RingCollector) Events() []core.Event {
+	c.Flush()
+	return c.under.Events()
+}

@@ -1,0 +1,71 @@
+package history
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRingCollectorPreservesPerTxOrder(t *testing.T) {
+	rc := NewRingCollector(NewShardedCollector())
+	const txs, perTx = 40, ringSize + 37 // cross the flush boundary
+	var wg sync.WaitGroup
+	for id := 1; id <= txs; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < perTx; i++ {
+				rc.Record(core.Event{Kind: core.EventRead, TxID: id, Version: uint64(i)})
+			}
+		}(uint64(id))
+	}
+	wg.Wait()
+	evs := rc.Events()
+	if len(evs) != txs*perTx {
+		t.Fatalf("got %d events, want %d", len(evs), txs*perTx)
+	}
+	// Per-transaction program order (Version ascending) must survive the
+	// ring flushes, since Analyze depends on it.
+	next := make(map[uint64]uint64)
+	for _, ev := range evs {
+		if ev.Version != next[ev.TxID] {
+			t.Fatalf("tx %d: event version %d out of order (want %d)",
+				ev.TxID, ev.Version, next[ev.TxID])
+		}
+		next[ev.TxID]++
+	}
+}
+
+func TestRingCollectorFlushIsIdempotent(t *testing.T) {
+	rc := NewRingCollector(NewShardedCollector())
+	rc.Record(core.Event{Kind: core.EventBegin, TxID: 7})
+	rc.Flush()
+	rc.Flush()
+	if n := len(rc.Events()); n != 1 {
+		t.Fatalf("got %d events after double flush, want 1", n)
+	}
+}
+
+// TestRingCollectorAmortizesAllocations pins the point of the ring: the
+// per-event cost must be bulk-amortized — only the backing collector's
+// batch appends may allocate, not the per-event Record path.
+func TestRingCollectorAmortizesAllocations(t *testing.T) {
+	rc := NewRingCollector(NewShardedCollector())
+	const events = 100_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < events; i++ {
+		rc.Record(core.Event{Kind: core.EventRead, TxID: uint64(i % 8), Version: uint64(i)})
+	}
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	// Slice doubling on the backing shards costs O(log n) allocations; a
+	// per-event escape would cost O(n). Allow a generous margin.
+	if allocs > events/100 {
+		t.Fatalf("recording %d events cost %d allocations; the ring should amortize them away",
+			events, allocs)
+	}
+}

@@ -39,6 +39,17 @@ func (c *ShardedCollector) Record(ev core.Event) {
 	s.mu.Unlock()
 }
 
+// recordBatch appends a run of events into one shard under a single lock
+// acquisition — the bulk-flush path used by RingCollector. The caller
+// guarantees every event in the batch belongs to shard i (same TxID
+// residue), so per-transaction program order within the shard is kept.
+func (c *ShardedCollector) recordBatch(i int, evs []core.Event) {
+	s := &c.shards[i]
+	s.mu.Lock()
+	s.events = append(s.events, evs...)
+	s.mu.Unlock()
+}
+
 // Events returns the recorded events, shard by shard. Within a shard (and
 // therefore within a transaction) arrival order is preserved. Call it after
 // the workers have stopped; it does not snapshot across shards.

@@ -464,19 +464,29 @@ func checkQueueModel(log *history.ExecLog, recs []OpRecord) ([]int, error) {
 }
 
 // checkCellsModel replays raw-cell writes (last-writer-wins per cell) and
-// checks every read observation against the value timeline. It returns the
-// final value of every written cell.
+// checks every read observation — in read-only AND updater transactions —
+// against the value timeline. It returns the final value of every written
+// cell.
 func checkCellsModel(log *history.ExecLog, recs []OpRecord) (map[int]int, error) {
 	ctx := newReplayCtx(log, recs)
 	tl := newKeyTimeline(true, 0) // cells exist from the start, value 0
 
 	updaters, readOnly := ctx.partition()
 	for _, u := range updaters {
+		// Value-check the updater's reads BEFORE applying its writes: an
+		// updater's validated reads see the state just below its commit
+		// instant, never its own not-yet-applied installs.
+		if err := checkUpdaterReads(ctx, tl, u); err != nil {
+			return nil, err
+		}
 		for _, op := range u.rec.Ops {
-			if op.Kind != OpWrite {
+			switch op.Kind {
+			case OpWrite:
+				tl.apply(op.Key, u.ex.CommitVer, true, op.Val)
+			case OpRead: // checked above
+			default:
 				return nil, opErr(u.ex, op, "unexpected updater op")
 			}
-			tl.apply(op.Key, u.ex.CommitVer, true, op.Val)
 		}
 	}
 	for _, p := range readOnly {
@@ -512,4 +522,63 @@ func checkCellsModel(log *history.ExecLog, recs []OpRecord) (map[int]int, error)
 		finals[key] = cs[len(cs)-1].val
 	}
 	return finals, nil
+}
+
+// checkUpdaterReads value-checks the reads a committed UPDATER performed
+// (the ROADMAP gap: read-only observations were model-checked, updater
+// observations were not). The rules per semantics:
+//
+//   - a read of a cell the transaction itself wrote earlier in program
+//     order returns the buffered value (read-your-writes) and is never
+//     recorded by the runtime;
+//   - classic updaters validate every read at commit, so each read must
+//     equal the model state just below the commit instant (other writers
+//     cannot share the instant on the same cell: they would hold its lock);
+//   - elastic updaters only guarantee each pre-seal read within its own
+//     validity interval (cut reads are not revalidated at commit), so each
+//     recorded read is checked against its interval, exactly like the
+//     read-only elastic path.
+func checkUpdaterReads(ctx *replayCtx, tl *keyTimeline, u txPair) error {
+	ex := u.ex
+	// Recorded reads in program order: pre-seal reads are exactly the
+	// reads before the first write, so concatenation preserves order.
+	// Read-your-writes hits are answered from the write set and produce
+	// no record, which is why they are skipped in the zip below.
+	var reads []history.ReadObs
+	if ex.Sem == core.Elastic {
+		reads = make([]history.ReadObs, 0, len(ex.PreSealReads)+len(ex.PostSealReads))
+		reads = append(reads, ex.PreSealReads...)
+		reads = append(reads, ex.PostSealReads...)
+	}
+	ri := 0
+	pending := make(map[int]int)
+	for _, op := range u.rec.Ops {
+		switch op.Kind {
+		case OpWrite:
+			pending[op.Key] = op.Val
+		case OpRead:
+			if v, own := pending[op.Key]; own {
+				if op.Int != v {
+					return opErr(ex, op, "read-your-writes observed %d, buffered %d", op.Int, v)
+				}
+				continue
+			}
+			if ex.Sem == core.Elastic {
+				if ri >= len(reads) {
+					return opErr(ex, op, "no recorded read to pin the observation")
+				}
+				lo, hi := ctx.log.ValidInterval(reads[ri])
+				ri++
+				if !tl.matchesIn(op.Key, lo, hi, true, op.Int, true) {
+					return opErr(ex, op, "updater observed %d, never held in [%d,%d]", op.Int, lo, hi)
+				}
+				continue
+			}
+			if _, v := tl.at(op.Key, ex.CommitVer-1); v != op.Int {
+				return opErr(ex, op, "updater observed %d, model has %d just below instant %d",
+					op.Int, v, ex.CommitVer)
+			}
+		}
+	}
+	return nil
 }

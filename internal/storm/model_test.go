@@ -1,0 +1,113 @@
+package storm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// mustAnalyze digests a synthetic event stream.
+func mustAnalyze(t *testing.T, evs []core.Event) *history.ExecLog {
+	t.Helper()
+	log, err := history.Analyze(evs)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return log
+}
+
+// TestUpdaterReadValueChecked proves the updater-read value check is not
+// vacuous: a classic updater whose recorded observation contradicts the
+// serialization-order model must be rejected, and the true observation
+// must pass.
+func TestUpdaterReadValueChecked(t *testing.T) {
+	evs := []core.Event{
+		// tx1 installs key 1 = 5 at instant 1.
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 1},
+		// tx2 reads key 1 and writes key 2, committing at instant 2: its
+		// validated read must equal the model state just below 2 (= 5).
+		{Kind: core.EventBegin, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 1},
+		{Kind: core.EventRead, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 1, Version: 1},
+		{Kind: core.EventWrite, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 2},
+		{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 2},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Classic, Ops: []Op{{Kind: OpWrite, Key: 1, Val: 5}}},
+		{TxID: 2, Sem: core.Classic, Ops: []Op{
+			{Kind: OpRead, Key: 1, Int: 999}, // lie: model says 5
+			{Kind: OpWrite, Key: 2, Val: 7},
+		}},
+	}
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("bogus updater read observation passed the model check")
+	} else if !strings.Contains(err.Error(), "updater observed") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	recs[1].Ops[0].Int = 5
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err != nil {
+		t.Fatalf("true updater read observation rejected: %v", err)
+	}
+}
+
+// TestUpdaterReadYourWrites: a read following the transaction's own write
+// must observe the buffered value, and a contradicting record must fail.
+func TestUpdaterReadYourWrites(t *testing.T) {
+	evs := []core.Event{
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 1},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Classic, Ops: []Op{
+			{Kind: OpWrite, Key: 1, Val: 42},
+			{Kind: OpRead, Key: 1, Int: 41}, // must see its own 42
+		}},
+	}
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("read-your-writes violation passed the model check")
+	}
+	recs[0].Ops[1].Int = 42
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err != nil {
+		t.Fatalf("correct read-your-writes rejected: %v", err)
+	}
+}
+
+// TestElasticUpdaterReadsCheckedPerInterval: an elastic updater's pre-seal
+// read is held to ITS OWN validity interval — a value that never held
+// there fails even if it held later.
+func TestElasticUpdaterReadsCheckedPerInterval(t *testing.T) {
+	evs := []core.Event{
+		// Key 1 = 5 at instant 1, then = 9 at instant 4.
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 1},
+		{Kind: core.EventBegin, TxID: 3, Attempt: 1, Sem: core.Classic, Version: 3},
+		{Kind: core.EventWrite, TxID: 3, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventCommit, TxID: 3, Attempt: 1, Sem: core.Classic, Version: 4},
+		// Elastic tx2: pre-seal read of key 1 at version 1 (valid in
+		// [1,3]), then writes key 2, committing at instant 2.
+		{Kind: core.EventBegin, TxID: 2, Attempt: 1, Sem: core.Elastic, Version: 1},
+		{Kind: core.EventRead, TxID: 2, Attempt: 1, Sem: core.Elastic, Cell: 1, Version: 1},
+		{Kind: core.EventWrite, TxID: 2, Attempt: 1, Sem: core.Elastic, Cell: 2},
+		{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Elastic, Version: 2},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Classic, Ops: []Op{{Kind: OpWrite, Key: 1, Val: 5}}},
+		{TxID: 3, Sem: core.Classic, Ops: []Op{{Kind: OpWrite, Key: 1, Val: 9}}},
+		{TxID: 2, Sem: core.Elastic, Ops: []Op{
+			{Kind: OpRead, Key: 1, Int: 9}, // 9 only holds from instant 4 on
+			{Kind: OpWrite, Key: 2, Val: 7},
+		}},
+	}
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("out-of-interval elastic updater read passed the model check")
+	}
+	recs[2].Ops[0].Int = 5
+	if _, err := checkCellsModel(mustAnalyze(t, evs), recs); err != nil {
+		t.Fatalf("in-interval elastic updater read rejected: %v", err)
+	}
+}

@@ -26,9 +26,11 @@ type workload interface {
 	check(log *history.ExecLog, recs []OpRecord) error
 }
 
-// Workloads names every registered storm workload.
+// Workloads names every registered storm workload. "cells" runs over the
+// untyped Cell API, "typedcells" over TypedCell[int] — same operations,
+// same checker, both representations of the one engine kept honest.
 func Workloads() []string {
-	return []string{"cells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue"}
+	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue"}
 }
 
 func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
@@ -41,7 +43,9 @@ func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
 	elastic := window >= 2
 	switch name {
 	case "cells":
-		return newCellsWorkload(tm, keys), nil
+		return newCellsWorkload(tm, keys, false), nil
+	case "typedcells":
+		return newCellsWorkload(tm, keys, true), nil
 	case "bank":
 		return newBankWorkload(tm, keys, elastic), nil
 	case "linkedlist":
@@ -350,20 +354,49 @@ func (w *queueWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 
 // ---- raw cells ----
 
-type cellsWorkload struct {
-	tm    *core.TM
-	cells []*core.Cell
+// intSlot abstracts one int-valued transactional location so the cells
+// storm drives the untyped Cell API and the typed TypedCell[int] API
+// through identical operation streams (and one checker).
+type intSlot interface {
+	load(tx *core.Tx) int
+	store(tx *core.Tx, v int)
 }
 
-func newCellsWorkload(tm *core.TM, keys int) *cellsWorkload {
-	w := &cellsWorkload{tm: tm, cells: make([]*core.Cell, keys)}
+type untypedSlot struct{ c *core.Cell }
+
+func (s untypedSlot) load(tx *core.Tx) int {
+	v, _ := tx.Load(s.c).(int)
+	return v
+}
+func (s untypedSlot) store(tx *core.Tx, v int) { tx.Store(s.c, v) }
+
+type typedSlot struct{ c *core.TypedCell[int] }
+
+func (s typedSlot) load(tx *core.Tx) int     { return s.c.Load(tx) }
+func (s typedSlot) store(tx *core.Tx, v int) { s.c.Store(tx, v) }
+
+type cellsWorkload struct {
+	tm    *core.TM
+	tag   string
+	cells []intSlot
+}
+
+func newCellsWorkload(tm *core.TM, keys int, typed bool) *cellsWorkload {
+	w := &cellsWorkload{tm: tm, tag: "cells", cells: make([]intSlot, keys)}
+	if typed {
+		w.tag = "typedcells"
+	}
 	for i := range w.cells {
-		w.cells[i] = tm.NewCell(0)
+		if typed {
+			w.cells[i] = typedSlot{c: core.NewTypedCell(tm, 0)}
+		} else {
+			w.cells[i] = untypedSlot{c: tm.NewCell(0)}
+		}
 	}
 	return w
 }
 
-func (w *cellsWorkload) name() string { return "cells" }
+func (w *cellsWorkload) name() string { return w.tag }
 
 func (w *cellsWorkload) prepopulate(*rand.Rand) ([]OpRecord, error) { return nil, nil }
 
@@ -389,18 +422,40 @@ func (w *cellsWorkload) pickCells(rng *rand.Rand) []int {
 
 func (w *cellsWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 	keys := w.pickCells(rng)
-	if rng.Intn(100) < 50 {
+	roll := rng.Intn(100)
+	switch {
+	case roll < 40:
+		// Mixed updater: reads and writes interleave in one transaction,
+		// so the checker gets updater-read observations to value-check
+		// (a pure-write transaction proves nothing about what updaters
+		// SEE, only about what they install).
+		var ops []Op
+		for _, k := range keys {
+			switch rng.Intn(3) {
+			case 0:
+				ops = append(ops, Op{Kind: OpWrite, Key: k, Val: rng.Intn(1 << 20)})
+			case 1:
+				ops = append(ops, Op{Kind: OpRead, Key: k})
+			default: // read-modify-write of the same cell
+				ops = append(ops,
+					Op{Kind: OpRead, Key: k},
+					Op{Kind: OpWrite, Key: k, Val: rng.Intn(1 << 20)})
+			}
+		}
+		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic}), ops)
+	case roll < 50:
 		ops := make([]Op, len(keys))
 		for i, k := range keys {
 			ops[i] = Op{Kind: OpWrite, Key: k, Val: rng.Intn(1 << 20)}
 		}
 		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic}), ops)
+	default:
+		ops := make([]Op, len(keys))
+		for i, k := range keys {
+			ops[i] = Op{Kind: OpRead, Key: k}
+		}
+		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic, core.Snapshot}), ops)
 	}
-	ops := make([]Op, len(keys))
-	for i, k := range keys {
-		ops[i] = Op{Kind: OpRead, Key: k}
-	}
-	return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Elastic, core.Snapshot}), ops)
 }
 
 func (w *cellsWorkload) exec(sem core.Semantics, ops []Op) (OpRecord, error) {
@@ -410,10 +465,9 @@ func (w *cellsWorkload) exec(sem core.Semantics, ops []Op) (OpRecord, error) {
 		for i := range ops {
 			switch ops[i].Kind {
 			case OpWrite:
-				tx.Store(w.cells[ops[i].Key], ops[i].Val)
+				w.cells[ops[i].Key].store(tx, ops[i].Val)
 			case OpRead:
-				v, _ := tx.Load(w.cells[ops[i].Key]).(int)
-				ops[i].Int = v
+				ops[i].Int = w.cells[ops[i].Key].load(tx)
 			}
 		}
 		return nil
@@ -424,12 +478,12 @@ func (w *cellsWorkload) exec(sem core.Semantics, ops []Op) (OpRecord, error) {
 func (w *cellsWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 	finals, err := checkCellsModel(log, recs)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", w.tag, err)
 	}
 	return w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		for key, want := range finals {
-			if got, _ := tx.Load(w.cells[key]).(int); got != want {
-				return fmt.Errorf("cells: final cell %d = %d, model has %d", key, got, want)
+			if got := w.cells[key].load(tx); got != want {
+				return fmt.Errorf("%s: final cell %d = %d, model has %d", w.tag, key, got, want)
 			}
 		}
 		return nil
@@ -438,17 +492,20 @@ func (w *cellsWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 
 // ---- bank ----
 
+// bankWorkload runs over typed cells: transfers and audits move int
+// balances through the word-specialized records, so the soak's hot loop is
+// allocation-free like the benches it guards.
 type bankWorkload struct {
 	tm        *core.TM
-	accounts  []*core.Cell
+	accounts  []*core.TypedCell[int]
 	total     int
 	elasticOK bool // transfers read both accounts: need window >= 2
 }
 
 func newBankWorkload(tm *core.TM, keys int, elasticOK bool) *bankWorkload {
-	w := &bankWorkload{tm: tm, accounts: make([]*core.Cell, keys), total: 100 * keys, elasticOK: elasticOK}
+	w := &bankWorkload{tm: tm, accounts: make([]*core.TypedCell[int], keys), total: 100 * keys, elasticOK: elasticOK}
 	for i := range w.accounts {
-		w.accounts[i] = tm.NewCell(100)
+		w.accounts[i] = core.NewTypedCell(tm, 100)
 	}
 	return w
 }
@@ -473,10 +530,10 @@ func (w *bankWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 		var txid uint64
 		err := w.tm.Atomically(sem, func(tx *core.Tx) error {
 			txid = tx.ID()
-			fv, _ := tx.Load(w.accounts[from]).(int)
-			tv, _ := tx.Load(w.accounts[to]).(int)
-			tx.Store(w.accounts[from], fv-amount)
-			tx.Store(w.accounts[to], tv+amount)
+			fv := w.accounts[from].Load(tx)
+			tv := w.accounts[to].Load(tx)
+			w.accounts[from].Store(tx, fv-amount)
+			w.accounts[to].Store(tx, tv+amount)
 			return nil
 		})
 		return OpRecord{TxID: txid, Sem: sem,
@@ -491,8 +548,7 @@ func (w *bankWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 		txid = tx.ID()
 		sum = 0
 		for _, c := range w.accounts {
-			v, _ := tx.Load(c).(int)
-			sum += v
+			sum += c.Load(tx)
 		}
 		return nil
 	})
@@ -512,8 +568,7 @@ func (w *bankWorkload) check(_ *history.ExecLog, recs []OpRecord) error {
 	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		sum = 0
 		for _, c := range w.accounts {
-			v, _ := tx.Load(c).(int)
-			sum += v
+			sum += c.Load(tx)
 		}
 		return nil
 	}); err != nil {

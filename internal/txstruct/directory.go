@@ -17,13 +17,15 @@ var (
 	ErrNotFound = errors.New("name not found")
 )
 
-// dirEntry is one name binding; next holds a *dirEntry. Names are
-// immutable per entry; the bound file is a transactional cell so Lookup
-// and Rebind stay fine-grained.
+// dirEntry is one name binding; next is a typed cell holding the
+// successor *dirEntry, so directory walks carry entry pointers unboxed.
+// Names are immutable per entry; the bound file stays an untyped cell
+// (directories bind heterogeneous files), demonstrating typed and untyped
+// cells cohabiting in one structure — and in one transaction.
 type dirEntry struct {
 	name string
 	file *core.Cell // holds any
-	next *core.Cell // holds *dirEntry
+	next *core.TypedCell[*dirEntry]
 }
 
 // Directory maps names to files, the abstraction of the paper's section
@@ -33,29 +35,21 @@ type dirEntry struct {
 // depth-ordered locking.
 type Directory struct {
 	tm   *core.TM
-	head *core.Cell // holds *dirEntry, sorted by name
+	head *core.TypedCell[*dirEntry] // sorted by name
 }
 
 // NewDirectory builds an empty directory bound to tm.
 func NewDirectory(tm *core.TM) *Directory {
-	return &Directory{tm: tm, head: tm.NewCell((*dirEntry)(nil))}
-}
-
-func loadEntry(tx *core.Tx, c *core.Cell) *dirEntry {
-	e, ok := tx.Load(c).(*dirEntry)
-	if !ok {
-		panic(fmt.Sprintf("txstruct: directory cell holds %T, want *dirEntry", tx.Load(c)))
-	}
-	return e
+	return &Directory{tm: tm, head: core.NewTypedCell[*dirEntry](tm, nil)}
 }
 
 // find walks to name's position: prev is the entry before it (nil at
 // head), curr the entry at or after it.
 func (d *Directory) find(tx *core.Tx, name string) (prev, curr *dirEntry) {
-	curr = loadEntry(tx, d.head)
+	curr = d.head.Load(tx)
 	for curr != nil && curr.name < name {
 		prev = curr
-		curr = loadEntry(tx, curr.next)
+		curr = curr.next.Load(tx)
 	}
 	return prev, curr
 }
@@ -76,11 +70,11 @@ func (d *Directory) CreateTx(tx *core.Tx, name string, file any) error {
 	if curr != nil && curr.name == name {
 		return fmt.Errorf("create %q: %w", name, ErrExists)
 	}
-	e := &dirEntry{name: name, file: d.tm.NewCell(file), next: d.tm.NewCell(curr)}
+	e := &dirEntry{name: name, file: d.tm.NewCell(file), next: core.NewTypedCell(d.tm, curr)}
 	if prev == nil {
-		tx.Store(d.head, e)
+		d.head.Store(tx, e)
 	} else {
-		tx.Store(prev.next, e)
+		prev.next.Store(tx, e)
 	}
 	return nil
 }
@@ -93,13 +87,13 @@ func (d *Directory) RemoveTx(tx *core.Tx, name string) (any, error) {
 	if curr == nil || curr.name != name {
 		return nil, fmt.Errorf("remove %q: %w", name, ErrNotFound)
 	}
-	succ := loadEntry(tx, curr.next)
+	succ := curr.next.Load(tx)
 	if prev == nil {
-		tx.Store(d.head, succ)
+		d.head.Store(tx, succ)
 	} else {
-		tx.Store(prev.next, succ)
+		prev.next.Store(tx, succ)
 	}
-	tx.Store(curr.next, succ)
+	curr.next.Store(tx, succ)
 	return tx.Load(curr.file), nil
 }
 
@@ -134,7 +128,7 @@ func (d *Directory) Names() ([]string, error) {
 	var out []string
 	err := d.tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
 		out = out[:0]
-		for e := loadEntry(tx, d.head); e != nil; e = loadEntry(tx, e.next) {
+		for e := d.head.Load(tx); e != nil; e = e.next.Load(tx) {
 			out = append(out, e.name)
 		}
 		return nil

@@ -7,18 +7,20 @@
 package txstruct
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/intset"
 )
 
 // node is one list node. The value is immutable after creation (exactly
 // Algorithm 2's transactional structure: only the next pointer is shared
-// mutable state); next holds a *node and is nil-terminated.
+// mutable state); next is a typed cell holding the successor *node,
+// nil-terminated. The typed cell keeps the parse loops free of interface
+// boxing and type assertions, and its commit path recycles version
+// records, so add/remove commits do not allocate beyond the new node
+// itself.
 type node struct {
 	val  int
-	next *core.Cell
+	next *core.TypedCell[*node]
 }
 
 // ListConfig selects the semantics of each operation class, which is the
@@ -53,7 +55,7 @@ func (c *ListConfig) fill() {
 type List struct {
 	tm   *core.TM
 	cfg  ListConfig
-	head *core.Cell // holds *node
+	head *core.TypedCell[*node]
 }
 
 var (
@@ -64,25 +66,16 @@ var (
 // NewList builds an empty list bound to tm.
 func NewList(tm *core.TM, cfg ListConfig) *List {
 	cfg.fill()
-	return &List{tm: tm, cfg: cfg, head: tm.NewCell((*node)(nil))}
-}
-
-// loadNode reads a cell holding a *node.
-func loadNode(tx *core.Tx, c *core.Cell) *node {
-	n, ok := tx.Load(c).(*node)
-	if !ok {
-		panic(fmt.Sprintf("txstruct: list cell holds %T, want *node", tx.Load(c)))
-	}
-	return n
+	return &List{tm: tm, cfg: cfg, head: core.NewTypedCell[*node](tm, nil)}
 }
 
 // ContainsTx is the composable form of Contains: it runs inside the
 // caller's transaction, whose semantics governs (section 4.2: Bob labels
 // the composite).
 func (l *List) ContainsTx(tx *core.Tx, v int) bool {
-	curr := loadNode(tx, l.head)
+	curr := l.head.Load(tx)
 	for curr != nil && curr.val < v {
-		curr = loadNode(tx, curr.next)
+		curr = curr.next.Load(tx)
 	}
 	return curr != nil && curr.val == v
 }
@@ -93,19 +86,19 @@ func (l *List) ContainsTx(tx *core.Tx, v int) bool {
 // window, so the final write target is always covered.
 func (l *List) AddTx(tx *core.Tx, v int) bool {
 	var prev *node
-	curr := loadNode(tx, l.head)
+	curr := l.head.Load(tx)
 	for curr != nil && curr.val < v {
 		prev = curr
-		curr = loadNode(tx, curr.next)
+		curr = curr.next.Load(tx)
 	}
 	if curr != nil && curr.val == v {
 		return false
 	}
-	n := &node{val: v, next: l.tm.NewCell(curr)}
+	n := &node{val: v, next: core.NewTypedCell(l.tm, curr)}
 	if prev == nil {
-		tx.Store(l.head, n)
+		l.head.Store(tx, n)
 	} else {
-		tx.Store(prev.next, n)
+		prev.next.Store(tx, n)
 	}
 	return true
 }
@@ -117,28 +110,28 @@ func (l *List) AddTx(tx *core.Tx, v int) bool {
 // unlinked node conflict instead of losing their update.
 func (l *List) RemoveTx(tx *core.Tx, v int) bool {
 	var prev *node
-	curr := loadNode(tx, l.head)
+	curr := l.head.Load(tx)
 	for curr != nil && curr.val < v {
 		prev = curr
-		curr = loadNode(tx, curr.next)
+		curr = curr.next.Load(tx)
 	}
 	if curr == nil || curr.val != v {
 		return false
 	}
-	succ := loadNode(tx, curr.next)
+	succ := curr.next.Load(tx)
 	if prev == nil {
-		tx.Store(l.head, succ)
+		l.head.Store(tx, succ)
 	} else {
-		tx.Store(prev.next, succ)
+		prev.next.Store(tx, succ)
 	}
-	tx.Store(curr.next, succ)
+	curr.next.Store(tx, succ)
 	return true
 }
 
 // SizeTx counts the elements inside the caller's transaction.
 func (l *List) SizeTx(tx *core.Tx) int {
 	n := 0
-	for curr := loadNode(tx, l.head); curr != nil; curr = loadNode(tx, curr.next) {
+	for curr := l.head.Load(tx); curr != nil; curr = curr.next.Load(tx) {
 		n++
 	}
 	return n
@@ -148,7 +141,7 @@ func (l *List) SizeTx(tx *core.Tx) int {
 // transaction.
 func (l *List) ElementsTx(tx *core.Tx) []int {
 	var out []int
-	for curr := loadNode(tx, l.head); curr != nil; curr = loadNode(tx, curr.next) {
+	for curr := l.head.Load(tx); curr != nil; curr = curr.next.Load(tx) {
 		out = append(out, curr.val)
 	}
 	return out

@@ -1,74 +1,77 @@
 package txstruct
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 )
 
-// qnode is one queue node; next holds a *qnode.
-type qnode struct {
-	val  any
-	next *core.Cell
+// qnode is one queue node; the value is immutable after creation and next
+// is a typed cell holding the successor *qnode.
+type qnode[T any] struct {
+	val  T
+	next *core.TypedCell[*qnode[T]]
 }
 
-// Queue is a transactional FIFO queue. Enqueue and Dequeue run as classic
-// transactions (the endpoints are contention hot spots where relaxation
-// buys nothing); Len runs under the configured size semantics, so a
-// monitoring loop can measure a live queue without throttling it — the
-// same pattern as the paper's size operation.
-type Queue struct {
+// QueueOf is a typed transactional FIFO queue. Enqueue and Dequeue run as
+// classic transactions (the endpoints are contention hot spots where
+// relaxation buys nothing); Len runs under the configured size semantics,
+// so a monitoring loop can measure a live queue without throttling it —
+// the same pattern as the paper's size operation. The element type is
+// generic: QueueOf[int] moves its payloads unboxed end to end.
+type QueueOf[T any] struct {
 	tm      *core.TM
 	sizeSem core.Semantics
-	head    *core.Cell // holds *qnode
-	tail    *core.Cell // holds *qnode
+	head    *core.TypedCell[*qnode[T]]
+	tail    *core.TypedCell[*qnode[T]]
 }
 
-// NewQueue builds an empty queue; sizeSem selects Len's semantics
+// Queue is the untyped compatibility face: a FIFO of `any` values,
+// exactly QueueOf[any].
+type Queue = QueueOf[any]
+
+// NewQueue builds an empty untyped queue; sizeSem selects Len's semantics
 // (0 defaults to Snapshot).
 func NewQueue(tm *core.TM, sizeSem core.Semantics) *Queue {
+	return NewQueueOf[any](tm, sizeSem)
+}
+
+// NewQueueOf builds an empty typed queue; sizeSem selects Len's semantics
+// (0 defaults to Snapshot).
+func NewQueueOf[T any](tm *core.TM, sizeSem core.Semantics) *QueueOf[T] {
 	if sizeSem == 0 {
 		sizeSem = core.Snapshot
 	}
-	return &Queue{
+	return &QueueOf[T]{
 		tm:      tm,
 		sizeSem: sizeSem,
-		head:    tm.NewCell((*qnode)(nil)),
-		tail:    tm.NewCell((*qnode)(nil)),
+		head:    core.NewTypedCell[*qnode[T]](tm, nil),
+		tail:    core.NewTypedCell[*qnode[T]](tm, nil),
 	}
-}
-
-func loadQNode(tx *core.Tx, c *core.Cell) *qnode {
-	n, ok := tx.Load(c).(*qnode)
-	if !ok {
-		panic(fmt.Sprintf("txstruct: queue cell holds %T, want *qnode", tx.Load(c)))
-	}
-	return n
 }
 
 // EnqueueTx appends v inside the caller's transaction.
-func (q *Queue) EnqueueTx(tx *core.Tx, v any) {
-	n := &qnode{val: v, next: q.tm.NewCell((*qnode)(nil))}
-	t := loadQNode(tx, q.tail)
+func (q *QueueOf[T]) EnqueueTx(tx *core.Tx, v T) {
+	n := &qnode[T]{val: v, next: core.NewTypedCell[*qnode[T]](q.tm, nil)}
+	t := q.tail.Load(tx)
 	if t == nil {
-		tx.Store(q.head, n)
+		q.head.Store(tx, n)
 	} else {
-		tx.Store(t.next, n)
+		t.next.Store(tx, n)
 	}
-	tx.Store(q.tail, n)
+	q.tail.Store(tx, n)
 }
 
 // DequeueTx removes and returns the oldest element inside the caller's
 // transaction; ok is false when the queue is empty.
-func (q *Queue) DequeueTx(tx *core.Tx) (v any, ok bool) {
-	h := loadQNode(tx, q.head)
+func (q *QueueOf[T]) DequeueTx(tx *core.Tx) (v T, ok bool) {
+	h := q.head.Load(tx)
 	if h == nil {
-		return nil, false
+		var zero T
+		return zero, false
 	}
-	next := loadQNode(tx, h.next)
-	tx.Store(q.head, next)
+	next := h.next.Load(tx)
+	q.head.Store(tx, next)
 	if next == nil {
-		tx.Store(q.tail, (*qnode)(nil))
+		q.tail.Store(tx, nil)
 	}
 	return h.val, true
 }
@@ -77,8 +80,8 @@ func (q *Queue) DequeueTx(tx *core.Tx) (v any, ok bool) {
 // stopping early when fn returns false. Under Snapshot semantics this is
 // the Java-Iterator pattern of the paper's section 5.1: a consistent
 // frozen view of a live structure.
-func (q *Queue) EachTx(tx *core.Tx, fn func(v any) bool) {
-	for curr := loadQNode(tx, q.head); curr != nil; curr = loadQNode(tx, curr.next) {
+func (q *QueueOf[T]) EachTx(tx *core.Tx, fn func(v T) bool) {
+	for curr := q.head.Load(tx); curr != nil; curr = curr.next.Load(tx) {
 		if !fn(curr.val) {
 			return
 		}
@@ -87,9 +90,9 @@ func (q *Queue) EachTx(tx *core.Tx, fn func(v any) bool) {
 
 // ItemsTx returns all elements oldest-first inside the caller's
 // transaction.
-func (q *Queue) ItemsTx(tx *core.Tx) []any {
-	var out []any
-	q.EachTx(tx, func(v any) bool {
+func (q *QueueOf[T]) ItemsTx(tx *core.Tx) []T {
+	var out []T
+	q.EachTx(tx, func(v T) bool {
 		out = append(out, v)
 		return true
 	})
@@ -97,16 +100,16 @@ func (q *Queue) ItemsTx(tx *core.Tx) []any {
 }
 
 // LenTx counts the elements inside the caller's transaction.
-func (q *Queue) LenTx(tx *core.Tx) int {
+func (q *QueueOf[T]) LenTx(tx *core.Tx) int {
 	n := 0
-	for curr := loadQNode(tx, q.head); curr != nil; curr = loadQNode(tx, curr.next) {
+	for curr := q.head.Load(tx); curr != nil; curr = curr.next.Load(tx) {
 		n++
 	}
 	return n
 }
 
 // Enqueue appends v atomically.
-func (q *Queue) Enqueue(v any) error {
+func (q *QueueOf[T]) Enqueue(v T) error {
 	return q.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		q.EnqueueTx(tx, v)
 		return nil
@@ -114,7 +117,7 @@ func (q *Queue) Enqueue(v any) error {
 }
 
 // Dequeue removes the oldest element; ok is false when the queue is empty.
-func (q *Queue) Dequeue() (v any, ok bool, err error) {
+func (q *QueueOf[T]) Dequeue() (v T, ok bool, err error) {
 	err = q.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		v, ok = q.DequeueTx(tx)
 		return nil
@@ -123,7 +126,7 @@ func (q *Queue) Dequeue() (v any, ok bool, err error) {
 }
 
 // Len returns an atomic count under the configured size semantics.
-func (q *Queue) Len() (int, error) {
+func (q *QueueOf[T]) Len() (int, error) {
 	var n int
 	err := q.tm.Atomically(q.sizeSem, func(tx *core.Tx) error {
 		n = q.LenTx(tx)

@@ -1,7 +1,6 @@
 package txstruct
 
 import (
-	"fmt"
 	"math/bits"
 
 	"repro/internal/core"
@@ -12,11 +11,12 @@ import (
 // the Collection benchmark sizes.
 const skipMaxLevel = 16
 
-// snode is one skip-list node: an immutable value and one next-cell per
-// level (each holds *snode).
+// snode is one skip-list node: an immutable value and one typed next-cell
+// per level (each holding the successor *snode), so tower traversals carry
+// node pointers without interface boxing or type assertions.
 type snode struct {
 	val  int
-	next []*core.Cell
+	next []*core.TypedCell[*snode]
 }
 
 // SkipList is a transactional skip list integer set.
@@ -46,9 +46,9 @@ func NewSkipList(tm *core.TM, sizeSem core.Semantics) *SkipList {
 	if sizeSem == 0 {
 		sizeSem = core.Snapshot
 	}
-	head := &snode{val: 0, next: make([]*core.Cell, skipMaxLevel)}
+	head := &snode{val: 0, next: make([]*core.TypedCell[*snode], skipMaxLevel)}
 	for i := range head.next {
-		head.next[i] = tm.NewCell((*snode)(nil))
+		head.next[i] = core.NewTypedCell[*snode](tm, nil)
 	}
 	return &SkipList{tm: tm, sizeSem: sizeSem, head: head}
 }
@@ -69,23 +69,15 @@ func levelOf(v int) int {
 	return h
 }
 
-func loadSNode(tx *core.Tx, c *core.Cell) *snode {
-	n, ok := tx.Load(c).(*snode)
-	if !ok {
-		panic(fmt.Sprintf("txstruct: skip-list cell holds %T, want *snode", tx.Load(c)))
-	}
-	return n
-}
-
 // findTx fills preds/succs: preds[l] is the last node at level l with
 // value < v (possibly the head sentinel), succs[l] its successor.
 func (s *SkipList) findTx(tx *core.Tx, v int, preds []*snode, succs []*snode) {
 	pred := s.head
 	for l := skipMaxLevel - 1; l >= 0; l-- {
-		curr := loadSNode(tx, pred.next[l])
+		curr := pred.next[l].Load(tx)
 		for curr != nil && curr.val < v {
 			pred = curr
-			curr = loadSNode(tx, pred.next[l])
+			curr = pred.next[l].Load(tx)
 		}
 		preds[l] = pred
 		succs[l] = curr
@@ -96,10 +88,10 @@ func (s *SkipList) findTx(tx *core.Tx, v int, preds []*snode, succs []*snode) {
 func (s *SkipList) ContainsTx(tx *core.Tx, v int) bool {
 	pred := s.head
 	for l := skipMaxLevel - 1; l >= 0; l-- {
-		curr := loadSNode(tx, pred.next[l])
+		curr := pred.next[l].Load(tx)
 		for curr != nil && curr.val < v {
 			pred = curr
-			curr = loadSNode(tx, pred.next[l])
+			curr = pred.next[l].Load(tx)
 		}
 		if curr != nil && curr.val == v {
 			return true
@@ -116,12 +108,12 @@ func (s *SkipList) AddTx(tx *core.Tx, v int) bool {
 		return false
 	}
 	h := levelOf(v)
-	n := &snode{val: v, next: make([]*core.Cell, h)}
+	n := &snode{val: v, next: make([]*core.TypedCell[*snode], h)}
 	for l := 0; l < h; l++ {
-		n.next[l] = s.tm.NewCell(succs[l])
+		n.next[l] = core.NewTypedCell(s.tm, succs[l])
 	}
 	for l := 0; l < h; l++ {
-		tx.Store(preds[l].next[l], n)
+		preds[l].next[l].Store(tx, n)
 	}
 	return true
 }
@@ -135,12 +127,12 @@ func (s *SkipList) RemoveTx(tx *core.Tx, v int) bool {
 		return false
 	}
 	for l := 0; l < len(victim.next); l++ {
-		succ := loadSNode(tx, victim.next[l])
-		tx.Store(preds[l].next[l], succ)
+		succ := victim.next[l].Load(tx)
+		preds[l].next[l].Store(tx, succ)
 		// Republish the victim's pointer (version bump) so concurrent
 		// parses resting on the unlinked node conflict, mirroring the
 		// linked list's removal discipline.
-		tx.Store(victim.next[l], succ)
+		victim.next[l].Store(tx, succ)
 	}
 	return true
 }
@@ -149,7 +141,7 @@ func (s *SkipList) RemoveTx(tx *core.Tx, v int) bool {
 // transaction.
 func (s *SkipList) SizeTx(tx *core.Tx) int {
 	n := 0
-	for curr := loadSNode(tx, s.head.next[0]); curr != nil; curr = loadSNode(tx, curr.next[0]) {
+	for curr := s.head.next[0].Load(tx); curr != nil; curr = curr.next[0].Load(tx) {
 		n++
 	}
 	return n
@@ -159,7 +151,7 @@ func (s *SkipList) SizeTx(tx *core.Tx) int {
 // transaction.
 func (s *SkipList) ElementsTx(tx *core.Tx) []int {
 	var out []int
-	for curr := loadSNode(tx, s.head.next[0]); curr != nil; curr = loadSNode(tx, curr.next[0]) {
+	for curr := s.head.next[0].Load(tx); curr != nil; curr = curr.next[0].Load(tx) {
 		out = append(out, curr.val)
 	}
 	return out

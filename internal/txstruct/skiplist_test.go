@@ -93,12 +93,12 @@ func TestSkipListTowerConsistency(t *testing.T) {
 	}
 	err := tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
 		bottom := make(map[int]bool)
-		for curr := loadSNode(tx, s.head.next[0]); curr != nil; curr = loadSNode(tx, curr.next[0]) {
+		for curr := s.head.next[0].Load(tx); curr != nil; curr = curr.next[0].Load(tx) {
 			bottom[curr.val] = true
 		}
 		for l := 1; l < skipMaxLevel; l++ {
 			prev := -1 << 62
-			for curr := loadSNode(tx, s.head.next[l]); curr != nil; curr = loadSNode(tx, curr.next[l]) {
+			for curr := s.head.next[l].Load(tx); curr != nil; curr = curr.next[l].Load(tx) {
 				if !bottom[curr.val] {
 					t.Errorf("level %d links %d which is absent at level 0", l, curr.val)
 				}

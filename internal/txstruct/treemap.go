@@ -7,174 +7,180 @@ import (
 )
 
 // tnode is one tree node. The key is immutable; the value, children and
-// color are transactional cells so rebalancing is just transactional
-// stores along the search path.
-type tnode struct {
+// color are typed transactional cells, so rebalancing is just
+// transactional stores along the search path — and, being typed, the
+// stores carry node pointers and colour bits in specialized records
+// instead of boxed interfaces: a put/delete commit allocates only the
+// nodes it creates.
+type tnode[V any] struct {
 	key   int
-	val   *core.Cell // holds any
-	left  *core.Cell // holds *tnode
-	right *core.Cell // holds *tnode
-	red   *core.Cell // holds bool
+	val   *core.TypedCell[V]
+	left  *core.TypedCell[*tnode[V]]
+	right *core.TypedCell[*tnode[V]]
+	red   *core.TypedCell[bool]
 }
 
-// TreeMap is a transactional ordered map: a left-leaning red-black tree
+// TreeMapOf is a transactional ordered map: a left-leaning red-black tree
 // (Sedgewick's 2-3 variant) whose mutations are plain sequential code
 // inside classic transactions — the "more complex objects" direction the
 // paper cites ([18]) beyond flat sets. Lookups and updates are classic;
 // range reads (Len, Keys, Ascend) run under the configured read-only
 // semantics, Snapshot by default, so full-tree scans neither abort nor
-// block writers.
-type TreeMap struct {
+// block writers. The value type is generic: TreeMapOf[int] moves its
+// values through word-specialized records with no boxing anywhere.
+type TreeMapOf[V any] struct {
 	tm      *core.TM
 	sizeSem core.Semantics
-	root    *core.Cell // holds *tnode
+	root    *core.TypedCell[*tnode[V]]
 }
 
-// NewTreeMap builds an empty ordered map; sizeSem selects the semantics
-// of whole-tree reads (0 defaults to Snapshot).
+// TreeMap is the untyped compatibility face: an ordered map with `any`
+// values, exactly TreeMapOf[any].
+type TreeMap = TreeMapOf[any]
+
+// NewTreeMap builds an empty untyped ordered map; sizeSem selects the
+// semantics of whole-tree reads (0 defaults to Snapshot).
 func NewTreeMap(tm *core.TM, sizeSem core.Semantics) *TreeMap {
+	return NewTreeMapOf[any](tm, sizeSem)
+}
+
+// NewTreeMapOf builds an empty typed ordered map; sizeSem selects the
+// semantics of whole-tree reads (0 defaults to Snapshot).
+func NewTreeMapOf[V any](tm *core.TM, sizeSem core.Semantics) *TreeMapOf[V] {
 	if sizeSem == 0 {
 		sizeSem = core.Snapshot
 	}
-	return &TreeMap{tm: tm, sizeSem: sizeSem, root: tm.NewCell((*tnode)(nil))}
+	return &TreeMapOf[V]{tm: tm, sizeSem: sizeSem, root: core.NewTypedCell[*tnode[V]](tm, nil)}
 }
 
-func loadTNode(tx *core.Tx, c *core.Cell) *tnode {
-	n, ok := tx.Load(c).(*tnode)
-	if !ok {
-		panic(fmt.Sprintf("txstruct: tree cell holds %T, want *tnode", tx.Load(c)))
-	}
-	return n
-}
-
-func isRed(tx *core.Tx, n *tnode) bool {
+func isRed[V any](tx *core.Tx, n *tnode[V]) bool {
 	if n == nil {
 		return false
 	}
-	r, ok := tx.Load(n.red).(bool)
-	return ok && r
+	return n.red.Load(tx)
 }
 
-func (m *TreeMap) newNode(key int, val any) *tnode {
-	return &tnode{
+func (m *TreeMapOf[V]) newNode(key int, val V) *tnode[V] {
+	return &tnode[V]{
 		key:   key,
-		val:   m.tm.NewCell(val),
-		left:  m.tm.NewCell((*tnode)(nil)),
-		right: m.tm.NewCell((*tnode)(nil)),
-		red:   m.tm.NewCell(true),
+		val:   core.NewTypedCell(m.tm, val),
+		left:  core.NewTypedCell[*tnode[V]](m.tm, nil),
+		right: core.NewTypedCell[*tnode[V]](m.tm, nil),
+		red:   core.NewTypedCell(m.tm, true),
 	}
 }
 
 // rotateLeft/rotateRight/flipColors are the textbook LLRB primitives,
 // expressed as transactional stores.
 
-func rotateLeft(tx *core.Tx, h *tnode) *tnode {
-	x := loadTNode(tx, h.right)
-	tx.Store(h.right, loadTNode(tx, x.left))
-	tx.Store(x.left, h)
-	tx.Store(x.red, isRed(tx, h))
-	tx.Store(h.red, true)
+func rotateLeft[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
+	x := h.right.Load(tx)
+	h.right.Store(tx, x.left.Load(tx))
+	x.left.Store(tx, h)
+	x.red.Store(tx, isRed(tx, h))
+	h.red.Store(tx, true)
 	return x
 }
 
-func rotateRight(tx *core.Tx, h *tnode) *tnode {
-	x := loadTNode(tx, h.left)
-	tx.Store(h.left, loadTNode(tx, x.right))
-	tx.Store(x.right, h)
-	tx.Store(x.red, isRed(tx, h))
-	tx.Store(h.red, true)
+func rotateRight[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
+	x := h.left.Load(tx)
+	h.left.Store(tx, x.right.Load(tx))
+	x.right.Store(tx, h)
+	x.red.Store(tx, isRed(tx, h))
+	h.red.Store(tx, true)
 	return x
 }
 
-func flipColors(tx *core.Tx, h *tnode) {
-	tx.Store(h.red, !isRed(tx, h))
-	if l := loadTNode(tx, h.left); l != nil {
-		tx.Store(l.red, !isRed(tx, l))
+func flipColors[V any](tx *core.Tx, h *tnode[V]) {
+	h.red.Store(tx, !isRed(tx, h))
+	if l := h.left.Load(tx); l != nil {
+		l.red.Store(tx, !isRed(tx, l))
 	}
-	if r := loadTNode(tx, h.right); r != nil {
-		tx.Store(r.red, !isRed(tx, r))
+	if r := h.right.Load(tx); r != nil {
+		r.red.Store(tx, !isRed(tx, r))
 	}
 }
 
-func fixUp(tx *core.Tx, h *tnode) *tnode {
-	if isRed(tx, loadTNode(tx, h.right)) && !isRed(tx, loadTNode(tx, h.left)) {
+func fixUp[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
+	if isRed(tx, h.right.Load(tx)) && !isRed(tx, h.left.Load(tx)) {
 		h = rotateLeft(tx, h)
 	}
-	if l := loadTNode(tx, h.left); isRed(tx, l) && l != nil && isRed(tx, loadTNode(tx, l.left)) {
+	if l := h.left.Load(tx); isRed(tx, l) && l != nil && isRed(tx, l.left.Load(tx)) {
 		h = rotateRight(tx, h)
 	}
-	if isRed(tx, loadTNode(tx, h.left)) && isRed(tx, loadTNode(tx, h.right)) {
+	if isRed(tx, h.left.Load(tx)) && isRed(tx, h.right.Load(tx)) {
 		flipColors(tx, h)
 	}
 	return h
 }
 
 // GetTx returns the value bound to key inside the caller's transaction.
-func (m *TreeMap) GetTx(tx *core.Tx, key int) (any, bool) {
-	n := loadTNode(tx, m.root)
+func (m *TreeMapOf[V]) GetTx(tx *core.Tx, key int) (V, bool) {
+	n := m.root.Load(tx)
 	for n != nil {
 		switch {
 		case key < n.key:
-			n = loadTNode(tx, n.left)
+			n = n.left.Load(tx)
 		case key > n.key:
-			n = loadTNode(tx, n.right)
+			n = n.right.Load(tx)
 		default:
-			return tx.Load(n.val), true
+			return n.val.Load(tx), true
 		}
 	}
-	return nil, false
+	var zero V
+	return zero, false
 }
 
 // PutTx binds key to val inside the caller's transaction; it reports
 // whether the key was new.
-func (m *TreeMap) PutTx(tx *core.Tx, key int, val any) bool {
+func (m *TreeMapOf[V]) PutTx(tx *core.Tx, key int, val V) bool {
 	inserted := false
-	var put func(h *tnode) *tnode
-	put = func(h *tnode) *tnode {
+	var put func(h *tnode[V]) *tnode[V]
+	put = func(h *tnode[V]) *tnode[V] {
 		if h == nil {
 			inserted = true
 			return m.newNode(key, val)
 		}
 		switch {
 		case key < h.key:
-			tx.Store(h.left, put(loadTNode(tx, h.left)))
+			h.left.Store(tx, put(h.left.Load(tx)))
 		case key > h.key:
-			tx.Store(h.right, put(loadTNode(tx, h.right)))
+			h.right.Store(tx, put(h.right.Load(tx)))
 		default:
-			tx.Store(h.val, val)
+			h.val.Store(tx, val)
 		}
 		return fixUp(tx, h)
 	}
-	newRoot := put(loadTNode(tx, m.root))
-	tx.Store(newRoot.red, false)
-	tx.Store(m.root, newRoot)
+	newRoot := put(m.root.Load(tx))
+	newRoot.red.Store(tx, false)
+	m.root.Store(tx, newRoot)
 	return inserted
 }
 
 // moveRedLeft/moveRedRight are the LLRB deletion helpers.
 
-func moveRedLeft(tx *core.Tx, h *tnode) *tnode {
+func moveRedLeft[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
 	flipColors(tx, h)
-	if r := loadTNode(tx, h.right); r != nil && isRed(tx, loadTNode(tx, r.left)) {
-		tx.Store(h.right, rotateRight(tx, r))
+	if r := h.right.Load(tx); r != nil && isRed(tx, r.left.Load(tx)) {
+		h.right.Store(tx, rotateRight(tx, r))
 		h = rotateLeft(tx, h)
 		flipColors(tx, h)
 	}
 	return h
 }
 
-func moveRedRight(tx *core.Tx, h *tnode) *tnode {
+func moveRedRight[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
 	flipColors(tx, h)
-	if l := loadTNode(tx, h.left); l != nil && isRed(tx, loadTNode(tx, l.left)) {
+	if l := h.left.Load(tx); l != nil && isRed(tx, l.left.Load(tx)) {
 		h = rotateRight(tx, h)
 		flipColors(tx, h)
 	}
 	return h
 }
 
-func minNode(tx *core.Tx, h *tnode) *tnode {
+func minNode[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
 	for {
-		l := loadTNode(tx, h.left)
+		l := h.left.Load(tx)
 		if l == nil {
 			return h
 		}
@@ -182,128 +188,128 @@ func minNode(tx *core.Tx, h *tnode) *tnode {
 	}
 }
 
-func deleteMin(tx *core.Tx, h *tnode) *tnode {
-	if loadTNode(tx, h.left) == nil {
+func deleteMin[V any](tx *core.Tx, h *tnode[V]) *tnode[V] {
+	if h.left.Load(tx) == nil {
 		return nil
 	}
-	if !isRed(tx, loadTNode(tx, h.left)) && !isRed(tx, loadTNode(tx, loadTNode(tx, h.left).left)) {
+	if !isRed(tx, h.left.Load(tx)) && !isRed(tx, h.left.Load(tx).left.Load(tx)) {
 		h = moveRedLeft(tx, h)
 	}
-	tx.Store(h.left, deleteMin(tx, loadTNode(tx, h.left)))
+	h.left.Store(tx, deleteMin(tx, h.left.Load(tx)))
 	return fixUp(tx, h)
 }
 
 // DeleteTx unbinds key inside the caller's transaction; it reports
 // whether the key was present.
-func (m *TreeMap) DeleteTx(tx *core.Tx, key int) bool {
+func (m *TreeMapOf[V]) DeleteTx(tx *core.Tx, key int) bool {
 	if _, ok := m.GetTx(tx, key); !ok {
 		return false
 	}
-	var del func(h *tnode) *tnode
-	del = func(h *tnode) *tnode {
+	var del func(h *tnode[V]) *tnode[V]
+	del = func(h *tnode[V]) *tnode[V] {
 		if key < h.key {
-			l := loadTNode(tx, h.left)
-			if !isRed(tx, l) && l != nil && !isRed(tx, loadTNode(tx, l.left)) {
+			l := h.left.Load(tx)
+			if !isRed(tx, l) && l != nil && !isRed(tx, l.left.Load(tx)) {
 				h = moveRedLeft(tx, h)
 			}
-			tx.Store(h.left, del(loadTNode(tx, h.left)))
+			h.left.Store(tx, del(h.left.Load(tx)))
 		} else {
-			if isRed(tx, loadTNode(tx, h.left)) {
+			if isRed(tx, h.left.Load(tx)) {
 				h = rotateRight(tx, h)
 			}
-			if key == h.key && loadTNode(tx, h.right) == nil {
+			if key == h.key && h.right.Load(tx) == nil {
 				return nil
 			}
-			r := loadTNode(tx, h.right)
-			if !isRed(tx, r) && r != nil && !isRed(tx, loadTNode(tx, r.left)) {
+			r := h.right.Load(tx)
+			if !isRed(tx, r) && r != nil && !isRed(tx, r.left.Load(tx)) {
 				h = moveRedRight(tx, h)
 			}
 			if key == h.key {
 				// Replace with the successor's key/value; keys are
 				// immutable per node, so graft a fresh node keeping
 				// the children and color cells' contents.
-				succ := minNode(tx, loadTNode(tx, h.right))
-				repl := &tnode{
+				succ := minNode(tx, h.right.Load(tx))
+				repl := &tnode[V]{
 					key:   succ.key,
-					val:   m.tm.NewCell(tx.Load(succ.val)),
-					left:  m.tm.NewCell(loadTNode(tx, h.left)),
-					right: m.tm.NewCell(deleteMin(tx, loadTNode(tx, h.right))),
-					red:   m.tm.NewCell(isRed(tx, h)),
+					val:   core.NewTypedCell(m.tm, succ.val.Load(tx)),
+					left:  core.NewTypedCell(m.tm, h.left.Load(tx)),
+					right: core.NewTypedCell(m.tm, deleteMin(tx, h.right.Load(tx))),
+					red:   core.NewTypedCell(m.tm, isRed(tx, h)),
 				}
 				h = repl
 			} else {
-				tx.Store(h.right, del(loadTNode(tx, h.right)))
+				h.right.Store(tx, del(h.right.Load(tx)))
 			}
 		}
 		return fixUp(tx, h)
 	}
-	newRoot := del(loadTNode(tx, m.root))
+	newRoot := del(m.root.Load(tx))
 	if newRoot != nil {
-		tx.Store(newRoot.red, false)
+		newRoot.red.Store(tx, false)
 	}
-	tx.Store(m.root, newRoot)
+	m.root.Store(tx, newRoot)
 	return true
 }
 
 // LenTx counts the bindings inside the caller's transaction.
-func (m *TreeMap) LenTx(tx *core.Tx) int {
+func (m *TreeMapOf[V]) LenTx(tx *core.Tx) int {
 	n := 0
-	m.AscendTx(tx, func(int, any) bool { n++; return true })
+	m.AscendTx(tx, func(int, V) bool { n++; return true })
 	return n
 }
 
 // AscendTx visits bindings in ascending key order inside the caller's
 // transaction, stopping when fn returns false.
-func (m *TreeMap) AscendTx(tx *core.Tx, fn func(key int, val any) bool) {
-	var walk func(h *tnode) bool
-	walk = func(h *tnode) bool {
+func (m *TreeMapOf[V]) AscendTx(tx *core.Tx, fn func(key int, val V) bool) {
+	var walk func(h *tnode[V]) bool
+	walk = func(h *tnode[V]) bool {
 		if h == nil {
 			return true
 		}
-		if !walk(loadTNode(tx, h.left)) {
+		if !walk(h.left.Load(tx)) {
 			return false
 		}
-		if !fn(h.key, tx.Load(h.val)) {
+		if !fn(h.key, h.val.Load(tx)) {
 			return false
 		}
-		return walk(loadTNode(tx, h.right))
+		return walk(h.right.Load(tx))
 	}
-	walk(loadTNode(tx, m.root))
+	walk(m.root.Load(tx))
 }
 
 // RangeTx visits bindings with lo <= key <= hi ascending inside the
 // caller's transaction, pruning subtrees outside the range. Under
 // Snapshot semantics this is a consistent range query over a live tree.
-func (m *TreeMap) RangeTx(tx *core.Tx, lo, hi int, fn func(key int, val any) bool) {
-	var walk func(h *tnode) bool
-	walk = func(h *tnode) bool {
+func (m *TreeMapOf[V]) RangeTx(tx *core.Tx, lo, hi int, fn func(key int, val V) bool) {
+	var walk func(h *tnode[V]) bool
+	walk = func(h *tnode[V]) bool {
 		if h == nil {
 			return true
 		}
 		if h.key > lo {
-			if !walk(loadTNode(tx, h.left)) {
+			if !walk(h.left.Load(tx)) {
 				return false
 			}
 		}
 		if h.key >= lo && h.key <= hi {
-			if !fn(h.key, tx.Load(h.val)) {
+			if !fn(h.key, h.val.Load(tx)) {
 				return false
 			}
 		}
 		if h.key < hi {
-			return walk(loadTNode(tx, h.right))
+			return walk(h.right.Load(tx))
 		}
 		return true
 	}
-	walk(loadTNode(tx, m.root))
+	walk(m.root.Load(tx))
 }
 
 // Range returns the keys in [lo, hi] as one atomic snapshot.
-func (m *TreeMap) Range(lo, hi int) ([]int, error) {
+func (m *TreeMapOf[V]) Range(lo, hi int) ([]int, error) {
 	var out []int
 	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
 		out = out[:0]
-		m.RangeTx(tx, lo, hi, func(k int, _ any) bool {
+		m.RangeTx(tx, lo, hi, func(k int, _ V) bool {
 			out = append(out, k)
 			return true
 		})
@@ -313,7 +319,7 @@ func (m *TreeMap) Range(lo, hi int) ([]int, error) {
 }
 
 // Get returns the value bound to key.
-func (m *TreeMap) Get(key int) (val any, found bool, err error) {
+func (m *TreeMapOf[V]) Get(key int) (val V, found bool, err error) {
 	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		val, found = m.GetTx(tx, key)
 		return nil
@@ -322,7 +328,7 @@ func (m *TreeMap) Get(key int) (val any, found bool, err error) {
 }
 
 // Put atomically binds key to val; it reports whether the key was new.
-func (m *TreeMap) Put(key int, val any) (inserted bool, err error) {
+func (m *TreeMapOf[V]) Put(key int, val V) (inserted bool, err error) {
 	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		inserted = m.PutTx(tx, key, val)
 		return nil
@@ -331,7 +337,7 @@ func (m *TreeMap) Put(key int, val any) (inserted bool, err error) {
 }
 
 // Delete atomically unbinds key; it reports whether the key was present.
-func (m *TreeMap) Delete(key int) (removed bool, err error) {
+func (m *TreeMapOf[V]) Delete(key int) (removed bool, err error) {
 	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		removed = m.DeleteTx(tx, key)
 		return nil
@@ -340,7 +346,7 @@ func (m *TreeMap) Delete(key int) (removed bool, err error) {
 }
 
 // Len returns the number of bindings under the read-only semantics.
-func (m *TreeMap) Len() (int, error) {
+func (m *TreeMapOf[V]) Len() (int, error) {
 	var n int
 	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
 		n = m.LenTx(tx)
@@ -350,11 +356,11 @@ func (m *TreeMap) Len() (int, error) {
 }
 
 // Keys returns all keys ascending as one atomic snapshot.
-func (m *TreeMap) Keys() ([]int, error) {
+func (m *TreeMapOf[V]) Keys() ([]int, error) {
 	var out []int
 	err := m.tm.Atomically(m.sizeSem, func(tx *core.Tx) error {
 		out = out[:0]
-		m.AscendTx(tx, func(k int, _ any) bool {
+		m.AscendTx(tx, func(k int, _ V) bool {
 			out = append(out, k)
 			return true
 		})
@@ -366,13 +372,13 @@ func (m *TreeMap) Keys() ([]int, error) {
 // checkInvariants verifies red-black invariants inside tx: no red right
 // links, no consecutive red left links, equal black height on all paths.
 // It returns the black height. Used by the tests.
-func (m *TreeMap) checkInvariants(tx *core.Tx) (int, error) {
-	var walk func(h *tnode) (int, error)
-	walk = func(h *tnode) (int, error) {
+func (m *TreeMapOf[V]) checkInvariants(tx *core.Tx) (int, error) {
+	var walk func(h *tnode[V]) (int, error)
+	walk = func(h *tnode[V]) (int, error) {
 		if h == nil {
 			return 1, nil
 		}
-		l, r := loadTNode(tx, h.left), loadTNode(tx, h.right)
+		l, r := h.left.Load(tx), h.right.Load(tx)
 		if isRed(tx, r) {
 			return 0, fmt.Errorf("key %d: red right link", h.key)
 		}
@@ -401,7 +407,7 @@ func (m *TreeMap) checkInvariants(tx *core.Tx) (int, error) {
 		}
 		return lb, nil
 	}
-	root := loadTNode(tx, m.root)
+	root := m.root.Load(tx)
 	if isRed(tx, root) {
 		return 0, fmt.Errorf("red root")
 	}

@@ -121,34 +121,30 @@ const (
 // New builds a transactional memory runtime.
 func New(opts ...Option) *TM { return core.New(opts...) }
 
-// Var is a typed transactional variable: the public, generics-friendly
-// face of a memory cell. The zero Var is not usable; create Vars with
-// NewVar and access them only inside transactions of the same TM.
+// Var is a typed transactional variable: the public face of a typed
+// memory cell (core.TypedCell). Get and Set move values of T in the
+// cell's specialized representation, so word-sized pointer-free payloads
+// (int, bool, float64, small value structs) and single-pointer payloads
+// never box and never allocate on the warm update path. The zero Var is
+// not usable; create Vars with NewVar and access them only inside
+// transactions of the same TM.
 type Var[T any] struct {
-	cell *core.Cell
+	cell *core.TypedCell[T]
 }
 
 // NewVar allocates a transactional variable holding initial.
 func NewVar[T any](tm *TM, initial T) *Var[T] {
-	return &Var[T]{cell: tm.NewCell(initial)}
+	return &Var[T]{cell: core.NewTypedCell(tm, initial)}
 }
 
 // Get returns the variable's value as observed by tx under its semantics.
-func (v *Var[T]) Get(tx *Tx) T {
-	val, ok := tx.Load(v.cell).(T)
-	if !ok {
-		// Unreachable through this API: only Set stores values, and Set
-		// accepts exactly T. Fail loudly rather than return a silent zero.
-		panic("repro: transactional variable holds a foreign type")
-	}
-	return val
-}
+func (v *Var[T]) Get(tx *Tx) T { return v.cell.Load(tx) }
 
 // Set buffers a write of value; it becomes visible atomically at commit.
 // Under Snapshot semantics the transaction aborts with ErrWriteInSnapshot.
-func (v *Var[T]) Set(tx *Tx, value T) { tx.Store(v.cell, value) }
+func (v *Var[T]) Set(tx *Tx, value T) { v.cell.Store(tx, value) }
 
 // Release early-releases the variable from tx's read set (section 4.1):
 // future conflicts on it are ignored. Expert-only; see the package tests
 // for the composition anomaly this enables.
-func (v *Var[T]) Release(tx *Tx) { tx.Release(v.cell) }
+func (v *Var[T]) Release(tx *Tx) { v.cell.Release(tx) }
