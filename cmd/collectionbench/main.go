@@ -6,11 +6,14 @@
 //
 // Usage:
 //
-//	collectionbench [-fig 5|7|9|all] [-size 4096] [-dur 250ms]
+//	collectionbench [-fig 5|7|9|all|none] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
 //	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
-//	                [-json] [-out BENCH_collection.json] [-label run]
+//	                [-cache] [-json] [-out BENCH_collection.json] [-label run]
 //	                [-soak=true]
+//
+// -cache appends a transactional-LRU sweep (internal/cache: throughput,
+// abort rate and hit rate per thread count); -fig none runs it standalone.
 //
 // -typed=false swaps the transactional lists for their untyped boxing
 // comparators (nodes in `any`-payload cells), so one binary measures what
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/storm"
@@ -67,6 +71,7 @@ func run(args []string) error {
 		schemeFl = fs.String("scheme", "gv1", "clock scheme for the transactional implementations")
 		soak     = fs.Bool("soak", true, "run a correctness storm before the sweep")
 		typed    = fs.Bool("typed", true, "bench the typed-cell lists; false swaps in the untyped boxing comparators")
+		cacheFl  = fs.Bool("cache", false, "also sweep the transactional LRU cache (internal/cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +94,8 @@ func run(args []string) error {
 
 	var figures []bench.Figure
 	switch *fig {
+	case "none":
+		// No figure sweep — e.g. a standalone -cache run.
 	case "5":
 		figures = []bench.Figure{bench.Figure5(wl, ths, opts...)}
 	case "7":
@@ -102,7 +109,7 @@ func run(args []string) error {
 			bench.Figure9(wl, ths, opts...),
 		}
 	default:
-		return fmt.Errorf("unknown figure %q (want 5, 7, 9 or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 5, 7, 9, all or none)", *fig)
 	}
 	if !*typed {
 		// The boxing comparator: the same figures over lists whose nodes
@@ -164,6 +171,12 @@ func run(args []string) error {
 			rec.AddFigure(extraFig.Name, series, seq)
 		}
 	}
+	if *cacheFl {
+		fmt.Println()
+		if err := runCacheSweep(rec, *size, ths, *dur, scheme); err != nil {
+			return err
+		}
+	}
 	if rec != nil {
 		if err := bench.AppendJSONRun(*outPath, rec); err != nil {
 			return err
@@ -171,6 +184,85 @@ func run(args []string) error {
 		fmt.Printf("\nappended run %q to %s\n", *runLabel, *outPath)
 	}
 	return nil
+}
+
+// runCacheSweep measures the transactional LRU cache (internal/cache)
+// across the thread counts: a 60/25/10/5 get/put/peek/len mix over a key
+// range twice the cache capacity, reporting throughput, abort rate and
+// hit rate per point. With -json the points land in the trajectory under
+// the "lru-cache" figure.
+func runCacheSweep(rec *bench.JSONRun, size int, threads []int, dur time.Duration, scheme clock.Scheme) error {
+	capacity := size / 2
+	if capacity < 2 {
+		capacity = 2
+	}
+	keyRange := 2 * capacity
+	fmt.Printf("LRU cache sweep: capacity %d, key range %d (get 60%% / put 25%% / peek 10%% / len 5%%)\n",
+		capacity, keyRange)
+	fmt.Printf("%8s %14s %10s %10s\n", "threads", "ops/s", "abort%", "hit%")
+	// One series, one point per thread count — the same shape as the
+	// figure curves, so trajectory consumers can plot it as one curve.
+	// There is no sequential denominator for the cache, so the figure's
+	// seq throughput is zero and the speedup fields stay empty.
+	series := bench.Series{Impl: fmt.Sprintf("tx-lru-cap%d", capacity)}
+	for _, th := range threads {
+		res, err := runCachePoint(capacity, keyRange, th, dur, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %14.0f %9.1f%% %9.1f%%\n",
+			th, res.Throughput, 100*res.AbortRate(), 100*res.HitRate)
+		series.Threads = append(series.Threads, th)
+		series.Speedups = append(series.Speedups, 0)
+		series.Raw = append(series.Raw, res)
+	}
+	if rec != nil {
+		rec.AddFigure("lru-cache", []bench.Series{series}, bench.Result{})
+	}
+	return nil
+}
+
+func runCachePoint(capacity, keyRange, threads int, dur time.Duration, scheme clock.Scheme) (bench.Result, error) {
+	tm := core.New(core.WithClockScheme(scheme))
+	c := cache.New[int](tm, capacity)
+	// Warm to capacity so eviction runs from the start.
+	for k := 0; k < capacity; k++ {
+		if _, err := c.Put(k, k); err != nil {
+			return bench.Result{}, err
+		}
+	}
+	before := tm.Stats()
+	res := bench.MeasureOps("tx-lru", threads, dur, 0, func(int) func(*bench.Xorshift) error {
+		return func(rng *bench.Xorshift) error {
+			// Separate draws for key and roll: taking both from one draw
+			// correlates operation class with key (keyRange is even) and
+			// skews the hit rate.
+			key := rng.Intn(keyRange)
+			switch roll := rng.Intn(100); {
+			case roll < 60:
+				_, _, err := c.Get(key)
+				return err
+			case roll < 85:
+				_, err := c.Put(key, int(rng.Next()))
+				return err
+			case roll < 95:
+				_, _, err := c.Peek(key)
+				return err
+			default:
+				_, err := c.Len()
+				return err
+			}
+		}
+	})
+	after := tm.Stats()
+	res.TxCommits = after.Commits - before.Commits
+	res.TxAborts = after.TotalAborts() - before.TotalAborts()
+	res.TxAttempts = after.Attempts - before.Attempts
+	hits, misses, _ := c.Stats()
+	if hits+misses > 0 {
+		res.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return res, nil
 }
 
 // runSoak runs the shared pre-sweep correctness storm (storm.Soak) under

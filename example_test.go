@@ -88,3 +88,39 @@ func ExampleTM_OrElse() {
 	fmt.Println(got)
 	// Output: (empty)
 }
+
+// The Snapshot handle: pin a version once, then read it across many
+// transactions while writers keep committing — the substrate of
+// backup-while-writing (see internal/persistmap for the full layer).
+func ExampleTM_PinSnapshot() {
+	tm := repro.New()
+	a := repro.NewVar(tm, 10)
+	b := repro.NewVar(tm, 20)
+
+	pin, err := tm.PinSnapshot()
+	if err != nil {
+		panic(err)
+	}
+	defer pin.Release()
+
+	// A writer commits after the pin was taken.
+	_ = tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+		a.Set(tx, 11)
+		b.Set(tx, 21)
+		return nil
+	})
+
+	// Two SEPARATE transactions on the pin still observe the pinned
+	// state — one consistent cut, unaffected by the commit above.
+	var av, bv int
+	_ = pin.Atomically(func(tx *repro.Tx) error { av = a.Get(tx); return nil })
+	_ = pin.Atomically(func(tx *repro.Tx) error { bv = b.Get(tx); return nil })
+	fmt.Println("pinned:", av, bv)
+
+	var liveA int
+	_ = tm.Atomically(repro.Snapshot, func(tx *repro.Tx) error { liveA = a.Get(tx); return nil })
+	fmt.Println("live:", liveA)
+	// Output:
+	// pinned: 10 20
+	// live: 11
+}

@@ -101,6 +101,9 @@ type Result struct {
 	TxCuts     uint64
 	TxOldReads uint64
 	TxKills    uint64
+
+	// HitRate is the cache sweep's hit fraction (0 for non-cache points).
+	HitRate float64
 }
 
 // AbortRate returns aborts per attempt in the measured window.
@@ -138,11 +141,13 @@ func (f Factory) build() (intset.Set, StatsFn) {
 	return f.New(), nil
 }
 
-// xorshift is a tiny per-worker PRNG; workers must not share math/rand
-// state (lock contention would dominate the measurement).
-type xorshift uint64
+// Xorshift is a tiny per-worker PRNG; workers must not share math/rand
+// state (lock contention would dominate the measurement). Exported so
+// custom sweeps built on MeasureOps draw from the same generator.
+type Xorshift uint64
 
-func (x *xorshift) next() uint64 {
+// Next advances the generator and returns the raw 64-bit state.
+func (x *Xorshift) Next() uint64 {
 	v := *x
 	v ^= v << 13
 	v ^= v >> 7
@@ -151,17 +156,18 @@ func (x *xorshift) next() uint64 {
 	return uint64(v)
 }
 
-func (x *xorshift) intn(n int) int {
-	return int(x.next() % uint64(n))
+// Intn returns a pseudo-random int in [0, n).
+func (x *Xorshift) Intn(n int) int {
+	return int(x.Next() % uint64(n))
 }
 
 // Prefill inserts InitialSize distinct pseudo-random values.
 func Prefill(s intset.Set, w Workload) error {
 	w.fill()
-	rng := xorshift(w.Seed | 1)
+	rng := Xorshift(w.Seed | 1)
 	inserted := 0
 	for inserted < w.InitialSize {
-		ok, err := s.Add(rng.intn(w.KeyRange))
+		ok, err := s.Add(rng.Intn(w.KeyRange))
 		if err != nil {
 			return fmt.Errorf("prefill: %w", err)
 		}
@@ -170,6 +176,58 @@ func Prefill(s intset.Set, w Workload) error {
 		}
 	}
 	return nil
+}
+
+// MeasureOps is the duration-based measurement skeleton shared by the
+// figure runner (Run) and custom sweeps (the LRU cache bench in
+// cmd/collectionbench): start-gated workers loop an op closure until the
+// stop flag, with padded per-worker counters, and the aggregate lands in
+// a Result with throughput computed over the true elapsed window. mkOp is
+// called once per worker (before the start gate) and returns the op body;
+// per-worker state (a Zipf source, class counters) lives in that closure.
+// Worker PRNGs are seeded exactly as the figure runner always seeded
+// them, so refactoring onto this helper changed no measured sequence.
+func MeasureOps(impl string, threads int, dur time.Duration, seed uint64, mkOp func(worker int) func(rng *Xorshift) error) Result {
+	type workerCounts struct {
+		ops, errs uint64
+		_         [48]byte
+	}
+	counts := make([]workerCounts, threads)
+	var (
+		stop  atomic.Bool
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := Xorshift(seed + uint64(t)*0x9e3779b97f4a7c15 + 1)
+			op := mkOp(t)
+			c := &counts[t]
+			<-start
+			for !stop.Load() {
+				if err := op(&rng); err != nil {
+					c.errs++
+				}
+				c.ops++
+			}
+		}(t)
+	}
+	began := time.Now()
+	close(start)
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	res := Result{Impl: impl, Threads: threads, Elapsed: elapsed}
+	for i := range counts {
+		res.Ops += counts[i].ops
+		res.Errors += counts[i].errs
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	return res
 }
 
 // Run measures one (implementation, workload) point: it prefils the set,
@@ -186,74 +244,50 @@ func Run(f Factory, w Workload) (Result, error) {
 		before = statsFn() // exclude prefill from the measured counters
 	}
 
-	type workerCounts struct {
-		ops, contains, adds, removes, sizes, errs uint64
+	type classCounts struct {
+		contains, adds, removes, sizes uint64
+		_                              [32]byte
 	}
-	counts := make([]workerCounts, w.Threads)
-	var (
-		stop  atomic.Bool
-		start = make(chan struct{})
-		wg    sync.WaitGroup
-	)
-	for t := 0; t < w.Threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			rng := xorshift(w.Seed + uint64(t)*0x9e3779b97f4a7c15 + 1)
-			var zipf *rand.Zipf
-			if w.ZipfS > 1 {
-				src := rand.New(rand.NewSource(int64(w.Seed) + int64(t)))
-				zipf = rand.NewZipf(src, w.ZipfS, 1, uint64(w.KeyRange-1))
+	classes := make([]classCounts, w.Threads)
+	res := MeasureOps(f.Name, w.Threads, w.Duration, w.Seed, func(t int) func(*Xorshift) error {
+		var zipf *rand.Zipf
+		if w.ZipfS > 1 {
+			src := rand.New(rand.NewSource(int64(w.Seed) + int64(t)))
+			zipf = rand.NewZipf(src, w.ZipfS, 1, uint64(w.KeyRange-1))
+		}
+		c := &classes[t]
+		return func(rng *Xorshift) error {
+			op := rng.Intn(100)
+			var v int
+			if zipf != nil {
+				v = int(zipf.Uint64())
+			} else {
+				v = rng.Intn(w.KeyRange)
 			}
-			c := &counts[t]
-			<-start
-			for !stop.Load() {
-				op := rng.intn(100)
-				var v int
-				if zipf != nil {
-					v = int(zipf.Uint64())
-				} else {
-					v = rng.intn(w.KeyRange)
-				}
-				var err error
-				switch {
-				case op < w.SizePct:
-					_, err = set.Size()
-					c.sizes++
-				case op < w.SizePct+w.UpdatePct/2:
-					_, err = set.Add(v)
-					c.adds++
-				case op < w.SizePct+w.UpdatePct:
-					_, err = set.Remove(v)
-					c.removes++
-				default:
-					_, err = set.Contains(v)
-					c.contains++
-				}
-				if err != nil {
-					c.errs++
-				}
-				c.ops++
+			var err error
+			switch {
+			case op < w.SizePct:
+				_, err = set.Size()
+				c.sizes++
+			case op < w.SizePct+w.UpdatePct/2:
+				_, err = set.Add(v)
+				c.adds++
+			case op < w.SizePct+w.UpdatePct:
+				_, err = set.Remove(v)
+				c.removes++
+			default:
+				_, err = set.Contains(v)
+				c.contains++
 			}
-		}(t)
+			return err
+		}
+	})
+	for i := range classes {
+		res.Contains += classes[i].contains
+		res.Adds += classes[i].adds
+		res.Removes += classes[i].removes
+		res.Sizes += classes[i].sizes
 	}
-	began := time.Now()
-	close(start)
-	time.Sleep(w.Duration)
-	stop.Store(true)
-	wg.Wait()
-	elapsed := time.Since(began)
-
-	res := Result{Impl: f.Name, Threads: w.Threads, Elapsed: elapsed}
-	for i := range counts {
-		res.Ops += counts[i].ops
-		res.Contains += counts[i].contains
-		res.Adds += counts[i].adds
-		res.Removes += counts[i].removes
-		res.Sizes += counts[i].sizes
-		res.Errors += counts[i].errs
-	}
-	res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	if statsFn != nil {
 		after := statsFn()
 		res.TxCommits = after.Commits - before.Commits

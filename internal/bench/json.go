@@ -25,6 +25,7 @@ type JSONPoint struct {
 	TxAborts   uint64  `json:"tx_aborts,omitempty"`
 	TxAttempts uint64  `json:"tx_attempts,omitempty"`
 	AbortRate  float64 `json:"abort_rate,omitempty"`
+	HitRate    float64 `json:"hit_rate,omitempty"` // cache-sweep points only
 }
 
 // JSONSeries is one implementation's curve within a figure.
@@ -101,6 +102,7 @@ func (r *JSONRun) AddFigure(name string, series []Series, seq Result) {
 				TxAborts:   raw.TxAborts,
 				TxAttempts: raw.TxAttempts,
 				AbortRate:  raw.AbortRate(),
+				HitRate:    raw.HitRate,
 			})
 		}
 		jf.Series = append(jf.Series, js)
@@ -133,6 +135,7 @@ func (r *JSONRun) AddPoint(figure, impl string, res Result) {
 			TxAborts:   res.TxAborts,
 			TxAttempts: res.TxAttempts,
 			AbortRate:  res.AbortRate(),
+			HitRate:    res.HitRate,
 		}},
 	})
 }

@@ -1,0 +1,316 @@
+// Package cache implements a transactional LRU cache over the polymorphic
+// runtime — the first of the two ROADMAP workloads unblocked by snapshot
+// pinning and typed cells: a bounded int-keyed map with least-recently-used
+// eviction whose every operation is plain sequential code inside a
+// transaction, composable with any other transactional state.
+//
+// The structure is a textbook LRU — a hash directory for lookup plus a
+// doubly-linked recency list — except every mutable link is a typed cell,
+// so lookups, promotions and evictions are ordinary transactional loads
+// and stores: a Get that promotes its entry, a Put that evicts the tail
+// and the caller's own reads and writes all commit or abort as one unit.
+// Hit/miss/eviction statistics go through boost.EscrowCounter (the escrow
+// relaxation): counter bumps commute, so concurrent operations never
+// conflict on the stats, yet aborted attempts leave no trace — eviction
+// accounting composed with the escrow method, exactly the pairing the
+// paper's section 4.1 contrasts with semantics labels.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/boost"
+	"repro/internal/core"
+)
+
+// entry is one cached binding. The key is immutable; the value and every
+// link are typed cells (pointer-shaped payloads: no boxing, and version
+// records recycle), so a warm promotion or eviction allocates nothing
+// beyond what it inserts.
+type entry[V any] struct {
+	key   int
+	val   *core.TypedCell[V]
+	prev  *core.TypedCell[*entry[V]] // toward the MRU end
+	next  *core.TypedCell[*entry[V]] // toward the LRU end
+	hnext *core.TypedCell[*entry[V]] // hash-bucket chain
+}
+
+// Cache is a transactional LRU cache mapping int keys to V values.
+// Create one with New and use it inside transactions of the same TM (the
+// Tx-suffixed methods), or through the one-shot wrappers.
+type Cache[V any] struct {
+	tm       *core.TM
+	capacity int
+	mask     uint64
+	buckets  []*core.TypedCell[*entry[V]]
+	head     *core.TypedCell[*entry[V]] // most recently used
+	tail     *core.TypedCell[*entry[V]] // least recently used; eviction victim
+	size     *core.TypedCell[int]
+
+	hits      *boost.EscrowCounter
+	misses    *boost.EscrowCounter
+	evictions *boost.EscrowCounter
+}
+
+// New builds an empty cache bounded to capacity entries (minimum 1). The
+// directory is sized to keep bucket chains short at full capacity.
+func New[V any](tm *core.TM, capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	nb := 1
+	for nb < capacity {
+		nb <<= 1
+	}
+	c := &Cache[V]{
+		tm:        tm,
+		capacity:  capacity,
+		mask:      uint64(nb - 1),
+		buckets:   make([]*core.TypedCell[*entry[V]], nb),
+		head:      core.NewTypedCell[*entry[V]](tm, nil),
+		tail:      core.NewTypedCell[*entry[V]](tm, nil),
+		size:      core.NewTypedCell(tm, 0),
+		hits:      boost.NewEscrowCounter(0),
+		misses:    boost.NewEscrowCounter(0),
+		evictions: boost.NewEscrowCounter(0),
+	}
+	for i := range c.buckets {
+		c.buckets[i] = core.NewTypedCell[*entry[V]](tm, nil)
+	}
+	return c
+}
+
+// Capacity returns the configured bound.
+func (c *Cache[V]) Capacity() int { return c.capacity }
+
+// bucket returns the chain head cell for key (Fibonacci multiplicative
+// hash, like txstruct.HashSet).
+func (c *Cache[V]) bucket(key int) *core.TypedCell[*entry[V]] {
+	x := uint64(key) * 0x9e3779b97f4a7c15
+	return c.buckets[(x>>32)&c.mask]
+}
+
+// lookupTx walks the key's bucket chain.
+func (c *Cache[V]) lookupTx(tx *core.Tx, key int) *entry[V] {
+	for e := c.bucket(key).Load(tx); e != nil; e = e.hnext.Load(tx) {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// GetTx returns the cached value and promotes the entry to most recently
+// used. A hit on a non-head entry therefore writes (the promotion links);
+// use PeekTx for a read-only probe. Hit/miss stats accrue at commit.
+func (c *Cache[V]) GetTx(tx *core.Tx, key int) (V, bool) {
+	e := c.lookupTx(tx, key)
+	if e == nil {
+		c.misses.AddTx(tx, 1)
+		var zero V
+		return zero, false
+	}
+	c.hits.AddTx(tx, 1)
+	c.promoteTx(tx, e)
+	return e.val.Load(tx), true
+}
+
+// PeekTx returns the cached value without touching recency: combined with
+// Snapshot semantics it probes a live cache with zero write-path
+// interference.
+func (c *Cache[V]) PeekTx(tx *core.Tx, key int) (V, bool) {
+	e := c.lookupTx(tx, key)
+	if e == nil {
+		c.misses.AddTx(tx, 1)
+		var zero V
+		return zero, false
+	}
+	c.hits.AddTx(tx, 1)
+	return e.val.Load(tx), true
+}
+
+// PutTx binds key to val as the most recently used entry, evicting the
+// least recently used entry when the cache is full. It reports whether the
+// key was new.
+func (c *Cache[V]) PutTx(tx *core.Tx, key int, val V) bool {
+	if e := c.lookupTx(tx, key); e != nil {
+		e.val.Store(tx, val)
+		c.promoteTx(tx, e)
+		return false
+	}
+	if n := c.size.Load(tx); n >= c.capacity {
+		c.evictTx(tx)
+	} else {
+		c.size.Store(tx, n+1)
+	}
+	b := c.bucket(key)
+	e := &entry[V]{
+		key:   key,
+		val:   core.NewTypedCell(c.tm, val),
+		prev:  core.NewTypedCell[*entry[V]](c.tm, nil),
+		next:  core.NewTypedCell[*entry[V]](c.tm, nil),
+		hnext: core.NewTypedCell(c.tm, b.Load(tx)),
+	}
+	b.Store(tx, e)
+	c.pushFrontTx(tx, e)
+	return true
+}
+
+// LenTx returns the number of cached entries.
+func (c *Cache[V]) LenTx(tx *core.Tx) int { return c.size.Load(tx) }
+
+// promoteTx moves e to the MRU end (no-op when already there).
+func (c *Cache[V]) promoteTx(tx *core.Tx, e *entry[V]) {
+	if c.head.Load(tx) == e {
+		return
+	}
+	c.unlinkTx(tx, e)
+	c.pushFrontTx(tx, e)
+}
+
+// unlinkTx removes e from the recency list.
+func (c *Cache[V]) unlinkTx(tx *core.Tx, e *entry[V]) {
+	p, n := e.prev.Load(tx), e.next.Load(tx)
+	if p == nil {
+		c.head.Store(tx, n)
+	} else {
+		p.next.Store(tx, n)
+	}
+	if n == nil {
+		c.tail.Store(tx, p)
+	} else {
+		n.prev.Store(tx, p)
+	}
+}
+
+// pushFrontTx links e at the MRU end.
+func (c *Cache[V]) pushFrontTx(tx *core.Tx, e *entry[V]) {
+	h := c.head.Load(tx)
+	e.prev.Store(tx, nil)
+	e.next.Store(tx, h)
+	if h == nil {
+		c.tail.Store(tx, e)
+	} else {
+		h.prev.Store(tx, e)
+	}
+	c.head.Store(tx, e)
+}
+
+// evictTx drops the LRU entry: unlink from the recency list and from its
+// bucket chain. The eviction count accrues at commit through the escrow
+// counter, so concurrent evictors never conflict on the statistic.
+func (c *Cache[V]) evictTx(tx *core.Tx) {
+	victim := c.tail.Load(tx)
+	if victim == nil {
+		return
+	}
+	c.unlinkTx(tx, victim)
+	b := c.bucket(victim.key)
+	if head := b.Load(tx); head == victim {
+		b.Store(tx, victim.hnext.Load(tx))
+	} else {
+		for e := head; e != nil; e = e.hnext.Load(tx) {
+			if e.hnext.Load(tx) == victim {
+				e.hnext.Store(tx, victim.hnext.Load(tx))
+				break
+			}
+		}
+	}
+	c.evictions.AddTx(tx, 1)
+}
+
+// Stats returns the committed hit/miss/eviction counters. The counts are
+// escrow-weakly consistent with each other (the documented price of the
+// relaxation): read them for monitoring, not for invariants between live
+// transactions.
+func (c *Cache[V]) Stats() (hits, misses, evictions int64) {
+	return c.hits.Value(), c.misses.Value(), c.evictions.Value()
+}
+
+// Get returns the value bound to key, promoting it, as one transaction.
+func (c *Cache[V]) Get(key int) (val V, ok bool, err error) {
+	err = c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		val, ok = c.GetTx(tx, key)
+		return nil
+	})
+	return val, ok, err
+}
+
+// Put atomically binds key to val; it reports whether the key was new.
+func (c *Cache[V]) Put(key int, val V) (isNew bool, err error) {
+	err = c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		isNew = c.PutTx(tx, key, val)
+		return nil
+	})
+	return isNew, err
+}
+
+// Peek returns the value bound to key without promoting it, under
+// Snapshot semantics: it neither aborts nor blocks concurrent updates.
+func (c *Cache[V]) Peek(key int) (val V, ok bool, err error) {
+	err = c.tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		val, ok = c.PeekTx(tx, key)
+		return nil
+	})
+	return val, ok, err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() (int, error) {
+	var n int
+	err := c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		n = c.LenTx(tx)
+		return nil
+	})
+	return n, err
+}
+
+// CheckTx verifies the cache's structural invariants inside tx: the
+// recency list is consistent forward and backward, every listed entry is
+// reachable through its bucket chain (and vice versa), keys are unique,
+// and the entry count matches the size cell and respects the capacity
+// bound. Used by the tests and the storm harness.
+func (c *Cache[V]) CheckTx(tx *core.Tx) error {
+	seen := make(map[int]*entry[V])
+	var last *entry[V]
+	n := 0
+	for e := c.head.Load(tx); e != nil; e = e.next.Load(tx) {
+		if _, dup := seen[e.key]; dup {
+			return fmt.Errorf("cache: key %d appears twice in the recency list", e.key)
+		}
+		seen[e.key] = e
+		if got := e.prev.Load(tx); got != last {
+			return fmt.Errorf("cache: entry %d has inconsistent prev link", e.key)
+		}
+		if c.lookupTx(tx, e.key) != e {
+			return fmt.Errorf("cache: entry %d not reachable through its bucket", e.key)
+		}
+		last = e
+		n++
+		if n > c.capacity {
+			return fmt.Errorf("cache: recency list exceeds capacity %d", c.capacity)
+		}
+	}
+	if got := c.tail.Load(tx); got != last {
+		return fmt.Errorf("cache: tail does not terminate the recency list")
+	}
+	if sz := c.size.Load(tx); sz != n {
+		return fmt.Errorf("cache: size cell %d, recency list has %d entries", sz, n)
+	}
+	chained := 0
+	for i := range c.buckets {
+		for e := c.buckets[i].Load(tx); e != nil; e = e.hnext.Load(tx) {
+			if seen[e.key] != e {
+				return fmt.Errorf("cache: bucket entry %d not in the recency list", e.key)
+			}
+			chained++
+			if chained > n {
+				return fmt.Errorf("cache: bucket chains hold more entries than the recency list")
+			}
+		}
+	}
+	if chained != n {
+		return fmt.Errorf("cache: bucket chains hold %d entries, recency list %d", chained, n)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// refLRU is the plain sequential reference model.
+type refLRU struct {
+	cap   int
+	order []int // MRU first
+	vals  map[int]int
+}
+
+func newRefLRU(cap int) *refLRU { return &refLRU{cap: cap, vals: map[int]int{}} }
+
+func (r *refLRU) touch(key int) {
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.order = append([]int{key}, r.order...)
+}
+
+func (r *refLRU) get(key int) (int, bool) {
+	v, ok := r.vals[key]
+	if ok {
+		r.touch(key)
+	}
+	return v, ok
+}
+
+func (r *refLRU) put(key, val int) bool {
+	if _, ok := r.vals[key]; ok {
+		r.vals[key] = val
+		r.touch(key)
+		return false
+	}
+	if len(r.order) == r.cap {
+		victim := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		delete(r.vals, victim)
+	}
+	r.vals[key] = val
+	r.order = append([]int{key}, r.order...)
+	return true
+}
+
+// TestCacheMatchesReferenceModel drives a seeded single-threaded op
+// stream through the transactional cache and the reference LRU in
+// lockstep: results, membership, eviction choice and recency order must
+// agree exactly.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	const (
+		capacity = 8
+		keys     = 24
+		ops      = 4000
+	)
+	tm := core.New()
+	c := New[int](tm, capacity)
+	ref := newRefLRU(capacity)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < ops; i++ {
+		key := rng.Intn(keys)
+		switch rng.Intn(3) {
+		case 0:
+			v, ok, err := c.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rv, rok := ref.get(key)
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), reference (%d,%v)", i, key, v, ok, rv, rok)
+			}
+		case 1:
+			v, ok, err := c.Peek(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rv, rok := ref.vals[key]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Peek(%d) = (%d,%v), reference (%d,%v)", i, key, v, ok, rv, rok)
+			}
+		default:
+			isNew, err := c.Put(key, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, had := ref.vals[key]
+			if isNew == had {
+				t.Fatalf("op %d: Put(%d) isNew=%v, reference had=%v", i, key, isNew, had)
+			}
+			ref.put(key, i)
+		}
+	}
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		if err := c.CheckTx(tx); err != nil {
+			return err
+		}
+		if n := c.LenTx(tx); n != len(ref.vals) {
+			t.Errorf("final len %d, reference %d", n, len(ref.vals))
+		}
+		for k, rv := range ref.vals {
+			v, ok := c.PeekTx(tx, k)
+			if !ok || v != rv {
+				t.Errorf("final Peek(%d) = (%d,%v), reference %d", k, v, ok, rv)
+			}
+		}
+		// Walk recency order against the reference.
+		i := 0
+		for e := c.head.Load(tx); e != nil; e = e.next.Load(tx) {
+			if i >= len(ref.order) || e.key != ref.order[i] {
+				t.Errorf("recency position %d holds key %d, reference %v", i, e.key, ref.order)
+				break
+			}
+			i++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheConcurrentInvariants hammers the cache from 8 goroutines and
+// checks the structural invariants and the escrow accounting identities:
+// inserts = len + evictions, and hits+misses = completed probe count.
+// Meaningful under -race: promotions rewrite recycled version records
+// while other transactions traverse.
+func TestCacheConcurrentInvariants(t *testing.T) {
+	const (
+		capacity = 16
+		keys     = 48
+		workers  = 8
+		perOps   = 400
+	)
+	tm := core.New()
+	c := New[int](tm, capacity)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		probes  int64
+		inserts int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var myProbes, myInserts int64
+			for i := 0; i < perOps; i++ {
+				key := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					if _, _, err := c.Get(key); err != nil {
+						t.Error(err)
+						return
+					}
+					myProbes++
+				} else {
+					isNew, err := c.Put(key, i)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if isNew {
+						myInserts++
+					}
+				}
+			}
+			mu.Lock()
+			probes += myProbes
+			inserts += myInserts
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var n int
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		n = c.LenTx(tx)
+		return c.CheckTx(tx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, evictions := c.Stats()
+	if hits+misses != probes {
+		t.Errorf("hits+misses = %d, want %d probes", hits+misses, probes)
+	}
+	if inserts != int64(n)+evictions {
+		t.Errorf("inserts = %d, want len %d + evictions %d", inserts, n, evictions)
+	}
+	if evictions == 0 || hits == 0 || misses == 0 {
+		t.Errorf("vacuous run: hits=%d misses=%d evictions=%d, want all > 0", hits, misses, evictions)
+	}
+}
+
+// TestCacheComposesWithOtherState exercises the point of a TRANSACTIONAL
+// cache: a cache update and an unrelated variable commit atomically, and
+// an aborted attempt leaves neither (nor the escrow stats) behind.
+func TestCacheComposesWithOtherState(t *testing.T) {
+	tm := core.New()
+	c := New[string](tm, 4)
+	total := core.NewTypedCell(tm, 0)
+	// Committed composition.
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		c.PutTx(tx, 1, "one")
+		total.Store(tx, total.Load(tx)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberate rollback: the Put and the counter bump both vanish.
+	sentinel := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		c.PutTx(tx, 2, "two")
+		total.Store(tx, total.Load(tx)+1)
+		return errRollback
+	})
+	if sentinel != errRollback {
+		t.Fatalf("rollback returned %v", sentinel)
+	}
+	if _, ok, _ := c.Peek(2); ok {
+		t.Fatal("rolled-back Put is visible")
+	}
+	if v, ok, _ := c.Peek(1); !ok || v != "one" {
+		t.Fatalf("committed Put lost: (%q,%v)", v, ok)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats after two peeks = (%d hits, %d misses), want (1,1) — aborted attempts must not count", hits, misses)
+	}
+}
+
+var errRollback = errTest("rollback")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

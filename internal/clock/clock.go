@@ -163,6 +163,28 @@ func (c *Clock) Now() uint64 {
 	return m
 }
 
+// NowRecent returns a recently published version: a cheap, possibly
+// slightly stale substitute for Now. Under GVSharded it reads only the
+// caller's own stripe — one padded load instead of the O(stripes) scan —
+// so the stripe word doubles as a per-committer commit cache: every commit
+// the caller's hint lands on refreshes it (callers pass the same cheap
+// per-committer value they pass to Commit, e.g. a pooled transaction-ID
+// block, which makes the cache effectively per-P). Other schemes have a
+// single clock word, where NowRecent and Now coincide.
+//
+// The result is always a version some commit actually published (or zero),
+// hence <= Now() and monotone per stripe — a sound, merely conservative
+// read version: TL2-style validation against a stale read version can only
+// abort more, never admit an inconsistent read. Callers that just aborted
+// on staleness should refresh with the exact Now instead (the runtime uses
+// NowRecent only for first attempts).
+func (c *Clock) NowRecent(hint uint64) uint64 {
+	if c.scheme != GVSharded {
+		return c.t.v.Load()
+	}
+	return c.stripes[hint&c.mask].v.Load()
+}
+
 // Commit draws a write version for a committing update transaction. hint
 // spreads commits across stripes under GVSharded (callers pass a cheap
 // per-committer value, e.g. a transaction-ID block); other schemes ignore

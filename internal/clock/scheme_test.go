@@ -47,6 +47,7 @@ func TestSchemeContract(t *testing.T) {
 					defer wg.Done()
 					vs := make([]uint64, 0, per)
 					prevNow := uint64(0)
+					prevRecent := uint64(0)
 					for i := 0; i < per; i++ {
 						rv := c.Now()
 						if rv < prevNow {
@@ -54,9 +55,26 @@ func TestSchemeContract(t *testing.T) {
 							return
 						}
 						prevNow = rv
+						// The per-committer commit cache: never ahead of the
+						// true clock, monotone per hint, and refreshed by this
+						// hint's own commits (read-your-own-commits below).
+						recent := c.NowRecent(uint64(w))
+						if recent > c.Now() {
+							t.Errorf("NowRecent(%d) = %d above Now()", w, recent)
+							return
+						}
+						if recent < prevRecent {
+							t.Errorf("NowRecent(%d) went backwards: %d after %d", w, recent, prevRecent)
+							return
+						}
+						prevRecent = recent
 						wv, _ := c.Commit(uint64(w))
 						if wv <= rv {
 							t.Errorf("Commit() = %d not above prior Now() = %d", wv, rv)
+							return
+						}
+						if recent := c.NowRecent(uint64(w)); recent < wv {
+							t.Errorf("NowRecent(%d) = %d below own just-committed wv %d", w, recent, wv)
 							return
 						}
 						vs = append(vs, wv)

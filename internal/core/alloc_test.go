@@ -142,6 +142,59 @@ func TestTypedUpdateTransactionsAllocateNothing(t *testing.T) {
 	}
 }
 
+// TestTypedUpdatesStayZeroAllocWithPinBookkeeping extends the typed fence
+// across the pin-aware reclamation life cycle: the watermark load added to
+// every update commit must not cost an allocation, and a pin+release
+// cycle — which forces chain growth and a backlog cut — must return the
+// warm path to 0 allocs/op once the freelist is refilled. While the pin is
+// HELD, updates must allocate (retained versions cannot be recycled, by
+// design), which the middle assertion documents.
+func TestTypedUpdatesStayZeroAllocWithPinBookkeeping(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector builds defeat sync.Pool reuse by design")
+	}
+	for _, scheme := range []ClockScheme{ClockGV1, ClockGVPass, ClockGVSharded} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			tm := New(WithClockScheme(scheme))
+			cells := make([]*TypedCell[int], 4)
+			for i := range cells {
+				cells[i] = NewTypedCell(tm, i)
+			}
+			fn := func(tx *Tx) error {
+				for _, c := range cells {
+					c.Store(tx, c.Load(tx)+1)
+				}
+				return nil
+			}
+			run := func() {
+				if err := tm.Atomically(Classic, fn); err != nil {
+					t.Error(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				run()
+			}
+			if allocs := measureAllocs(run); allocs != 0 {
+				t.Errorf("warm typed update with pin bookkeeping allocates %.1f objects/op, want 0", allocs)
+			}
+			pin, err := tm.PinSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(50, run); allocs < 0.5 {
+				t.Errorf("updates under an active pin allocate %.1f objects/op, want >= 1 (version retention)", allocs)
+			}
+			pin.Release()
+			for i := 0; i < 3; i++ {
+				run() // cut the backlog, refill the freelist
+			}
+			if allocs := measureAllocs(run); allocs != 0 {
+				t.Errorf("warm typed update after pin release allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestUpdateTransactionsAllocateLittle fences the UNTYPED update path: the
 // only tolerated allocations are value boxing (storing a non-pointer into
 // the any-typed cell) and the fresh version record each commit installs —

@@ -200,16 +200,23 @@ func (c *cell) unlock(newVersion uint64) {
 }
 
 // install publishes v as the new current record with version wv, retaining
-// at most keep total versions. The caller must hold the lock.
+// at least keep total versions — more while a snapshot pin holds the
+// reclamation watermark below wv (see retire). The caller must hold the
+// lock and must have loaded watermark from the TM's pin registry AFTER
+// drawing wv (commit.go does; the ordering is what guarantees a pin
+// published before wv was drawn is visible here).
 //
 // Word- and pointer-shaped cells draw the new record from the freelist and
-// push the version they retire back, so the steady state allocates nothing:
-// the update hot path cycles a fixed set of keep+1 records per cell.
-// Ref-shaped cells allocate a fresh record every install (their payload
-// field cannot be rewritten race-free) and drop retired ones to the GC —
-// the price of the untyped `any` representation, and the boxing tax the
-// typed API exists to avoid.
-func (c *cell) install(v vbox, wv uint64, keep int) {
+// push the versions they retire back, so the steady state allocates
+// nothing: the update hot path cycles a fixed set of keep+1 records per
+// cell. Ref-shaped cells allocate a fresh record every install (their
+// payload field cannot be rewritten race-free) and drop retired ones to
+// the GC — the price of the untyped `any` representation, and the boxing
+// tax the typed API exists to avoid. While a pin is active, installs on
+// overwritten cells allocate too (the records a pin retains cannot be
+// recycled, by design); the backlog is retired in one cut — and the
+// freelist refilled — on the first install after the pin releases.
+func (c *cell) install(v vbox, wv uint64, keep int, watermark uint64) {
 	old := c.cur.Load()
 	var r *rec
 	if c.shape != shapeRef && c.free != nil {
@@ -222,19 +229,36 @@ func (c *cell) install(v vbox, wv uint64, keep int) {
 	r.version.Store(wv)
 	r.prev.Store(old)
 	c.cur.Store(r)
-	c.retire(r, keep)
+	c.retire(r, keep, watermark)
 }
 
-// retire cuts the version chain headed by head after keep records. The cut
-// is a single atomic store of the retained tail's prev: a snapshot reader
-// concurrently walking the chain either still sees the old suffix (its
-// meta bracket will reject the result, since retire only runs under the
-// lock mid-install) or sees nil and reports tooOld — exactly what it would
-// report a moment later anyway. Retired records of recycling shapes go to
-// the freelist; ref-shaped ones are left to the GC.
-func (c *cell) retire(head *rec, keep int) {
+// retire cuts the version chain headed by head after keep records — but
+// never above the newest record with version <= watermark, which an
+// active snapshot pin may still need. A pin at version P (>= watermark,
+// the registry minimum) reads, per cell, the newest record with version
+// <= P; that record is at or above the newest one <= watermark, so
+// everything below the cut is unreachable by every active pin and only
+// records strictly older than the watermark are ever recycled. With no
+// pins active the watermark is noPinWatermark and the first retained
+// record already satisfies the bound: the cut degenerates to the plain
+// keep-budget truncation.
+//
+// The cut is a single atomic store of the retained tail's prev: a snapshot
+// reader concurrently walking the chain either still sees the old suffix
+// (its meta bracket will reject the result, since retire only runs under
+// the lock mid-install) or sees nil and reports tooOld — exactly what it
+// would report a moment later anyway. Retired records of recycling shapes
+// go to the freelist; ref-shaped ones are left to the GC.
+func (c *cell) retire(head *rec, keep int, watermark uint64) {
 	tail := head
 	for i := 1; i < keep; i++ {
+		next := tail.prev.Load()
+		if next == nil {
+			return
+		}
+		tail = next
+	}
+	for tail.version.Load() > watermark {
 		next := tail.prev.Load()
 		if next == nil {
 			return
@@ -249,8 +273,14 @@ func (c *cell) retire(head *rec, keep int) {
 	if c.shape == shapeRef {
 		return
 	}
+	// Refill the freelist from the retired run, capped at freelistCap
+	// records: the steady state cycles one or two, but the first retire
+	// after a snapshot pin releases cuts the whole pin-era backlog at
+	// once, and hoarding it all would pin memory proportional to
+	// (pin duration x write rate) on this cell forever. Anything beyond
+	// the cap is left unlinked for the GC.
 	last := retired
-	for {
+	for n := 1; n < freelistCap; n++ {
 		next := last.prev.Load()
 		if next == nil {
 			break
@@ -260,6 +290,13 @@ func (c *cell) retire(head *rec, keep int) {
 	last.prev.Store(c.free)
 	c.free = retired
 }
+
+// freelistCap bounds how many recycled records one retire may add to the
+// freelist (and, since installs pop one record for each they push, how
+// large a cell's freelist ever gets beyond transient pin backlogs). Large
+// enough to absorb keep-budget reconfiguration, small enough that a
+// pin-era backlog is returned to the GC rather than hoarded.
+const freelistCap = 16
 
 // chainLen counts records in a version chain (tests and diagnostics).
 func chainLen(r *rec) int {

@@ -88,9 +88,14 @@ func (tx *Tx) commit() bool {
 		return tx.commitFail(len(tx.writes), AbortKilled)
 	}
 
+	// The reclamation watermark must be sampled AFTER drawing wv: a pin
+	// published before wv was drawn is then guaranteed visible (snapshot.go
+	// spells out the ordering argument), so the installs below never
+	// recycle a record a pinned snapshot can still reach.
+	watermark := tx.tm.pins.current()
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		w.cell.install(w.val, wv, tx.tm.keepVersions)
+		w.cell.install(w.val, wv, tx.tm.keepVersions, watermark)
 		w.cell.unlock(wv)
 		w.locked = false
 	}

@@ -574,7 +574,7 @@ func TestSampleAt(t *testing.T) {
 		if _, ok := c.h.tryLock(tx); !ok {
 			t.Fatal("lock failed")
 		}
-		c.h.install(encodeVal(c.h.shape, i+1), wv, tm.keepVersions)
+		c.h.install(encodeVal(c.h.shape, i+1), wv, tm.keepVersions, noPinWatermark)
 		c.h.unlock(wv)
 	}
 	tx.finish(statusAborted)

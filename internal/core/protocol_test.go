@@ -47,7 +47,7 @@ func TestSnapshotWaitsOutHeldLock(t *testing.T) {
 	// Publish a new version and release; the snapshot started before the
 	// writer's version draw, so it reads the OLD value from the chain.
 	wv := tm.clock.Advance()
-	c.h.install(vbox{ref: 20}, wv, tm.keepVersions)
+	c.h.install(vbox{ref: 20}, wv, tm.keepVersions, noPinWatermark)
 	c.h.unlock(wv)
 	select {
 	case v := <-got:
@@ -179,7 +179,7 @@ func TestRetireRecyclesTypedRecords(t *testing.T) {
 		if _, ok := c.h.tryLock(tx); !ok {
 			t.Fatal("lock failed")
 		}
-		c.h.install(encodeVal(c.h.shape, i), wv, tm.keepVersions)
+		c.h.install(encodeVal(c.h.shape, i), wv, tm.keepVersions, noPinWatermark)
 		c.h.unlock(wv)
 		seen[c.h.cur.Load()]++
 	}
@@ -199,7 +199,7 @@ func TestRetireRecyclesTypedRecords(t *testing.T) {
 		if _, ok := u.h.tryLock(tx2); !ok {
 			t.Fatal("lock failed")
 		}
-		u.h.install(vbox{ref: i}, wv, tm.keepVersions)
+		u.h.install(vbox{ref: i}, wv, tm.keepVersions, noPinWatermark)
 		u.h.unlock(wv)
 		tx2.finish(statusAborted)
 		if useen[u.h.cur.Load()] {
@@ -219,7 +219,7 @@ func TestInstallKeepsConfiguredDepth(t *testing.T) {
 		if _, ok := c.h.tryLock(tx); !ok {
 			t.Fatal("lock failed")
 		}
-		c.h.install(vbox{ref: i}, wv, tm.keepVersions)
+		c.h.install(vbox{ref: i}, wv, tm.keepVersions, noPinWatermark)
 		c.h.unlock(wv)
 		tx.finish(statusCommitted)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -64,10 +65,37 @@ type waitSet struct {
 }
 
 // captureWaitSet snapshots the attempt's reads (including the elastic
-// window, harmless for classic) for blocking.
+// window, harmless for classic) for blocking, deduplicated per cell: a
+// cell read twice — a typed cell in a loop, the same location reached
+// through two OrElse branches — registers one waiter, so the blocked
+// transaction's poll loop touches each awaited cell once per round
+// instead of once per read. Of duplicate entries the one with the newest
+// recorded version is kept: waking on the oldest would fire immediately
+// for a change the attempt already observed.
 func (tx *Tx) captureWaitSet(into *waitSet) {
-	into.entries = append(into.entries[:0], tx.reads...)
-	into.entries = append(into.entries, tx.window...)
+	es := append(into.entries[:0], tx.reads...)
+	es = append(es, tx.window...)
+	slices.SortFunc(es, func(a, b readEntry) int {
+		switch {
+		case a.cell.id < b.cell.id:
+			return -1
+		case a.cell.id > b.cell.id:
+			return 1
+		case a.ver < b.ver:
+			return -1
+		case a.ver > b.ver:
+			return 1
+		}
+		return 0
+	})
+	out := es[:0]
+	for i, e := range es {
+		if i+1 < len(es) && es[i+1].cell == e.cell {
+			continue // a newer entry for the same cell follows
+		}
+		out = append(out, e)
+	}
+	into.entries = out
 }
 
 // changed reports whether any waited-on cell moved past its recorded

@@ -25,6 +25,7 @@ type counters struct {
 	snapshotOld     padUint64
 	kills           padUint64
 	extensions      padUint64
+	pins            padUint64
 }
 
 // Stats is a point-in-time snapshot of a TM's counters.
@@ -46,6 +47,8 @@ type Stats struct {
 	// Extensions counts successful read-version extensions (only with
 	// WithReadExtension enabled).
 	Extensions uint64
+	// SnapshotPins counts successful TM.PinSnapshot acquisitions.
+	SnapshotPins uint64
 }
 
 // TotalAborts sums aborts across all reasons.
@@ -76,6 +79,7 @@ func (c *counters) snapshot() Stats {
 		SnapshotOldReads: c.snapshotOld.Load(),
 		Kills:            c.kills.Load(),
 		Extensions:       c.extensions.Load(),
+		SnapshotPins:     c.pins.Load(),
 	}
 	for r := AbortReadInvalid; r <= AbortExplicit; r++ {
 		if n := c.aborts[int(r)].Load(); n > 0 {

@@ -40,6 +40,10 @@ type TM struct {
 	nextCellID padUint64 // drained in blocks of cellIDBatch via cellIDs
 	nextTxID   padUint64 // drained in blocks of txIDBatch by pooled handles
 
+	// pins registers active snapshot pins; its cached watermark bounds
+	// version-record reclamation (see snapshot.go and cell.retire).
+	pins pinRegistry
+
 	// txPool recycles Tx handles (and their read/write/window sets) across
 	// Atomically calls: with it, a read-only transaction allocates nothing.
 	txPool sync.Pool
@@ -188,6 +192,7 @@ func New(opts ...Option) *TM {
 		backoffBase:  500 * time.Nanosecond,
 		backoffMax:   100 * time.Microsecond,
 	}
+	tm.pins.init()
 	for _, opt := range opts {
 		opt(tm)
 	}
@@ -332,11 +337,23 @@ func trimClear[E any](s []E) []E {
 // atomically is the retry engine shared by Atomically, AtomicallyCtx and
 // OrElse. ctx may be nil (no cancellation).
 func (tm *TM) atomically(ctx context.Context, sem Semantics, fn func(*Tx) error) error {
+	return tm.atomicallyAt(ctx, sem, false, 0, fn)
+}
+
+// atomicallyPinned runs fn as a Snapshot transaction whose upper bound is
+// the pinned version ub instead of the clock's current value — the engine
+// under SnapshotPin.Atomically.
+func (tm *TM) atomicallyPinned(ctx context.Context, ub uint64, fn func(*Tx) error) error {
+	return tm.atomicallyAt(ctx, Snapshot, true, ub, fn)
+}
+
+func (tm *TM) atomicallyAt(ctx context.Context, sem Semantics, pinned bool, pinVer uint64, fn func(*Tx) error) error {
 	if !sem.Valid() {
 		return fmt.Errorf("atomically: invalid semantics %d", int(sem))
 	}
 	tx := tm.getTx(sem)
 	defer tm.putTx(tx)
+	tx.pinned, tx.pinVer = pinned, pinVer
 	var ws waitSet
 	for {
 		if ctx != nil {

@@ -75,6 +75,12 @@ type Tx struct {
 	// release is a rare expert operation.
 	released map[*cell]struct{}
 
+	// pinned marks a transaction running under a SnapshotPin: every
+	// attempt reads at the fixed upper bound pinVer instead of sampling
+	// the clock (snapshot.go).
+	pinned bool
+	pinVer uint64
+
 	hasWrites   bool
 	status      txStatus
 	abortReason AbortReason
@@ -124,6 +130,8 @@ func (tx *Tx) begin(sem Semantics) {
 	tx.sem = sem
 	tx.attempt = 0
 	tx.status = statusIdle
+	tx.pinned = false
+	tx.pinVer = 0
 	tx.birth.Store(int64(time.Since(processStart)))
 	tx.priority.Store(0)
 	tx.rnd = id*2654435761 + 0x9e3779b97f4a7c15
@@ -217,7 +225,28 @@ func (tx *Tx) beginAttempt() {
 	}
 	tx.onCommit = tx.onCommit[:0]
 	tx.onAbort = tx.onAbort[:0]
-	now := tx.tm.clock.Now()
+	var now uint64
+	switch {
+	case tx.pinned:
+		// Pinned snapshot: every attempt reads at the pin's version.
+		now = tx.pinVer
+	case tx.sem != Snapshot && tx.attempt == 1:
+		// First attempts of classic and elastic transactions take a
+		// recently published version instead of the exact clock — under
+		// GVSharded one padded load of the handle's own commit stripe
+		// rather than the O(stripes) scan. A stale read version is sound
+		// (validation against it only aborts more) and the stripe doubles
+		// as a per-P commit cache: this handle's own commits refresh it,
+		// so read-your-own-commits freshness is exact. Retries resample
+		// the true clock, which bounds the extra aborts staleness can
+		// cause to one per transaction.
+		now = tx.tm.clock.NowRecent(tx.idEnd / txIDBatch)
+	default:
+		// Snapshot transactions always pay for the exact clock: their ub
+		// is their serialization point, and a stale ub would serialize
+		// them before operations that completed earlier in real time.
+		now = tx.tm.clock.Now()
+	}
 	tx.rv = now
 	tx.ub = now
 	tx.tm.stats.attempts.Add(1)

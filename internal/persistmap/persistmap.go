@@ -1,0 +1,175 @@
+// Package persistmap is the persistent-map layer over txstruct.TreeMapOf —
+// the second ROADMAP workload unblocked by snapshot pinning: a live
+// transactional ordered map that can be backed up while writers keep
+// committing, and restored copy-on-write without disturbing readers pinned
+// to older versions.
+//
+// A Backup is built under one SnapshotPin: the pin freezes a committed
+// version of the whole TM, so the backup walks the tree in bounded CHUNKS
+// — one short snapshot transaction per chunk, resuming after the last key
+// — and still captures a single consistent cut, no matter how many
+// updates commit between chunks. That is the property eager version
+// reclamation denied: before pin-aware retirement, a reader slower than a
+// few commits lost the versions it was iterating (AbortSnapshotTooOld);
+// with the pin, "snapshot iteration makes cheap backups" holds at any
+// size. Restore rebuilds the tree from fresh nodes (copy-on-write) inside
+// one transaction, so concurrent pinned readers keep their old cut.
+package persistmap
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/txstruct"
+)
+
+// DefaultChunk is how many bindings one backup transaction copies. Small
+// enough that each transaction's read set stays cheap, large enough that
+// chunking overhead (one pinned transaction per chunk) is negligible.
+const DefaultChunk = 256
+
+// Map is a transactional ordered map with consistent backup and restore.
+// All access goes through transactions of the TM it was created on; the
+// map itself is txstruct.TreeMapOf, re-exposed so callers compose map
+// operations with their own transactional state.
+type Map[V any] struct {
+	tm   *core.TM
+	tree *txstruct.TreeMapOf[V]
+	// chunk is the backup chunk size; tests shrink it to force many
+	// chunks over small maps.
+	chunk int
+	// testHookChunkAttempt, when set, runs after every binding a backup
+	// chunk accumulates (inside the pinned transaction). Tests use it to
+	// force deterministic mid-walk retries — the shape in which a
+	// non-reset accumulator would duplicate the aborted attempt's
+	// bindings; nil in production.
+	testHookChunkAttempt func(tx *core.Tx)
+}
+
+// New builds an empty persistent map bound to tm.
+func New[V any](tm *core.TM) *Map[V] {
+	return &Map[V]{tm: tm, tree: txstruct.NewTreeMapOf[V](tm, core.Snapshot), chunk: DefaultChunk}
+}
+
+// Tree returns the underlying transactional tree for composed use inside
+// the caller's own transactions.
+func (m *Map[V]) Tree() *txstruct.TreeMapOf[V] { return m.tree }
+
+// Put atomically binds key to val; it reports whether the key was new.
+func (m *Map[V]) Put(key int, val V) (bool, error) { return m.tree.Put(key, val) }
+
+// Get returns the value bound to key.
+func (m *Map[V]) Get(key int) (V, bool, error) { return m.tree.Get(key) }
+
+// Delete atomically unbinds key; it reports whether the key was present.
+func (m *Map[V]) Delete(key int) (bool, error) { return m.tree.Delete(key) }
+
+// Len returns the number of bindings as one consistent snapshot.
+func (m *Map[V]) Len() (int, error) { return m.tree.Len() }
+
+// Backup captures one consistent cut of the map: the committed state as
+// of the moment the call pins the TM's version, regardless of concurrent
+// updates during the copy. The walk is chunked — many short pinned
+// snapshot transactions instead of one long one — so a large backup never
+// holds a transaction open across the whole scan; writers are never
+// aborted nor blocked by it (snapshot reads interfere with nothing).
+func (m *Map[V]) Backup() (*Backup[V], error) {
+	pin, err := m.tm.PinSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer pin.Release()
+	b := &Backup[V]{Version: pin.Version()}
+	lo := math.MinInt
+	var chunkKeys []int
+	var chunkVals []V
+	var last int
+	var more bool
+	for {
+		// The closure may run more than once (a snapshot read can abort on
+		// lock contention and retry), so the chunk accumulates into
+		// buffers reset at the top of every attempt and lands in the
+		// backup only after the transaction committed — the same idiom as
+		// TreeMapOf.Keys. Appending directly from the range callback would
+		// duplicate the aborted attempt's bindings.
+		err := pin.Atomically(func(tx *core.Tx) error {
+			chunkKeys, chunkVals = chunkKeys[:0], chunkVals[:0]
+			more = false
+			m.tree.RangeTx(tx, lo, math.MaxInt, func(k int, v V) bool {
+				if len(chunkKeys) == m.chunk {
+					more = true
+					return false
+				}
+				chunkKeys = append(chunkKeys, k)
+				chunkVals = append(chunkVals, v)
+				last = k
+				if m.testHookChunkAttempt != nil {
+					m.testHookChunkAttempt(tx)
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.keys = append(b.keys, chunkKeys...)
+		b.vals = append(b.vals, chunkVals...)
+		if !more || last == math.MaxInt {
+			return b, nil
+		}
+		lo = last + 1
+	}
+}
+
+// Restore replaces the map's contents with the backup's, as one atomic
+// copy-on-write swap: the new tree is built from fresh nodes, so readers
+// pinned to pre-restore versions keep iterating the old state, and the
+// restore commits or aborts as a unit. The backup remains valid and can
+// be restored again (or into another Map of the same value type).
+func (m *Map[V]) Restore(b *Backup[V]) error {
+	return m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		m.tree.ReplaceAllTx(tx, b.keys, b.vals)
+		return nil
+	})
+}
+
+// RestoreTx is Restore inside the caller's transaction, composing the
+// swap with other transactional state.
+func (m *Map[V]) RestoreTx(tx *core.Tx, b *Backup[V]) {
+	m.tree.ReplaceAllTx(tx, b.keys, b.vals)
+}
+
+// Backup is an immutable point-in-time copy of a Map: plain sorted
+// parallel slices, cheap to keep, diff and re-apply. It is NOT
+// transactional state — reading it needs no transaction.
+type Backup[V any] struct {
+	// Version is the pinned TM version the backup captured.
+	Version uint64
+	keys    []int
+	vals    []V
+}
+
+// Len returns the number of bindings in the backup.
+func (b *Backup[V]) Len() int { return len(b.keys) }
+
+// Get returns the value bound to key in the backup.
+func (b *Backup[V]) Get(key int) (V, bool) {
+	i := sort.SearchInts(b.keys, key)
+	if i < len(b.keys) && b.keys[i] == key {
+		return b.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ascend visits the backup's bindings in ascending key order, stopping
+// when fn returns false.
+func (b *Backup[V]) Ascend(fn func(key int, val V) bool) {
+	for i := range b.keys {
+		if !fn(b.keys[i], b.vals[i]) {
+			return
+		}
+	}
+}

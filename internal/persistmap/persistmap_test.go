@@ -1,0 +1,281 @@
+package persistmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	tm := core.New()
+	m := New[int](tm)
+	for k := 0; k < 100; k += 2 {
+		if _, err := m.Put(k, k*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := m.Backup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 50 {
+		t.Fatalf("backup holds %d bindings, want 50", b.Len())
+	}
+	if v, ok := b.Get(42); !ok || v != 42*42 {
+		t.Fatalf("backup Get(42) = (%d,%v)", v, ok)
+	}
+	if _, ok := b.Get(43); ok {
+		t.Fatal("backup Get(43) found an absent key")
+	}
+	// Diverge the live map, then restore.
+	for k := 0; k < 100; k++ {
+		if _, err := m.Put(k, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Restore(b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("restored len %d, want 50", n)
+	}
+	for k := 0; k < 100; k += 2 {
+		v, ok, err := m.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != k*k {
+			t.Fatalf("restored Get(%d) = (%d,%v), want %d", k, v, ok, k*k)
+		}
+	}
+	if _, ok, _ := m.Get(1); ok {
+		t.Fatal("restored map holds a key the backup did not")
+	}
+}
+
+// TestBackupWhileWriting is the package's reason to exist: a CHUNKED
+// backup (chunk size 8, forcing dozens of pinned transactions) taken
+// while 8 writers churn the map must capture exactly the state committed
+// when the backup began — a single consistent cut across all chunks. The
+// pre-backup state is tagged so any leakage of concurrent writes into the
+// backup is detected by value. Run with -race to put the pinned chunk
+// walks under the detector against record recycling.
+func TestBackupWhileWriting(t *testing.T) {
+	const (
+		baseKeys = 200
+		writers  = 8
+	)
+	tm := core.New()
+	m := New[int](tm)
+	m.chunk = 8
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		for k := 0; k < baseKeys; k++ {
+			m.tree.PutTx(tx, k, 7000+k)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for i := 0; !stop.Load(); i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int(rng % (2 * baseKeys))
+				if i%4 == 0 {
+					_, _ = m.Delete(k)
+				} else {
+					_, _ = m.Put(k, -i) // never a 7000-tagged value
+				}
+			}
+		}(w)
+	}
+
+	for round := 0; round < 20; round++ {
+		b, err := m.Backup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every captured binding must carry a value some committed state
+		// held; 7000-tagged bindings must be self-consistent, and keys
+		// must ascend strictly (one cut, no duplicated or reordered
+		// chunk seams).
+		prev := -1
+		b.Ascend(func(k, v int) bool {
+			if k <= prev {
+				t.Errorf("round %d: backup keys out of order: %d after %d", round, k, prev)
+				return false
+			}
+			prev = k
+			if v >= 7000 && v != 7000+k {
+				t.Errorf("round %d: key %d carries tagged value %d, want %d", round, k, v, 7000+k)
+				return false
+			}
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := tm.Stats().Aborts[core.AbortSnapshotTooOld]; n != 0 {
+		t.Fatalf("backup chunks lost their pinned version %d time(s)", n)
+	}
+
+	// With writers quiesced, a backup equals the live state and survives a
+	// divergence + restore round trip.
+	b, err := m.Backup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2*baseKeys; k++ {
+		_, _ = m.Delete(k)
+	}
+	if err := m.Restore(b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != b.Len() {
+		t.Fatalf("restored len %d, backup %d", n, b.Len())
+	}
+}
+
+// abortHappyCM aborts the arbitrating transaction on every conflict, so
+// any lock encountered past the spin budget forces a retry — the
+// adversarial schedule for closure idempotency.
+type abortHappyCM struct{}
+
+func (abortHappyCM) Arbitrate(_, _ *core.Tx, _ int) core.Decision { return core.DecisionAbortSelf }
+func (abortHappyCM) OnCommit(*core.Tx)                            {}
+func (abortHappyCM) OnAbort(*core.Tx)                             {}
+
+// TestBackupRetriesDontDuplicate is the regression fence for the
+// chunk-accumulation bug: backup chunks whose snapshot transactions abort
+// and retry (forced here by a zero spin budget and an abort-happy
+// contention manager under writer pressure) must not duplicate bindings —
+// every backup stays strictly ascending with at most one entry per key.
+func TestBackupRetriesDontDuplicate(t *testing.T) {
+	const baseKeys = 96
+	tm := core.New(core.WithSpinBudget(0), core.WithContentionManager(abortHappyCM{}))
+	m := New[int](tm)
+	m.chunk = 4
+	for k := 0; k < baseKeys; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				_, _ = m.Put(int(rng%baseKeys), int(rng))
+			}
+		}(w)
+	}
+	calls := 0
+	// Force a deterministic MID-WALK retry of every chunk's first attempt,
+	// after it has accumulated some (but not all) bindings: without the
+	// per-attempt reset the retried attempt re-appends them.
+	m.testHookChunkAttempt = func(tx *core.Tx) {
+		if tx.Attempt() == 1 {
+			calls++
+			if calls%2 == 0 {
+				tx.Restart()
+			}
+		}
+	}
+	aborts0 := tm.Stats().TotalAborts()
+	for round := 0; round < 30; round++ {
+		b, err := m.Backup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != baseKeys {
+			t.Fatalf("round %d: backup holds %d bindings, want %d (duplicates or drops)", round, b.Len(), baseKeys)
+		}
+		prev := -1
+		b.Ascend(func(k, _ int) bool {
+			if k <= prev {
+				t.Errorf("round %d: backup keys not strictly ascending: %d after %d", round, k, prev)
+				return false
+			}
+			prev = k
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if tm.Stats().TotalAborts() == aborts0 {
+		t.Fatal("the forced-restart hook produced no aborts: the retry path was not exercised")
+	}
+}
+
+// TestBackupSeesOneCutNotTearing pins the semantics sharply: a writer
+// flips two keys between (0,1) and (1,0) — their sum is always 1 in any
+// committed state — while chunk size 1 forces the two keys into separate
+// backup transactions. Every backup must still see sum 1.
+func TestBackupSeesOneCutNotTearing(t *testing.T) {
+	tm := core.New()
+	m := New[int](tm)
+	m.chunk = 1
+	if _, err := m.Put(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			_ = tm.Atomically(core.Classic, func(tx *core.Tx) error {
+				a, _ := m.tree.GetTx(tx, 0)
+				m.tree.PutTx(tx, 0, 1-a)
+				m.tree.PutTx(tx, 1, a)
+				return nil
+			})
+		}
+	}()
+	for round := 0; round < 200; round++ {
+		b, err := m.Backup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := b.Get(0)
+		c, _ := b.Get(1)
+		if a+c != 1 {
+			t.Fatalf("round %d: backup tore across chunks: (%d,%d)", round, a, c)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

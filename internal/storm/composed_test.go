@@ -1,0 +1,148 @@
+package storm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The composed-operation checkers must not be vacuous: these tests feed
+// synthetic histories with dishonest composition results and require
+// rejection, then flip the record to the honest result and require a pass.
+
+// TestAddIfAbsentCompositionChecked: an addIfAbsent that inserted even
+// though its witness was present at the commit instant — the classic
+// early-release anomaly — must be rejected.
+func TestAddIfAbsentCompositionChecked(t *testing.T) {
+	evs := []core.Event{
+		// tx1 adds the witness (key 2) at instant 1.
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 10},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 1},
+		// tx2 commits an addIfAbsent(5, 2) at instant 2.
+		{Kind: core.EventBegin, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 1},
+		{Kind: core.EventWrite, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 11},
+		{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 2},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Classic, Ops: []Op{{Kind: OpAdd, Key: 2, Bool: true}}},
+		// Lie: inserted 5 "not finding" witness 2, which IS present at 2.
+		{TxID: 2, Sem: core.Classic, Ops: []Op{{Kind: OpAddIfAbsent, Key: 5, Val: 2, Bool: true, Aux: 0}}},
+	}
+	if _, err := checkSetModel(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("non-atomic addIfAbsent passed the model check")
+	} else if !strings.Contains(err.Error(), "composition") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// Honest outcome for a present witness: a read-only decline.
+	evs[4] = core.Event{Kind: core.EventRead, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 10, Version: 1}
+	evs[5] = core.Event{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 1}
+	recs[1].Ops[0] = Op{Kind: OpAddIfAbsent, Key: 5, Val: 2, Bool: false, Aux: 1}
+	if _, err := checkSetModel(mustAnalyze(t, evs), recs); err != nil {
+		t.Fatalf("honest addIfAbsent decline rejected: %v", err)
+	}
+}
+
+// TestAddIfAbsentDeclineChecked: a read-only decline that claims the
+// witness was absent must show v itself present at the same instant.
+func TestAddIfAbsentDeclineChecked(t *testing.T) {
+	evs := []core.Event{
+		// Read-only addIfAbsent at instant 0: nothing exists yet.
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventRead, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 10, Version: 0},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+	}
+	recs := []OpRecord{
+		// Lie: declined with witness absent while v is also absent — the
+		// composed op would have inserted.
+		{TxID: 1, Sem: core.Classic, Ops: []Op{{Kind: OpAddIfAbsent, Key: 5, Val: 2, Bool: false, Aux: 0}}},
+	}
+	if _, err := checkSetModel(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("impossible addIfAbsent decline passed the model check")
+	}
+}
+
+// TestConditionalTransferChecked: the bank's composed transfers must match
+// the replayed balance at their commit instant — an overdraw (moving more
+// than the model balance) and a dishonest observation both fail.
+func TestConditionalTransferChecked(t *testing.T) {
+	tm := core.New()
+	w := newBankWorkload(tm, 4, true)
+	evs := []core.Event{
+		// tx1: a performed transfer 0 -> 1 of 60 at instant 1.
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 0},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventWrite, TxID: 1, Attempt: 1, Sem: core.Classic, Cell: 2},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Classic, Version: 1},
+		// tx2: another transfer 0 -> 1 of 60 at instant 2. After tx1 the
+		// model balance of account 0 is 40: performing it overdraws.
+		{Kind: core.EventBegin, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 1},
+		{Kind: core.EventWrite, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 1},
+		{Kind: core.EventWrite, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 2},
+		{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 2},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Classic, Ops: []Op{{Kind: OpTransfer, Key: 0, Val: 1, Int: 60, Bool: true, Aux: 100}}},
+		// Lie: claims it observed 100 again — two transfers decided on the
+		// same balance, the composition-atomicity violation.
+		{TxID: 2, Sem: core.Classic, Ops: []Op{{Kind: OpTransfer, Key: 0, Val: 1, Int: 60, Bool: true, Aux: 100}}},
+	}
+	if err := w.check(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("double-spend conditional transfer passed the bank check")
+	} else if !strings.Contains(err.Error(), "observed balance") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// Honest second observation (40) still fails: it overdraws.
+	recs[1].Ops[0].Aux = 40
+	if err := w.check(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("overdrawing transfer passed the bank check")
+	} else if !strings.Contains(err.Error(), "holding") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// The honest outcome for balance 40 < 60 is a read-only decline.
+	evs[5] = core.Event{Kind: core.EventRead, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 1, Version: 1}
+	evs[6] = core.Event{Kind: core.EventRead, TxID: 2, Attempt: 1, Sem: core.Classic, Cell: 1, Version: 1}
+	evs[7] = core.Event{Kind: core.EventCommit, TxID: 2, Attempt: 1, Sem: core.Classic, Version: 1}
+	recs[1] = OpRecord{TxID: 2, Sem: core.Classic,
+		Ops: []Op{{Kind: OpTransfer, Key: 0, Val: 1, Int: 60, Bool: false, Aux: 40}}}
+	if err := w.check(mustAnalyze(t, evs), recs); err != nil {
+		t.Fatalf("honest declined transfer rejected: %v", err)
+	}
+}
+
+// TestNegativeAuditChecked: an audit observing a negative minimum balance
+// must fail even when the sum checks out.
+func TestNegativeAuditChecked(t *testing.T) {
+	tm := core.New()
+	w := newBankWorkload(tm, 2, true)
+	evs := []core.Event{
+		{Kind: core.EventBegin, TxID: 1, Attempt: 1, Sem: core.Snapshot, Version: 0},
+		{Kind: core.EventRead, TxID: 1, Attempt: 1, Sem: core.Snapshot, Cell: 1, Version: 0},
+		{Kind: core.EventCommit, TxID: 1, Attempt: 1, Sem: core.Snapshot, Version: 0},
+	}
+	recs := []OpRecord{
+		{TxID: 1, Sem: core.Snapshot, Ops: []Op{{Kind: OpSum, Int: 200, Aux: -5}}},
+	}
+	if err := w.check(mustAnalyze(t, evs), recs); err == nil {
+		t.Fatal("negative-balance audit passed the bank check")
+	} else if !strings.Contains(err.Error(), "negative balance") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}
+
+// TestCorruptRecorderCaughtOnCache mirrors TestCorruptRecorderCaught for
+// the lrucache workload: its checker must reject a version-skewed history.
+func TestCorruptRecorderCaughtOnCache(t *testing.T) {
+	cfg := smallCfg("lrucache", 1)
+	cfg.WrapRecorder = func(inner core.Recorder) core.Recorder {
+		return NewVersionSkewRecorder(inner, 5)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("corrupted lrucache history passed the checker")
+	}
+}

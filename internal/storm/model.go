@@ -31,6 +31,13 @@ const (
 	OpRead
 	OpTransfer
 	OpSum
+	// OpPeek is the cache's non-promoting read; OpGet doubles as the
+	// promoting cache read.
+	OpPeek
+	// OpAddIfAbsent is the composed set transaction contains(Val) +
+	// conditional add(Key): one abstract op whose two observations must
+	// hold at one serialization instant (composition atomicity).
+	OpAddIfAbsent
 )
 
 // String names the op for failure messages.
@@ -64,6 +71,10 @@ func (k OpKind) String() string {
 		return "transfer"
 	case OpSum:
 		return "sum"
+	case OpPeek:
+		return "peek"
+	case OpAddIfAbsent:
+		return "addIfAbsent"
 	default:
 		return "unknown"
 	}
@@ -72,13 +83,18 @@ func (k OpKind) String() string {
 // Op is one abstract operation with its observed result. Which fields are
 // meaningful depends on Kind: Bool carries add/remove/contains/put/delete
 // results, get's found and deq's ok; Int carries size/len/sum results,
-// get's and deq's observed value, and read's observed cell value.
+// get's and deq's observed value, and read's observed cell value. Aux
+// carries secondary observations: the bank transfer's observed source
+// balance, the audit's minimum balance, addIfAbsent's witness-found flag.
+// Only Kind, Key and Val may enter the seeded input digest — Bool, Int
+// and Aux are results.
 type Op struct {
 	Kind OpKind
 	Key  int
 	Val  int
 	Bool bool
 	Int  int
+	Aux  int
 }
 
 // OpRecord is the abstract trace of one committed transaction: the tx ID
@@ -292,6 +308,28 @@ func checkSetModel(log *history.ExecLog, recs []OpRecord) (map[int]bool, error) 
 				size--
 				tl.apply(op.Key, ex.CommitVer, false, 0)
 				sizes.apply(ex.CommitVer, size)
+			case OpAddIfAbsent:
+				// Composition atomicity: an addIfAbsent that WROTE must
+				// have observed, at its single commit instant, the witness
+				// absent AND v absent — `members` is exactly the model
+				// state just below this updater's instant.
+				if !op.Bool {
+					return nil, opErr(ex, op, "returned false yet wrote")
+				}
+				if op.Aux != 0 {
+					return nil, opErr(ex, op, "found its witness yet inserted")
+				}
+				if members[op.Val] {
+					return nil, opErr(ex, op, "witness %d present at instant %d, composition not atomic",
+						op.Val, ex.CommitVer)
+				}
+				if members[op.Key] {
+					return nil, opErr(ex, op, "inserted a key already present at instant %d", ex.CommitVer)
+				}
+				members[op.Key] = true
+				size++
+				tl.apply(op.Key, ex.CommitVer, true, 0)
+				sizes.apply(ex.CommitVer, size)
 			default:
 				return nil, opErr(ex, op, "unexpected updater op")
 			}
@@ -301,6 +339,28 @@ func checkSetModel(log *history.ExecLog, recs []OpRecord) (map[int]bool, error) 
 		lo, hi := ctx.window(p.ex)
 		for _, op := range p.rec.Ops {
 			switch op.Kind {
+			case OpAddIfAbsent:
+				// Read-only outcome: either the witness was found, or it
+				// was absent but v itself was present. Composed ops run
+				// classic, so the window is one instant and BOTH halves
+				// are checked there — a witness state and a v state that
+				// never coexisted fail.
+				if op.Bool {
+					return nil, opErr(p.ex, op, "returned true without writing")
+				}
+				if op.Aux != 0 {
+					if !tl.matchesIn(op.Val, lo, hi, true, 0, false) {
+						return nil, opErr(p.ex, op, "witness %d never present in [%d,%d]", op.Val, lo, hi)
+					}
+					break
+				}
+				wPresent, _ := tl.at(op.Val, lo)
+				vPresent, _ := tl.at(op.Key, lo)
+				if wPresent || !vPresent {
+					return nil, opErr(p.ex, op,
+						"declined with witness %d absent: need v present & witness absent at %d (witness=%v, v=%v)",
+						op.Val, lo, wPresent, vPresent)
+				}
 			case OpContains:
 				if !tl.matchesIn(op.Key, lo, hi, op.Bool, 0, false) {
 					return nil, opErr(p.ex, op, "observed %v, never true in [%d,%d]", op.Bool, lo, hi)

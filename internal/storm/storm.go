@@ -142,6 +142,10 @@ type Report struct {
 	ModelErr     error            // abstract-operation linearizability
 	WorkerErr    error            // a worker's transaction failed outright
 	SemanticsTxs map[core.Semantics]int
+
+	// Notes carries workload-specific observations that are not part of
+	// the pass/fail verdict, e.g. the lrucache workload's hit rate.
+	Notes []string
 }
 
 // Err returns nil when the run was fully clean and the first failure
@@ -165,6 +169,9 @@ func (r *Report) String() string {
 	status := "ok"
 	if err := r.Err(); err != nil {
 		status = "VIOLATION: " + err.Error()
+	}
+	for _, n := range r.Notes {
+		status += " · " + n
 	}
 	return fmt.Sprintf("%-10s seed=%d ops=%d commits=%d aborts=%d (%.0f%% abort) digest=%016x [%s] %s",
 		r.Workload, r.Seed, r.Ops, r.Stats.Commits, r.Stats.TotalAborts(),
@@ -286,5 +293,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.Verdict = log.CheckVerdict(cfg.Window)
 	rep.ModelErr = w.check(log, allRecs)
+	if n, ok := w.(interface{ notes() []string }); ok {
+		rep.Notes = n.notes()
+	}
 	return rep, nil
 }

@@ -29,8 +29,10 @@ type workload interface {
 // Workloads names every registered storm workload. "cells" runs over the
 // untyped Cell API, "typedcells" over TypedCell[int] — same operations,
 // same checker, both representations of the one engine kept honest.
+// "lrucache" storms the transactional LRU of internal/cache with hit-rate
+// and invariant checking.
 func Workloads() []string {
-	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue"}
+	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache"}
 }
 
 func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
@@ -61,6 +63,8 @@ func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
 		return &treeWorkload{tm: tm, m: txstruct.NewTreeMap(tm, core.Snapshot), keys: keys}, nil
 	case "queue":
 		return &queueWorkload{tm: tm, q: txstruct.NewQueue(tm, core.Snapshot), keys: keys}, nil
+	case "lrucache":
+		return newCacheWorkload(tm, keys), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Workloads())
 	}
@@ -116,15 +120,48 @@ func (w *setWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 	roll := rng.Intn(100)
 	key := rng.Intn(w.keys)
 	switch {
-	case roll < 30:
+	case roll < 27:
 		return w.exec(mix.pick(rng, w.updateSems()), Op{Kind: OpAdd, Key: key})
-	case roll < 60:
+	case roll < 54:
 		return w.exec(mix.pick(rng, w.updateSems()), Op{Kind: OpRemove, Key: key})
-	case roll < 90:
+	case roll < 80:
 		return w.exec(mix.pick(rng, w.readSems()), Op{Kind: OpContains, Key: key})
-	default:
+	case roll < 90:
 		return w.exec(mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot}), Op{Kind: OpSize})
+	default:
+		// Composed multi-op transaction: addIfAbsent(v, w) — insert v only
+		// when witness w is absent, the paper's composition example. Both
+		// observations commit under ONE classic transaction, so the model
+		// checker holds them to a single instant: composition atomicity.
+		return w.execAddIfAbsent(key, rng.Intn(w.keys))
 	}
+}
+
+// execAddIfAbsent runs the composed contains(witness)+add(v) transaction,
+// recorded as ONE abstract op (Key=v, Val=witness) so the seeded input
+// digest stays result-independent: Bool carries whether v was inserted,
+// Aux whether the witness was found. The checker decomposes the result
+// and holds both observations to one serialization instant.
+func (w *setWorkload) execAddIfAbsent(v, witness int) (OpRecord, error) {
+	var (
+		txid  uint64
+		found bool
+		added bool
+	)
+	err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		txid = tx.ID()
+		found = w.set.ContainsTx(tx, witness)
+		added = false
+		if !found {
+			added = w.set.AddTx(tx, v)
+		}
+		return nil
+	})
+	op := Op{Kind: OpAddIfAbsent, Key: v, Val: witness, Bool: added}
+	if found {
+		op.Aux = 1
+	}
+	return OpRecord{TxID: txid, Sem: core.Classic, Ops: []Op{op}}, err
 }
 
 func (w *setWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
@@ -495,6 +532,17 @@ func (w *cellsWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 // bankWorkload runs over typed cells: transfers and audits move int
 // balances through the word-specialized records, so the soak's hot loop is
 // allocation-free like the benches it guards.
+//
+// Transfers are CONDITIONAL compositions: check the source balance, then
+// move the money only when it suffices — so the workload carries a second
+// global invariant besides the conserved total: no balance ever drops
+// below zero. Two racing transfers that both read the same balance and
+// both debit it would break the invariant; it holds exactly when the
+// check and the debit are atomic as a unit (composition atomicity, the
+// ROADMAP's multi-op item). A slice of transfers additionally routes
+// through OrElse — transfer-or-retry: the first branch blocks (Retry)
+// when funds are short, the second records the decline — exercising the
+// combinator machinery inside the storm.
 type bankWorkload struct {
 	tm        *core.TM
 	accounts  []*core.TypedCell[int]
@@ -521,54 +569,166 @@ func (w *bankWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 		for to == from {
 			to = rng.Intn(len(w.accounts))
 		}
-		amount := 1 + rng.Intn(5)
+		// Amounts up to 3/5 of the initial balance, so insufficient funds
+		// actually occur and the conditional composition is exercised on
+		// both outcomes.
+		amount := 1 + rng.Intn(60)
+		if rng.Intn(4) == 0 {
+			return w.execTransferOrRetry(from, to, amount)
+		}
 		transferSems := []core.Semantics{core.Classic}
 		if w.elasticOK {
 			transferSems = append(transferSems, core.Elastic)
 		}
 		sem := mix.pick(rng, transferSems)
 		var txid uint64
+		var observed int
+		var performed bool
 		err := w.tm.Atomically(sem, func(tx *core.Tx) error {
 			txid = tx.ID()
-			fv := w.accounts[from].Load(tx)
-			tv := w.accounts[to].Load(tx)
-			w.accounts[from].Store(tx, fv-amount)
-			w.accounts[to].Store(tx, tv+amount)
+			observed = w.accounts[from].Load(tx)
+			performed = observed >= amount
+			if performed {
+				tv := w.accounts[to].Load(tx)
+				w.accounts[from].Store(tx, observed-amount)
+				w.accounts[to].Store(tx, tv+amount)
+			}
 			return nil
 		})
 		return OpRecord{TxID: txid, Sem: sem,
-			Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount}}}, err
+			Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount, Bool: performed, Aux: observed}}}, err
 	}
 	// Whole-state audit: the sum is invariant, so EVERY committed audit
 	// must observe exactly the total — the sharpest cross-semantics check.
+	// With all debits conditional, the minimum balance must additionally
+	// never go negative (Aux carries the observed minimum).
 	sem := mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot})
 	var txid uint64
-	var sum int
+	var sum, min int
 	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
 		txid = tx.ID()
 		sum = 0
+		min = int(^uint(0) >> 1)
 		for _, c := range w.accounts {
-			sum += c.Load(tx)
+			v := c.Load(tx)
+			sum += v
+			if v < min {
+				min = v
+			}
 		}
 		return nil
 	})
-	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{{Kind: OpSum, Int: sum}}}, err
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{{Kind: OpSum, Int: sum, Aux: min}}}, err
 }
 
-func (w *bankWorkload) check(_ *history.ExecLog, recs []OpRecord) error {
-	for _, r := range recs {
-		for _, op := range r.Ops {
-			if op.Kind == OpSum && op.Int != w.total {
-				return fmt.Errorf("bank: tx %d (%s) audit saw total %d, want %d",
-					r.TxID, r.Sem, op.Int, w.total)
+// execTransferOrRetry is the transfer composed with the Retry/OrElse
+// combinators: the first branch insists on sufficient funds and blocks
+// otherwise; the second branch turns the block into a recorded decline,
+// keeping the storm non-blocking as a whole. Both branches run inside one
+// classic transaction — whichever commits is the operation's outcome.
+func (w *bankWorkload) execTransferOrRetry(from, to, amount int) (OpRecord, error) {
+	var (
+		txid      uint64
+		observed  int
+		performed bool
+	)
+	err := w.tm.OrElse(
+		func(tx *core.Tx) error {
+			txid = tx.ID()
+			observed = w.accounts[from].Load(tx)
+			if observed < amount {
+				tx.Retry()
+			}
+			performed = true
+			tv := w.accounts[to].Load(tx)
+			w.accounts[from].Store(tx, observed-amount)
+			w.accounts[to].Store(tx, tv+amount)
+			return nil
+		},
+		func(tx *core.Tx) error {
+			txid = tx.ID()
+			observed = w.accounts[from].Load(tx)
+			performed = false
+			return nil
+		},
+	)
+	return OpRecord{TxID: txid, Sem: core.Classic,
+		Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount, Bool: performed, Aux: observed}}}, err
+}
+
+func (w *bankWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	ctx := newReplayCtx(log, recs)
+	balances := make([]int, len(w.accounts))
+	timelines := make([]*countTimeline, len(w.accounts))
+	for i := range balances {
+		balances[i] = 100
+		timelines[i] = &countTimeline{init: 100}
+	}
+	updaters, readOnly := ctx.partition()
+	for _, u := range updaters {
+		for _, op := range u.rec.Ops {
+			if op.Kind != OpTransfer || !op.Bool {
+				return fmt.Errorf("bank: tx %d (%s) unexpected updater op %s", u.ex.ID, u.ex.Sem, op.Kind)
+			}
+			// Composition atomicity: the balance the transfer decided on
+			// must be the model balance just below its commit instant
+			// (both classic and elastic transfers validate the source
+			// read at commit: it is in the elastic window that seeds the
+			// final piece), and it must have sufficed.
+			if op.Aux != balances[op.Key] {
+				return fmt.Errorf("bank: tx %d (%s) transfer observed balance %d, model has %d below instant %d",
+					u.ex.ID, u.ex.Sem, op.Aux, balances[op.Key], u.ex.CommitVer)
+			}
+			if op.Aux < op.Int {
+				return fmt.Errorf("bank: tx %d (%s) moved %d from account %d holding %d",
+					u.ex.ID, u.ex.Sem, op.Int, op.Key, op.Aux)
+			}
+			balances[op.Key] -= op.Int
+			balances[op.Val] += op.Int
+			timelines[op.Key].apply(u.ex.CommitVer, balances[op.Key])
+			timelines[op.Val].apply(u.ex.CommitVer, balances[op.Val])
+		}
+	}
+	for _, p := range readOnly {
+		lo, hi := ctx.window(p.ex)
+		for _, op := range p.rec.Ops {
+			switch op.Kind {
+			case OpTransfer: // declined: the observed balance must be real and short
+				if op.Bool {
+					return fmt.Errorf("bank: tx %d (%s) performed a transfer without writing", p.ex.ID, p.ex.Sem)
+				}
+				if op.Aux >= op.Int {
+					return fmt.Errorf("bank: tx %d (%s) declined with sufficient balance %d >= %d",
+						p.ex.ID, p.ex.Sem, op.Aux, op.Int)
+				}
+				if !timelines[op.Key].matchesIn(lo, hi, op.Aux) {
+					return fmt.Errorf("bank: tx %d (%s) declined on balance %d, never held in [%d,%d]",
+						p.ex.ID, p.ex.Sem, op.Aux, lo, hi)
+				}
+			case OpSum:
+				if op.Int != w.total {
+					return fmt.Errorf("bank: tx %d (%s) audit saw total %d, want %d",
+						p.ex.ID, p.ex.Sem, op.Int, w.total)
+				}
+				if op.Aux < 0 {
+					return fmt.Errorf("bank: tx %d (%s) audit saw negative balance %d — conditional transfers overdrew",
+						p.ex.ID, p.ex.Sem, op.Aux)
+				}
+			default:
+				return fmt.Errorf("bank: tx %d (%s) unexpected read-only op %s", p.ex.ID, p.ex.Sem, op.Kind)
 			}
 		}
 	}
-	var sum int
+	var sum, min int
 	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		sum = 0
+		min = int(^uint(0) >> 1)
 		for _, c := range w.accounts {
-			sum += c.Load(tx)
+			v := c.Load(tx)
+			sum += v
+			if v < min {
+				min = v
+			}
 		}
 		return nil
 	}); err != nil {
@@ -576,6 +736,9 @@ func (w *bankWorkload) check(_ *history.ExecLog, recs []OpRecord) error {
 	}
 	if sum != w.total {
 		return fmt.Errorf("bank: final total %d, want %d", sum, w.total)
+	}
+	if min < 0 {
+		return fmt.Errorf("bank: final minimum balance %d, want >= 0", min)
 	}
 	return nil
 }

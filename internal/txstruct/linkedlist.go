@@ -199,6 +199,24 @@ func (l *List) Elements() ([]int, error) {
 	return out, err
 }
 
+// SnapshotRange visits members with lo <= v <= hi in ascending order at
+// the pin's version: a consistent cut of the set frozen at pin time, with
+// zero write-path interference (snapshot reads neither abort updaters nor
+// are aborted by them). Successive calls on one pin observe the same
+// state — the chunked consistent-iteration idiom. Each call is one
+// snapshot transaction and may retry: fn must tolerate re-invocation from
+// the first member (see TreeMapOf.SnapshotRange).
+func (l *List) SnapshotRange(p *core.SnapshotPin, lo, hi int, fn func(v int) bool) error {
+	return p.Atomically(func(tx *core.Tx) error {
+		for curr := l.head.Load(tx); curr != nil && curr.val <= hi; curr = curr.next.Load(tx) {
+			if curr.val >= lo && !fn(curr.val) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
 // AddIfAbsent atomically inserts v only when w is absent, composing
 // ContainsTx and AddTx under one classic transaction — the composition the
 // paper uses to argue elastic operations stay composable while early

@@ -157,6 +157,22 @@ func (s *SkipList) ElementsTx(tx *core.Tx) []int {
 	return out
 }
 
+// SnapshotRange visits members with lo <= v <= hi in ascending order at
+// the pin's version (bottom level walk), mirroring List.SnapshotRange: a
+// consistent cut frozen at pin time with zero write-path interference.
+// Each call is one snapshot transaction and may retry: fn must tolerate
+// re-invocation from the first member (see TreeMapOf.SnapshotRange).
+func (s *SkipList) SnapshotRange(p *core.SnapshotPin, lo, hi int, fn func(v int) bool) error {
+	return p.Atomically(func(tx *core.Tx) error {
+		for curr := s.head.next[0].Load(tx); curr != nil && curr.val <= hi; curr = curr.next[0].Load(tx) {
+			if curr.val >= lo && !fn(curr.val) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
 // Contains implements intset.Set.
 func (s *SkipList) Contains(v int) (bool, error) {
 	var found bool

@@ -369,6 +369,55 @@ func (m *TreeMapOf[V]) Keys() ([]int, error) {
 	return out, err
 }
 
+// SnapshotRange visits bindings with lo <= key <= hi in ascending order at
+// the pin's version: one consistent cut of the map, regardless of how many
+// transactions have committed since the pin was taken — and with zero
+// write-path interference, since snapshot reads neither abort updaters nor
+// are aborted by them. Successive calls on one pin (or on the other
+// Snapshot* iterators) observe the SAME state, which makes chunked
+// iteration over a live map consistent as a whole; fn stopping early and a
+// later call resuming past the last key is the chunked-backup idiom of
+// internal/persistmap.
+//
+// Each call is one snapshot transaction, and like every transactional
+// closure it may RUN MORE THAN ONCE (a snapshot read can abort on lock
+// contention and retry): fn must tolerate re-invocation from the first
+// key. Accumulators should be idempotent (e.g. a map keyed by key) or be
+// reset per attempt by using p.Atomically with RangeTx directly, the way
+// persistmap.Backup does.
+func (m *TreeMapOf[V]) SnapshotRange(p *core.SnapshotPin, lo, hi int, fn func(key int, val V) bool) error {
+	return p.Atomically(func(tx *core.Tx) error {
+		m.RangeTx(tx, lo, hi, fn)
+		return nil
+	})
+}
+
+// SnapshotAscend visits every binding ascending at the pin's version; see
+// SnapshotRange.
+func (m *TreeMapOf[V]) SnapshotAscend(p *core.SnapshotPin, fn func(key int, val V) bool) error {
+	return p.Atomically(func(tx *core.Tx) error {
+		m.AscendTx(tx, fn)
+		return nil
+	})
+}
+
+// ReplaceAllTx replaces the map's entire contents with the given bindings
+// (keys ascending, vals parallel) inside the caller's transaction. The new
+// tree is built copy-on-write from fresh nodes — no node of the old tree
+// is mutated — so concurrent snapshot readers pinned to an older version
+// keep iterating the old tree untouched, and the only contended location
+// of the swap itself is the root cell. This is the restore half of the
+// persistent-map layer.
+func (m *TreeMapOf[V]) ReplaceAllTx(tx *core.Tx, keys []int, vals []V) {
+	if len(keys) != len(vals) {
+		panic("txstruct: ReplaceAllTx keys/vals length mismatch")
+	}
+	m.root.Store(tx, nil)
+	for i := range keys {
+		m.PutTx(tx, keys[i], vals[i])
+	}
+}
+
 // checkInvariants verifies red-black invariants inside tx: no red right
 // links, no consecutive red left links, equal black height on all paths.
 // It returns the black height. Used by the tests.

@@ -54,6 +54,16 @@ type (
 	// SemanticsError reports an operation illegal under a transaction's
 	// semantics, e.g. a Store inside a Snapshot transaction.
 	SemanticsError = core.SemanticsError
+	// SnapshotPin pins one committed version for multi-transaction use:
+	// the Snapshot handle. While the pin is live every Var and Cell of
+	// its TM stays readable at the pinned version — update commits retain
+	// the versions the pin depends on instead of recycling them — so
+	// successive pin.Atomically calls observe one consistent state: the
+	// substrate of consistent chunked iteration, cheap backups and the
+	// internal/persistmap layer. Acquire with TM.PinSnapshot, release as
+	// soon as possible (each pinned-over commit retains one extra version
+	// record per overwritten cell until Release).
+	SnapshotPin = core.SnapshotPin
 )
 
 // Transaction semantics labels (the tx-begin hint of section 5).
@@ -79,6 +89,11 @@ var (
 	// ErrRetryNotClassic is returned when Tx.Retry is used outside a
 	// Classic transaction.
 	ErrRetryNotClassic = core.ErrRetryNotClassic
+	// ErrPinReleased is returned when a released SnapshotPin is used.
+	ErrPinReleased = core.ErrPinReleased
+	// ErrTooManyPins is returned by TM.PinSnapshot when the pin registry
+	// is exhausted (pins are leaking).
+	ErrTooManyPins = core.ErrTooManyPins
 )
 
 // Configuration options, re-exported from the runtime.

@@ -207,3 +207,63 @@ func TestPublicConcurrentMixedSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicSnapshotPin exercises the Snapshot handle through the public
+// surface: multi-transaction consistency against concurrent writers, and
+// the released-pin error path.
+func TestPublicSnapshotPin(t *testing.T) {
+	tm := repro.New()
+	vars := make([]*repro.Var[int], 8)
+	for i := range vars {
+		vars[i] = repro.NewVar(tm, 1)
+	}
+	pin, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = tm.Atomically(repro.Classic, func(tx *repro.Tx) error {
+					for _, v := range vars {
+						v.Set(tx, v.Get(tx)+1)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = pin.Atomically(func(tx *repro.Tx) error {
+				for j, v := range vars {
+					if got := v.Get(tx); got != 1 {
+						t.Errorf("pinned read %d of var %d = %d, want 1", i, j, got)
+					}
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if pin.Version() == 0 {
+		// vars were committed at creation version 0; the pin was taken
+		// after, so nothing more to assert — but Version must be stable.
+		t.Log("pin at version 0")
+	}
+	pin.Release()
+	if err := pin.Atomically(func(*repro.Tx) error { return nil }); !errors.Is(err, repro.ErrPinReleased) {
+		t.Fatalf("released pin ran: err = %v, want ErrPinReleased", err)
+	}
+	if _, err := tm.PinSnapshot(); err != nil {
+		t.Fatalf("fresh pin after release: %v", err)
+	}
+}
