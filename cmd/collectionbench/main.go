@@ -9,11 +9,15 @@
 //	collectionbench [-fig 5|7|9|all|none] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
 //	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
-//	                [-cache] [-json] [-out BENCH_collection.json] [-label run]
-//	                [-soak=true]
+//	                [-cache] [-persist] [-json] [-out BENCH_collection.json]
+//	                [-label run] [-soak=true]
 //
 // -cache appends a transactional-LRU sweep (internal/cache: throughput,
 // abort rate and hit rate per thread count); -fig none runs it standalone.
+//
+// -persist appends a durable-persistence sweep (internal/persistmap):
+// pinned full backup, pin-to-pin incremental diff, on-disk chain write,
+// checksum-verified chain load and copy-on-write restore, per map size.
 //
 // -typed=false swaps the transactional lists for their untyped boxing
 // comparators (nodes in `any`-payload cells), so one binary measures what
@@ -44,6 +48,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/persistmap"
 	"repro/internal/storm"
 	"repro/internal/txstruct"
 )
@@ -72,6 +77,7 @@ func run(args []string) error {
 		soak     = fs.Bool("soak", true, "run a correctness storm before the sweep")
 		typed    = fs.Bool("typed", true, "bench the typed-cell lists; false swaps in the untyped boxing comparators")
 		cacheFl  = fs.Bool("cache", false, "also sweep the transactional LRU cache (internal/cache)")
+		persist  = fs.Bool("persist", false, "also sweep the durable persistence pipeline (internal/persistmap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +183,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *persist {
+		fmt.Println()
+		if err := runPersistSweep(rec, *size, *dur, scheme); err != nil {
+			return err
+		}
+	}
 	if rec != nil {
 		if err := bench.AppendJSONRun(*outPath, rec); err != nil {
 			return err
@@ -263,6 +275,124 @@ func runCachePoint(capacity, keyRange, threads int, dur time.Duration, scheme cl
 		res.HitRate = float64(hits) / float64(hits+misses)
 	}
 	return res, nil
+}
+
+// runPersistSweep measures the durable persistence pipeline
+// (internal/persistmap) across map sizes: consistent full backup under a
+// pin, pin-to-pin incremental diff over ~6% churn, full-chain disk write,
+// chain load (full + diff, checksum-verified), and copy-on-write restore
+// into a second map. Each measurement is the whole macro-operation, so the
+// printed figures are pipeline operations per second at that map size.
+// With -json the points land under the "durable-persist" figure, one
+// one-point series per (operation, size).
+func runPersistSweep(rec *bench.JSONRun, size int, dur time.Duration, scheme clock.Scheme) error {
+	var sizes []int
+	for _, n := range []int{size / 4, size / 2, size} {
+		if n >= 16 && (len(sizes) == 0 || n != sizes[len(sizes)-1]) {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{size}
+	}
+	fmt.Println("durable-persist sweep: macro-ops/s per map size (backup = pinned chunked copy," +
+		" diff = pin-to-pin walk over ~6% churn, write/load = full+diff chain on disk, restore = COW replace)")
+	fmt.Printf("%8s %8s %12s %12s %12s %12s %12s\n",
+		"size", "churn", "backup/s", "diff/s", "write/s", "load/s", "restore/s")
+	for _, n := range sizes {
+		if err := runPersistPoint(rec, n, dur, scheme); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPersistPoint(rec *bench.JSONRun, n int, dur time.Duration, scheme clock.Scheme) error {
+	tm := core.New(core.WithClockScheme(scheme))
+	m := persistmap.New[int](tm)
+	for k := 0; k < n; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			return err
+		}
+	}
+	churn := n / 16
+	if churn < 8 {
+		churn = 8
+	}
+	pOld, err := tm.PinSnapshot()
+	if err != nil {
+		return err
+	}
+	defer pOld.Release()
+	base, err := m.BackupAt(pOld)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < churn; i++ {
+		k := (i * 37) % (n + n/4 + 1)
+		if i%3 == 0 {
+			if _, err := m.Delete(k); err != nil {
+				return err
+			}
+		} else if _, err := m.Put(k, -i); err != nil {
+			return err
+		}
+	}
+	pNew, err := tm.PinSnapshot()
+	if err != nil {
+		return err
+	}
+	defer pNew.Release()
+	d, err := m.Diff(pOld, pNew)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "persistbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := persistmap.NewStore(dir, persistmap.IntCodec{})
+	if err != nil {
+		return err
+	}
+	if _, err := store.WriteFull(base); err != nil {
+		return err
+	}
+	if _, err := store.WriteDiff(d); err != nil {
+		return err
+	}
+	tm2 := core.New(core.WithClockScheme(scheme))
+	m2 := persistmap.New[int](tm2)
+
+	ops := []struct {
+		name string
+		op   func() error
+	}{
+		{"backup", func() error { _, err := m.Backup(); return err }},
+		{"diff", func() error { _, err := m.Diff(pOld, pNew); return err }},
+		{"write", func() error { _, err := store.WriteFull(base); return err }},
+		{"load", func() error { _, err := store.Load(); return err }},
+		{"restore", func() error { return m2.Restore(base) }},
+	}
+	fmt.Printf("%8d %8d", n, d.Len())
+	for _, o := range ops {
+		op := o.op
+		res := bench.MeasureOps(fmt.Sprintf("persist-%s-n%d", o.name, n), 1, dur, 0,
+			func(int) func(*bench.Xorshift) error {
+				return func(*bench.Xorshift) error { return op() }
+			})
+		if res.Errors > 0 {
+			return fmt.Errorf("persist sweep %s at size %d: %d op error(s)", o.name, n, res.Errors)
+		}
+		fmt.Printf(" %12.0f", res.Throughput)
+		if rec != nil {
+			rec.AddPoint("durable-persist", res.Impl, res)
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 // runSoak runs the shared pre-sweep correctness storm (storm.Soak) under

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persistmap"
+)
+
+// writeChain builds a real full+2-diff chain in dir and returns the final
+// expected state.
+func writeChain(t *testing.T, dir string) map[int]int {
+	t.Helper()
+	tm := core.New()
+	m := persistmap.New[int](tm)
+	s, err := persistmap.NewStore(dir, persistmap.IntCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 16; k++ {
+		if _, err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pin, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.BackupAt(pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteFull(b); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		if _, err := m.Put(100+step, step); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Delete(step); err != nil {
+			t.Fatal(err)
+		}
+		next, err := tm.PinSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Diff(pin, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteDiff(d); err != nil {
+			t.Fatal(err)
+		}
+		pin.Release()
+		pin = next
+	}
+	pin.Release()
+	want := make(map[int]int)
+	if err := tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		clear(want)
+		m.Tree().AscendTx(tx, func(k, v int) bool {
+			want[k] = v
+			return true
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestInfoVerifyCompact(t *testing.T) {
+	dir := t.TempDir()
+	want := writeChain(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"info", dir}, &out); err != nil {
+		t.Fatalf("info: %v\n%s", err, out.String())
+	}
+	for _, frag := range []string{"full", "diff", "chain:", "codec=int"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("info output lacks %q:\n%s", frag, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"verify", dir}, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "3 file(s) verified") {
+		t.Fatalf("verify output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"compact", dir}, &out); err != nil {
+		t.Fatalf("compact: %v\n%s", err, out.String())
+	}
+	infos, err := persistmap.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Kind != persistmap.FileFull {
+		t.Fatalf("after compact: %v", infos)
+	}
+	s, err := persistmap.NewStore(dir, persistmap.IntCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(want) {
+		t.Fatalf("compacted chain has %d bindings, want %d", b.Len(), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := b.Get(k); !ok || gv != v {
+			t.Fatalf("compacted key %d = (%d,%v), want (%d,true)", k, gv, ok, v)
+		}
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	writeChain(t, dir)
+	infos, err := persistmap.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := infos[len(infos)-1].Path
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"verify", filepath.Clean(victim)}, &out); err == nil {
+		t.Fatalf("verify accepted a bit-flipped file:\n%s", out.String())
+	}
+	if err := run([]string{"info", dir}, &out); err == nil {
+		t.Fatal("info accepted a directory with a bit-flipped file")
+	}
+	if err := run([]string{"compact", dir}, &out); err == nil {
+		t.Fatal("compact accepted a directory with a bit-flipped file")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"frobnicate", "x"}, &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"info"}, &out); err == nil {
+		t.Fatal("info with no paths accepted")
+	}
+}

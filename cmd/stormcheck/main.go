@@ -8,17 +8,20 @@
 //
 // Usage:
 //
-//	stormcheck [-workload skiplist|linkedlist|hashset|treemap|queue|cells|typedcells|bank|all]
+//	stormcheck [-workload skiplist|linkedlist|hashset|treemap|queue|cells|typedcells|bank|lrucache|persist|all]
 //	           [-workers 4] [-ops 200] [-keys 32] [-seed 1]
 //	           [-mix 60,25,15] [-duration 0] [-chaos 10] [-window 2]
 //	           [-clock gv1|gvpass|gvsharded|all]
-//	           [-explore] [-selftest-corrupt] [-v]
+//	           [-explore] [-shrink] [-selftest-corrupt] [-v]
 //
 // -mix weighs classic,elastic,snapshot. -duration overrides -ops with a
 // wall-clock bound. -clock selects the commit-versioning scheme under test
 // ('all' sweeps every scheme — storms and explorer alike — so relaxed
 // clocks are held to the same guarantees as the default). -explore
-// additionally runs the exhaustive tiny-interleaving suite. -selftest-corrupt records the storm through a
+// additionally runs the exhaustive tiny-interleaving suite. -shrink, on a
+// failing storm, bisects the per-worker op sequences to a minimal
+// still-failing schedule and prints it (plus its explorer-ready tiny
+// case). -selftest-corrupt records the storm through a
 // deliberately-broken recorder; the run MUST then fail, proving the
 // checker is alive (the flag exists for tests and demos).
 package main
@@ -61,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		clockSch = fs.String("clock", "gv1", "clock scheme under test, or 'all'")
 		explore  = fs.Bool("explore", false, "also run the exhaustive tiny-interleaving suite")
 		corrupt  = fs.Bool("selftest-corrupt", false, "record through a broken recorder; the run must fail")
+		shrink   = fs.Bool("shrink", false, "on a failing storm, bisect to a minimal failing schedule")
 		verbose  = fs.Bool("v", false, "print per-violation detail")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +122,18 @@ func run(args []string, out io.Writer) error {
 				if *verbose && rep.Verdict != nil {
 					for _, e := range rep.Verdict.Errs {
 						fmt.Fprintln(out, "  ", e)
+					}
+				}
+				if *shrink && !*corrupt {
+					res, serr := storm.Shrink(cfg, 3)
+					switch {
+					case serr != nil:
+						fmt.Fprintln(out, "  shrink:", serr)
+					case res == nil:
+						fmt.Fprintln(out, "  shrink: failure did not recur")
+					default:
+						fmt.Fprintln(out, " ", res)
+						fmt.Fprintln(out, "  shrunk failure:", res.Report.Err())
 					}
 				}
 			}

@@ -1,0 +1,134 @@
+package core
+
+import "testing"
+
+// TestPinVersionsOrderAcrossCommit is the Version() contract test: two
+// pins taken across a commit order correctly — strictly, since the commit
+// advanced the clock between them — and each pin reads the state of its
+// own instant. The ordering is what lets a backup chain be sequenced by
+// pin version alone, without reaching into any backup payload.
+func TestPinVersionsOrderAcrossCommit(t *testing.T) {
+	tm := New()
+	c := NewTypedCell(tm, 100)
+
+	p1, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Release()
+
+	if err := tm.Atomically(Classic, func(tx *Tx) error {
+		c.Store(tx, 200)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Release()
+
+	if p1.Version() >= p2.Version() {
+		t.Fatalf("pins across a commit must order strictly: %d then %d", p1.Version(), p2.Version())
+	}
+	for _, tc := range []struct {
+		pin  *SnapshotPin
+		want int
+	}{{p1, 100}, {p2, 200}} {
+		var got int
+		if err := tc.pin.Atomically(func(tx *Tx) error {
+			got = c.Load(tx)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("pin at version %d read %d, want %d", tc.pin.Version(), got, tc.want)
+		}
+	}
+
+	// Without an intervening commit, a later pin never orders BELOW an
+	// earlier one (equality is allowed: the clock did not move).
+	p3, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Release()
+	if p3.Version() < p2.Version() {
+		t.Fatalf("later pin ordered below earlier one: %d then %d", p2.Version(), p3.Version())
+	}
+}
+
+// TestLoadVersionedReportsRecordVersion pins the MVCC change-detection
+// contract of LoadVersioned: a cell's initial value reports version 0, an
+// overwrite committed between two pins reports a version above the older
+// pin's and at most the newer pin's, and a buffered write reports
+// VersionPending.
+func TestLoadVersionedReportsRecordVersion(t *testing.T) {
+	tm := New()
+	c := NewTypedCell(tm, 7)
+
+	p1, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Release()
+
+	readAt := func(p *SnapshotPin) (int, uint64) {
+		var v int
+		var ver uint64
+		if err := p.Atomically(func(tx *Tx) error {
+			v, ver = c.LoadVersioned(tx)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return v, ver
+	}
+
+	if v, ver := readAt(p1); v != 7 || ver != 0 {
+		t.Fatalf("initial record = (%d,%d), want (7,0)", v, ver)
+	}
+
+	if err := tm.Atomically(Classic, func(tx *Tx) error {
+		c.Store(tx, 8)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Release()
+
+	// The old pin still resolves the version-0 record; the new pin sees
+	// the overwrite, stamped strictly after the old pin's version.
+	if v, ver := readAt(p1); v != 7 || ver != 0 {
+		t.Fatalf("old pin record = (%d,%d), want (7,0)", v, ver)
+	}
+	v, ver := readAt(p2)
+	if v != 8 {
+		t.Fatalf("new pin read %d, want 8", v)
+	}
+	if ver <= p1.Version() || ver > p2.Version() {
+		t.Fatalf("overwrite version %d not in (%d,%d]", ver, p1.Version(), p2.Version())
+	}
+
+	// Classic reads report the validated version; buffered writes report
+	// VersionPending.
+	if err := tm.Atomically(Classic, func(tx *Tx) error {
+		if _, got := c.LoadVersioned(tx); got != ver {
+			t.Errorf("classic LoadVersioned = %d, want %d", got, ver)
+		}
+		c.Store(tx, 9)
+		if bv, got := c.LoadVersioned(tx); got != VersionPending || bv != 9 {
+			t.Errorf("buffered LoadVersioned = (%d,%d), want (9,VersionPending)", bv, got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

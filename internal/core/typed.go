@@ -64,6 +64,22 @@ func (c *TypedCell[T]) Store(tx *Tx, value T) {
 	tx.store(&c.h, encodeVal(c.h.shape, value))
 }
 
+// LoadVersioned is Load additionally reporting the commit version of the
+// record the read observed: the version of the transaction that installed
+// the value (0 for the cell's initial value, VersionPending for a value the
+// transaction itself buffered). Inside a pinned snapshot transaction this
+// is the MVCC change detector — a record whose version exceeds an older
+// pin's Version was committed after that pin, so the binding differs
+// between the two pins without any value comparison. txstruct's
+// TreeMapOf.SnapshotDiff is built on exactly this.
+func (c *TypedCell[T]) LoadVersioned(tx *Tx) (T, uint64) {
+	if c == nil {
+		panic("core: LoadVersioned of nil cell")
+	}
+	v, ver := tx.loadVersioned(&c.h)
+	return decodeVal[T](c.h.shape, v), ver
+}
+
 // Release early-releases the cell from tx's read set (section 4.1 of the
 // paper); future conflicts on it are ignored. Expert-only: see Tx.Release.
 func (c *TypedCell[T]) Release(tx *Tx) {

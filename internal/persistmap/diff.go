@@ -1,0 +1,128 @@
+package persistmap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/txstruct"
+)
+
+// Diff is an immutable set of binding changes between two pinned versions
+// of a Map: the incremental-backup counterpart of Backup. Like Backup it is
+// plain sorted data, NOT transactional state — reading it needs no
+// transaction — and it is the unit the on-disk Store serializes as one
+// chain link (parent FromVersion, child Version).
+type Diff[V any] struct {
+	// FromVersion is the older pin's version: the backup state the diff
+	// applies on top of.
+	FromVersion uint64
+	// Version is the newer pin's version: the state reached by applying
+	// the diff.
+	Version uint64
+	keys    []int
+	kinds   []txstruct.DiffKind
+	vals    []V // zero value for DiffDeleted entries
+}
+
+// Diff captures the binding changes between two pins of the map, in
+// ascending key order: the merged two-version walk of
+// txstruct.TreeMapOf.SnapshotDiff, materialized. Both pins must be live
+// pins of the map's TM with pOld.Version() <= pNew.Version(); both stay
+// valid (and held by the caller) after the call. A chain keeps the newer
+// pin alive to serve as the next diff's pOld.
+func (m *Map[V]) Diff(pOld, pNew *core.SnapshotPin) (*Diff[V], error) {
+	d := &Diff[V]{FromVersion: pOld.Version(), Version: pNew.Version()}
+	err := m.tree.SnapshotDiff(pOld, pNew, func(key int, _, new V, kind txstruct.DiffKind) bool {
+		d.keys = append(d.keys, key)
+		d.kinds = append(d.kinds, kind)
+		d.vals = append(d.vals, new)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Len returns the number of binding changes in the diff.
+func (d *Diff[V]) Len() int { return len(d.keys) }
+
+// Each visits the diff's changes in ascending key order, stopping when fn
+// returns false. val is the new value (V's zero for DiffDeleted).
+func (d *Diff[V]) Each(fn func(key int, val V, kind txstruct.DiffKind) bool) {
+	for i := range d.keys {
+		if !fn(d.keys[i], d.vals[i], d.kinds[i]) {
+			return
+		}
+	}
+}
+
+// Apply produces the Backup reached by applying the diff on top of b. The
+// base must be exactly the diff's parent (b.Version == d.FromVersion), and
+// every change must be structurally consistent with the base — an added
+// key absent, a changed or deleted key present — so a diff applied to the
+// wrong state fails loudly instead of producing a silently wrong map. b is
+// not modified.
+func (d *Diff[V]) Apply(b *Backup[V]) (*Backup[V], error) {
+	if b.Version != d.FromVersion {
+		return nil, fmt.Errorf("persistmap: diff %d→%d does not apply to backup at version %d",
+			d.FromVersion, d.Version, b.Version)
+	}
+	out := &Backup[V]{
+		Version: d.Version,
+		keys:    make([]int, 0, len(b.keys)+len(d.keys)),
+		vals:    make([]V, 0, len(b.vals)+len(d.keys)),
+	}
+	i, j := 0, 0
+	for i < len(b.keys) || j < len(d.keys) {
+		switch {
+		case j == len(d.keys) || (i < len(b.keys) && b.keys[i] < d.keys[j]):
+			out.keys = append(out.keys, b.keys[i])
+			out.vals = append(out.vals, b.vals[i])
+			i++
+		case i == len(b.keys) || d.keys[j] < b.keys[i]:
+			if d.kinds[j] != txstruct.DiffAdded {
+				return nil, fmt.Errorf("persistmap: diff %d→%d %s key %d absent from base",
+					d.FromVersion, d.Version, d.kinds[j], d.keys[j])
+			}
+			out.keys = append(out.keys, d.keys[j])
+			out.vals = append(out.vals, d.vals[j])
+			j++
+		default: // same key
+			switch d.kinds[j] {
+			case txstruct.DiffChanged:
+				out.keys = append(out.keys, d.keys[j])
+				out.vals = append(out.vals, d.vals[j])
+			case txstruct.DiffDeleted:
+				// dropped
+			default:
+				return nil, fmt.Errorf("persistmap: diff %d→%d added key %d already in base",
+					d.FromVersion, d.Version, d.keys[j])
+			}
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// BackupOf builds a Backup directly from sorted parallel slices, for tests
+// and tooling. keys must be strictly ascending and parallel to vals.
+func BackupOf[V any](version uint64, keys []int, vals []V) (*Backup[V], error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("persistmap: %d keys, %d vals", len(keys), len(vals))
+	}
+	if !sort.IntsAreSorted(keys) {
+		return nil, fmt.Errorf("persistmap: keys not ascending")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return nil, fmt.Errorf("persistmap: duplicate key %d", keys[i])
+		}
+	}
+	b := &Backup[V]{Version: version}
+	b.keys = append(b.keys, keys...)
+	b.vals = append(b.vals, vals...)
+	return b, nil
+}

@@ -80,6 +80,14 @@ func (m *Map[V]) Backup() (*Backup[V], error) {
 		return nil, err
 	}
 	defer pin.Release()
+	return m.BackupAt(pin)
+}
+
+// BackupAt is Backup at a pin the caller holds (and keeps holding): the
+// backup chain idiom, where the pin of the last backup stays live so the
+// next incremental Diff can walk both versions. The pin must belong to the
+// map's TM and stays valid after the call.
+func (m *Map[V]) BackupAt(pin *core.SnapshotPin) (*Backup[V], error) {
 	b := &Backup[V]{Version: pin.Version()}
 	lo := math.MinInt
 	var chunkKeys []int

@@ -1,0 +1,753 @@
+package persistmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/txstruct"
+)
+
+// This file is the durable half of the persistent-map layer: full backups
+// and pin-to-pin diffs serialized to disk as a GENERATION CHAIN — one full
+// backup plus any number of incremental diffs, each naming its parent pin
+// version — and loaded back into the in-memory Backup that Restore swaps
+// in copy-on-write. The single-cut guarantee a SnapshotPin gives in memory
+// crosses the process boundary here, so the format is paranoid by
+// construction: self-describing header, length-prefixed records, and a
+// CRC32 over header and body that makes a torn, truncated or bit-flipped
+// file fail the load with ErrCorrupt — never a silently half-applied map.
+//
+// File layout (all integers little-endian):
+//
+//	magic     [8]byte  "repromap"
+//	format    uint16   currently 1
+//	kind      uint8    1 = full backup, 2 = incremental diff
+//	codec     uint8 n, [n]byte   the value codec's Name
+//	version   uint64   the pin version the file captures
+//	parent    uint64   diff: the parent pin version; full: == version
+//	count     uint64   number of records in the body
+//	body      full:  count × { key int64, len uint32, value [len]byte }
+//	          diff:  count × { kind uint8, key int64,
+//	                           added/changed: len uint32, value [len]byte }
+//	crc       uint32   IEEE CRC32 over every preceding byte
+type fileHeader struct {
+	Kind    FileKind
+	Codec   string
+	Version uint64
+	Parent  uint64
+	Count   uint64
+}
+
+// FileKind distinguishes the two chain-link file types.
+type FileKind uint8
+
+const (
+	// FileFull is a complete backup: the chain's base.
+	FileFull FileKind = 1
+	// FileDiff is an incremental pin-to-pin diff: a chain link applied on
+	// top of the state at its parent version.
+	FileDiff FileKind = 2
+)
+
+// String names the kind for tooling output.
+func (k FileKind) String() string {
+	switch k {
+	case FileFull:
+		return "full"
+	case FileDiff:
+		return "diff"
+	default:
+		return fmt.Sprintf("FileKind(%d)", uint8(k))
+	}
+}
+
+// ErrCorrupt is wrapped by every load-path failure caused by file damage —
+// checksum mismatch, truncation, bad magic, malformed records — so callers
+// can distinguish "the backup is damaged" from I/O errors with errors.Is.
+var ErrCorrupt = errors.New("persistmap: corrupt backup file")
+
+const (
+	fileMagic   = "repromap"
+	fileFormat  = uint16(1)
+	fileExt     = ".pmb" // persistent map backup
+	diffDeleted = uint8(txstruct.DiffDeleted)
+)
+
+// FileName returns the canonical chain-link name for a header: fulls are
+// full-<version>, diffs diff-<parent>-<version>, both hex-padded so
+// lexical order is version order.
+func (h fileHeader) fileName() string {
+	if h.Kind == FileFull {
+		return fmt.Sprintf("full-%016x%s", h.Version, fileExt)
+	}
+	return fmt.Sprintf("diff-%016x-%016x%s", h.Parent, h.Version, fileExt)
+}
+
+// Store writes and loads backup chains for one map in one directory. The
+// directory is the chain's identity: WriteFull starts (or restarts) a
+// chain, WriteDiff extends it, Load replays the newest chain, Compact
+// folds it back into a single full backup. A Store is safe for concurrent
+// use only by external serialization (the backup pipeline is inherently
+// sequential: each diff's parent is the previous link's pin).
+type Store[V any] struct {
+	dir   string
+	codec Codec[V]
+}
+
+// NewStore opens (creating if needed) the chain directory with the given
+// value codec.
+func NewStore[V any](dir string, codec Codec[V]) (*Store[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persistmap: %w", err)
+	}
+	return &Store[V]{dir: dir, codec: codec}, nil
+}
+
+// Dir returns the chain directory.
+func (s *Store[V]) Dir() string { return s.dir }
+
+// WriteFull writes b as a full backup file and returns its path. The write
+// is atomic (temp file, fsync, rename): a crash mid-write leaves at most a
+// temp file the loader never considers.
+func (s *Store[V]) WriteFull(b *Backup[V]) (string, error) {
+	h := fileHeader{Kind: FileFull, Codec: s.codec.Name(), Version: b.Version,
+		Parent: b.Version, Count: uint64(len(b.keys))}
+	buf, err := appendHeader(nil, h)
+	if err != nil {
+		return "", err
+	}
+	for i := range b.keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(b.keys[i])))
+		buf, err = appendValue(buf, s.codec, b.vals[i])
+		if err != nil {
+			return "", err
+		}
+	}
+	return s.writeFile(h, buf)
+}
+
+// WriteDiff writes d as an incremental chain link and returns its path. A
+// diff that does not advance the version (FromVersion == Version) is
+// rejected: it would make the chain ambiguous to follow.
+func (s *Store[V]) WriteDiff(d *Diff[V]) (string, error) {
+	if d.Version <= d.FromVersion {
+		return "", fmt.Errorf("persistmap: diff version %d does not advance past parent %d",
+			d.Version, d.FromVersion)
+	}
+	h := fileHeader{Kind: FileDiff, Codec: s.codec.Name(), Version: d.Version,
+		Parent: d.FromVersion, Count: uint64(len(d.keys))}
+	buf, err := appendHeader(nil, h)
+	if err != nil {
+		return "", err
+	}
+	for i := range d.keys {
+		buf = append(buf, uint8(d.kinds[i]))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(d.keys[i])))
+		if d.kinds[i] != txstruct.DiffDeleted {
+			buf, err = appendValue(buf, s.codec, d.vals[i])
+			if err != nil {
+				return "", err
+			}
+		}
+	}
+	return s.writeFile(h, buf)
+}
+
+// writeFile seals buf with the trailer CRC and lands it atomically.
+func (s *Store[V]) writeFile(h fileHeader, buf []byte) (string, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	path := filepath.Join(s.dir, h.fileName())
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("persistmap: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("persistmap: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("persistmap: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("persistmap: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("persistmap: %w", err)
+	}
+	// The rename's directory entry must reach disk too: without it a
+	// crash after "success" can lose the whole file, and a chain whose
+	// newest diff silently vanished would load an OLDER state with no
+	// error — the quiet data loss this format exists to preclude.
+	if err := syncDir(s.dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// syncDir fsyncs a directory, making its entries (renames, removals)
+// durable. Filesystems that refuse to fsync directories surface the error
+// rather than downgrading durability silently.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persistmap: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persistmap: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+func appendValue[V any](buf []byte, codec Codec[V], v V) ([]byte, error) {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := codec.Append(buf, v)
+	if err != nil {
+		return nil, fmt.Errorf("persistmap: encode: %w", err)
+	}
+	n := len(buf) - lenAt - 4
+	if int64(n) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("persistmap: record of %d bytes exceeds format limit", n)
+	}
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(n))
+	return buf, nil
+}
+
+func appendHeader(buf []byte, h fileHeader) ([]byte, error) {
+	if len(h.Codec) > 255 {
+		return nil, fmt.Errorf("persistmap: codec name %q too long", h.Codec)
+	}
+	buf = append(buf, fileMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, fileFormat)
+	buf = append(buf, uint8(h.Kind))
+	buf = append(buf, uint8(len(h.Codec)))
+	buf = append(buf, h.Codec...)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Parent)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Count)
+	return buf, nil
+}
+
+// reader is a bounds-checked cursor over a verified file body; every
+// overrun is an ErrCorrupt, never a panic.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("%w: record overruns file", ErrCorrupt)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// openFile reads a chain file, verifies the trailer CRC over header and
+// body, and returns the parsed header plus a cursor over the body. Every
+// damage mode — truncation, bit flips, bad magic, unknown format — fails
+// here with ErrCorrupt before a single record is decoded.
+func openFile(path string) (fileHeader, *reader, error) {
+	var h fileHeader
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return h, nil, fmt.Errorf("persistmap: %w", err)
+	}
+	if len(data) < len(fileMagic)+4 {
+		return h, nil, fmt.Errorf("%w: %s: %d bytes is shorter than any valid file", ErrCorrupt, path, len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return h, nil, fmt.Errorf("%w: %s: checksum %08x, file claims %08x", ErrCorrupt, path, got, want)
+	}
+	r := &reader{data: body}
+	magic, err := r.take(len(fileMagic))
+	if err != nil || string(magic) != fileMagic {
+		return h, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	format, err := r.u16()
+	if err != nil {
+		return h, nil, err
+	}
+	if format != fileFormat {
+		return h, nil, fmt.Errorf("%w: %s: format %d, this build reads %d", ErrCorrupt, path, format, fileFormat)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return h, nil, err
+	}
+	if FileKind(kind) != FileFull && FileKind(kind) != FileDiff {
+		return h, nil, fmt.Errorf("%w: %s: unknown file kind %d", ErrCorrupt, path, kind)
+	}
+	nameLen, err := r.u8()
+	if err != nil {
+		return h, nil, err
+	}
+	name, err := r.take(int(nameLen))
+	if err != nil {
+		return h, nil, err
+	}
+	h.Kind = FileKind(kind)
+	h.Codec = string(name)
+	if h.Version, err = r.u64(); err != nil {
+		return h, nil, err
+	}
+	if h.Parent, err = r.u64(); err != nil {
+		return h, nil, err
+	}
+	if h.Count, err = r.u64(); err != nil {
+		return h, nil, err
+	}
+	return h, r, nil
+}
+
+// FileInfo is the inspectable identity of one chain file, readable without
+// a value codec (cmd/persistctl's currency).
+type FileInfo struct {
+	Path    string
+	Kind    FileKind
+	Codec   string
+	Version uint64
+	Parent  uint64
+	Count   uint64
+	Size    int64
+}
+
+// String renders one tooling line.
+func (fi FileInfo) String() string {
+	link := fmt.Sprintf("version %d", fi.Version)
+	if fi.Kind == FileDiff {
+		link = fmt.Sprintf("version %d→%d", fi.Parent, fi.Version)
+	}
+	return fmt.Sprintf("%-6s %s codec=%s records=%d bytes=%d",
+		fi.Kind, link, fi.Codec, fi.Count, fi.Size)
+}
+
+// ReadInfo verifies a chain file's checksum and returns its header, codec-
+// agnostically. It does not decode records; VerifyFile does the structural
+// walk as well.
+func ReadInfo(path string) (FileInfo, error) {
+	h, r, err := openFile(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Path: path, Kind: h.Kind, Codec: h.Codec, Version: h.Version,
+		Parent: h.Parent, Count: h.Count, Size: int64(len(r.data)) + 4}, nil
+}
+
+// VerifyFile is ReadInfo plus a full structural walk of the body: every
+// record's framing must parse, keys must ascend strictly, and the body
+// must end exactly at the declared count — all without decoding a single
+// value, so it needs no codec.
+func VerifyFile(path string) (FileInfo, error) {
+	h, r, err := openFile(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info := FileInfo{Path: path, Kind: h.Kind, Codec: h.Codec, Version: h.Version,
+		Parent: h.Parent, Count: h.Count, Size: int64(len(r.data)) + 4}
+	prevKey, first := 0, true
+	for i := uint64(0); i < h.Count; i++ {
+		hasValue := true
+		if h.Kind == FileDiff {
+			kind, err := r.u8()
+			if err != nil {
+				return info, err
+			}
+			if kind < uint8(txstruct.DiffAdded) || kind > diffDeleted {
+				return info, fmt.Errorf("%w: %s: record %d: unknown diff kind %d", ErrCorrupt, path, i, kind)
+			}
+			hasValue = kind != diffDeleted
+		}
+		keyBits, err := r.u64()
+		if err != nil {
+			return info, err
+		}
+		key := int(int64(keyBits))
+		if !first && key <= prevKey {
+			return info, fmt.Errorf("%w: %s: record %d: key %d out of order", ErrCorrupt, path, i, key)
+		}
+		prevKey, first = key, false
+		if !hasValue {
+			continue
+		}
+		n, err := r.u32()
+		if err != nil {
+			return info, err
+		}
+		if _, err := r.take(int(n)); err != nil {
+			return info, err
+		}
+	}
+	if r.off != len(r.data) {
+		return info, fmt.Errorf("%w: %s: %d trailing bytes after %d records",
+			ErrCorrupt, path, len(r.data)-r.off, h.Count)
+	}
+	return info, nil
+}
+
+// checkCodec rejects a file written with a different value codec before a
+// single record is decoded with the wrong one.
+func (s *Store[V]) checkCodec(path string, h fileHeader) error {
+	if h.Codec != s.codec.Name() {
+		return fmt.Errorf("persistmap: %s written with codec %q, store uses %q", path, h.Codec, s.codec.Name())
+	}
+	return nil
+}
+
+// ReadFull loads one full-backup file.
+func (s *Store[V]) ReadFull(path string) (*Backup[V], error) {
+	h, r, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != FileFull {
+		return nil, fmt.Errorf("persistmap: %s is a %s file, not a full backup", path, h.Kind)
+	}
+	if err := s.checkCodec(path, h); err != nil {
+		return nil, err
+	}
+	b := &Backup[V]{Version: h.Version}
+	for i := uint64(0); i < h.Count; i++ {
+		keyBits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		key := int(int64(keyBits))
+		if len(b.keys) > 0 && key <= b.keys[len(b.keys)-1] {
+			return nil, fmt.Errorf("%w: %s: key %d out of order", ErrCorrupt, path, key)
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		enc, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.codec.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: key %d: %v", ErrCorrupt, path, key, err)
+		}
+		b.keys = append(b.keys, key)
+		b.vals = append(b.vals, v)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(r.data)-r.off)
+	}
+	return b, nil
+}
+
+// ReadDiff loads one incremental-diff file.
+func (s *Store[V]) ReadDiff(path string) (*Diff[V], error) {
+	h, r, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != FileDiff {
+		return nil, fmt.Errorf("persistmap: %s is a %s file, not a diff", path, h.Kind)
+	}
+	if err := s.checkCodec(path, h); err != nil {
+		return nil, err
+	}
+	d := &Diff[V]{FromVersion: h.Parent, Version: h.Version}
+	for i := uint64(0); i < h.Count; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if kind < uint8(txstruct.DiffAdded) || kind > diffDeleted {
+			return nil, fmt.Errorf("%w: %s: unknown diff kind %d", ErrCorrupt, path, kind)
+		}
+		keyBits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		key := int(int64(keyBits))
+		if len(d.keys) > 0 && key <= d.keys[len(d.keys)-1] {
+			return nil, fmt.Errorf("%w: %s: key %d out of order", ErrCorrupt, path, key)
+		}
+		var v V
+		if kind != diffDeleted {
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			enc, err := r.take(int(n))
+			if err != nil {
+				return nil, err
+			}
+			if v, err = s.codec.Decode(enc); err != nil {
+				return nil, fmt.Errorf("%w: %s: key %d: %v", ErrCorrupt, path, key, err)
+			}
+		}
+		d.keys = append(d.keys, key)
+		d.kinds = append(d.kinds, txstruct.DiffKind(kind))
+		d.vals = append(d.vals, v)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(r.data)-r.off)
+	}
+	return d, nil
+}
+
+// Scan verifies and returns the header of every chain file in the
+// directory, sorted by (version, kind). A directory with no chain files is
+// an empty (not an error) scan.
+func Scan(dir string) ([]FileInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persistmap: %w", err)
+	}
+	var infos []FileInfo
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), fileExt) {
+			continue
+		}
+		info, err := ReadInfo(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Version != infos[j].Version {
+			return infos[i].Version < infos[j].Version
+		}
+		return infos[i].Kind < infos[j].Kind
+	})
+	return infos, nil
+}
+
+// Chain resolves the newest chain in the directory: the full backup with
+// the highest version, then every diff that links parent-to-child from it.
+// It returns the ordered FileInfos (full first). An ambiguous chain — two
+// diffs claiming the same parent — is an error rather than a guess.
+func (s *Store[V]) Chain() ([]FileInfo, error) {
+	infos, err := Scan(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	return resolveChain(infos, ^uint64(0))
+}
+
+// ResolveChain resolves the newest chain among already-scanned FileInfos —
+// the codec-free half of Chain, usable by tooling that only has headers.
+func ResolveChain(infos []FileInfo) ([]FileInfo, error) {
+	return resolveChain(infos, ^uint64(0))
+}
+
+// resolveChain picks the newest full at or below target and follows diff
+// links until target (or the chain's end when target is ^0).
+func resolveChain(infos []FileInfo, target uint64) ([]FileInfo, error) {
+	var full *FileInfo
+	for i := range infos {
+		fi := &infos[i]
+		if fi.Kind == FileFull && fi.Version <= target && (full == nil || fi.Version > full.Version) {
+			full = fi
+		}
+	}
+	if full == nil {
+		return nil, fmt.Errorf("persistmap: no full backup at or below version %d", target)
+	}
+	chain := []FileInfo{*full}
+	cur := full.Version
+	for cur < target {
+		var next *FileInfo
+		for i := range infos {
+			fi := &infos[i]
+			if fi.Kind != FileDiff || fi.Parent != cur {
+				continue
+			}
+			if fi.Version <= fi.Parent {
+				return nil, fmt.Errorf("%w: %s: diff does not advance past its parent", ErrCorrupt, fi.Path)
+			}
+			if next != nil {
+				return nil, fmt.Errorf("persistmap: ambiguous chain: %s and %s both extend version %d",
+					next.Path, fi.Path, cur)
+			}
+			next = fi
+		}
+		if next == nil {
+			if target == ^uint64(0) {
+				break // end of chain
+			}
+			return nil, fmt.Errorf("persistmap: version %d unreachable: chain ends at %d", target, cur)
+		}
+		if target != ^uint64(0) && next.Version > target {
+			return nil, fmt.Errorf("persistmap: version %d unreachable: chain jumps %d→%d",
+				target, cur, next.Version)
+		}
+		chain = append(chain, *next)
+		cur = next.Version
+	}
+	return chain, nil
+}
+
+// Load replays the directory's newest chain — full backup plus every
+// linked diff — into a Backup at the chain's final version. Any damaged
+// link fails the whole load with ErrCorrupt.
+func (s *Store[V]) Load() (*Backup[V], error) {
+	return s.loadTo(^uint64(0))
+}
+
+// LoadVersion replays the chain up to exactly the given pin version: the
+// newest full at or below it plus the linking diffs. It fails when the
+// stored chain cannot reach that exact version.
+func (s *Store[V]) LoadVersion(version uint64) (*Backup[V], error) {
+	return s.loadTo(version)
+}
+
+func (s *Store[V]) loadTo(target uint64) (*Backup[V], error) {
+	infos, err := Scan(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := resolveChain(infos, target)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.ReadFull(chain[0].Path)
+	if err != nil {
+		return nil, err
+	}
+	for _, link := range chain[1:] {
+		d, err := s.ReadDiff(link.Path)
+		if err != nil {
+			return nil, err
+		}
+		if b, err = d.Apply(b); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, link.Path, err)
+		}
+	}
+	return b, nil
+}
+
+// rawCodec carries record payloads as opaque bytes under an arbitrary
+// codec name: the substrate of codec-agnostic compaction. Values
+// round-trip byte-identically — no decode, no re-encode — so compacting
+// never changes a record's representation.
+type rawCodec struct{ name string }
+
+func (c rawCodec) Name() string                       { return c.name }
+func (rawCodec) Append(dst, v []byte) ([]byte, error) { return append(dst, v...), nil }
+func (rawCodec) Decode(data []byte) ([]byte, error)   { return append([]byte(nil), data...), nil }
+
+// CompactDir folds the directory's newest chain into one full backup
+// WITHOUT a value codec: records are carried as opaque bytes (the framing
+// is codec-agnostic), so any chain — built-in or custom codec, JSON
+// included — compacts losslessly, byte for byte. This is what external
+// tooling (cmd/persistctl) uses; a Store owner can equally call its typed
+// Compact.
+func CompactDir(dir string) (string, error) {
+	infos, err := Scan(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(infos) == 0 {
+		return "", fmt.Errorf("persistmap: %s: no chain files", dir)
+	}
+	name := infos[0].Codec
+	for _, fi := range infos {
+		if fi.Codec != name {
+			return "", fmt.Errorf("persistmap: %s: mixed codecs %q and %q", dir, name, fi.Codec)
+		}
+	}
+	s := &Store[[]byte]{dir: dir, codec: rawCodec{name: name}}
+	return s.Compact()
+}
+
+// Compact folds the newest chain into a single full backup at the chain's
+// final version and removes the links it replaced, bounding both restart
+// cost (one file to replay) and directory growth. The new full is written
+// — and fsynced — before any old link is unlinked, so a crash mid-compact
+// leaves a loadable chain at every instant. It returns the path of the
+// resulting full backup.
+func (s *Store[V]) Compact() (string, error) {
+	chain, err := s.Chain()
+	if err != nil {
+		return "", err
+	}
+	if len(chain) == 1 {
+		return chain[0].Path, nil // already a lone full backup
+	}
+	b, err := s.ReadFull(chain[0].Path)
+	if err != nil {
+		return "", err
+	}
+	for _, link := range chain[1:] {
+		d, err := s.ReadDiff(link.Path)
+		if err != nil {
+			return "", err
+		}
+		if b, err = d.Apply(b); err != nil {
+			return "", fmt.Errorf("%w: %s: %v", ErrCorrupt, link.Path, err)
+		}
+	}
+	path, err := s.WriteFull(b)
+	if err != nil {
+		return "", err
+	}
+	for _, link := range chain {
+		if link.Path == path {
+			continue
+		}
+		if err := os.Remove(link.Path); err != nil {
+			return "", fmt.Errorf("persistmap: compacted but could not remove %s: %w", link.Path, err)
+		}
+	}
+	// Make the removals durable as a unit: the new full's rename was
+	// already synced (writeFile), so after this sync the directory holds
+	// exactly the compacted chain — and before it, at worst the old chain
+	// plus the new full, both loadable.
+	if err := syncDir(s.dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}

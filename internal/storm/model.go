@@ -38,6 +38,13 @@ const (
 	// conditional add(Key): one abstract op whose two observations must
 	// hold at one serialization instant (composition atomicity).
 	OpAddIfAbsent
+	// OpBackup marks one backup-pipeline cycle of the persist workload: a
+	// pin plus a full or diff chain link written to disk. It is recorded
+	// with TxID 0 (the cycle spans many snapshot transactions, none of
+	// which serializes an abstract map operation), so the history checker
+	// never joins it; it exists so the cycle enters the seeded input
+	// digest and the report's op count.
+	OpBackup
 )
 
 // String names the op for failure messages.
@@ -75,6 +82,8 @@ func (k OpKind) String() string {
 		return "peek"
 	case OpAddIfAbsent:
 		return "addIfAbsent"
+	case OpBackup:
+		return "backup"
 	default:
 		return "unknown"
 	}
@@ -462,6 +471,28 @@ func checkMapModel(log *history.ExecLog, recs []OpRecord) (map[int]int, error) {
 		}
 	}
 	return vals, nil
+}
+
+// mapTimeline replays the committed put/delete updaters in serialization
+// order into a per-key state timeline: the oracle the persist workload
+// reloads its backup chains against — tl.at(key, pinVersion) is the
+// model's binding exactly at a chain link's pin instant. It assumes the
+// records already passed checkMapModel (it replays without re-checking).
+func mapTimeline(log *history.ExecLog, recs []OpRecord) *keyTimeline {
+	ctx := newReplayCtx(log, recs)
+	tl := newKeyTimeline(false, 0)
+	updaters, _ := ctx.partition()
+	for _, u := range updaters {
+		for _, op := range u.rec.Ops {
+			switch op.Kind {
+			case OpPut:
+				tl.apply(op.Key, u.ex.CommitVer, true, op.Val)
+			case OpDelete:
+				tl.apply(op.Key, u.ex.CommitVer, false, 0)
+			}
+		}
+	}
+	return tl
 }
 
 // checkQueueModel replays enq/deq in serialization order against a FIFO

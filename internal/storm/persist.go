@@ -1,0 +1,323 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/persistmap"
+)
+
+// persistWorkload is the crash-recovery storm: seeded map mutations (the
+// treemap workload's op mix, checked by the same cross-semantics model)
+// interleaved with backup-pipeline cycles that write a generation chain —
+// full backups plus pin-to-pin incremental diffs — to a scratch directory
+// on real disk. The durability check then plays the crash: every chain
+// checkpoint is reloaded from the FILES into a FRESH TM (nothing shared
+// with the storm's runtime but the bytes on disk) and must be binding-for-
+// binding the model's state at exactly that checkpoint's pin version. A
+// chain that tore a cut, misordered a link or lost a record fails the same
+// harness verdict that catches opacity violations — durability inherits
+// the storm's oracle instead of ad-hoc assertions.
+type persistWorkload struct {
+	tm   *core.TM
+	m    *persistmap.Map[int]
+	keys int
+	dir  string
+
+	// The backup pipeline is inherently sequential (each diff's parent is
+	// the previous link's pin), so concurrent backup steps serialize here;
+	// map mutations never touch the mutex.
+	mu     sync.Mutex
+	store  *persistmap.Store[int]
+	pin    *core.SnapshotPin // the last link's pin, kept live for the next diff
+	cycles int
+	fulls  int
+	diffs  int
+	skips  int           // cycles skipped because no commit landed since the last link
+	chain  []persistLink // checkpoints, in link order
+}
+
+// persistLink is one written chain link: the checkpoint the durability
+// check replays to.
+type persistLink struct {
+	version uint64
+	path    string
+	full    bool
+}
+
+func newPersistWorkload(tm *core.TM, keys int) (*persistWorkload, error) {
+	dir, err := os.MkdirTemp("", "storm-persist-")
+	if err != nil {
+		return nil, err
+	}
+	store, err := persistmap.NewStore(dir, persistmap.IntCodec{})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return &persistWorkload{tm: tm, m: persistmap.New[int](tm), keys: keys, dir: dir, store: store}, nil
+}
+
+func (w *persistWorkload) name() string { return "persist" }
+
+// cleanup releases the chain pin and removes the scratch directory.
+// Idempotent; finishReport runs it after every storm (check included, and
+// the error paths check never sees), and the shrinker's replay-capability
+// probe runs it on workloads it only constructed.
+func (w *persistWorkload) cleanup() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pin != nil {
+		w.pin.Release()
+		w.pin = nil
+	}
+	os.RemoveAll(w.dir)
+}
+
+func (w *persistWorkload) prepopulate(rng *rand.Rand) ([]OpRecord, error) {
+	var recs []OpRecord
+	for i := 0; i < w.keys/2; i++ {
+		rec, err := w.exec(core.Classic, Op{Kind: OpPut, Key: rng.Intn(w.keys), Val: rng.Intn(1 << 16)})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (w *persistWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	roll := rng.Intn(100)
+	key := rng.Intn(w.keys)
+	classicOnly := []core.Semantics{core.Classic}
+	reads := []core.Semantics{core.Classic, core.Snapshot}
+	switch {
+	case roll < 30:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpPut, Key: key, Val: rng.Intn(1 << 16)})
+	case roll < 52:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpDelete, Key: key})
+	case roll < 82:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpGet, Key: key})
+	case roll < 92:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpLen})
+	default:
+		// One backup-pipeline cycle. It spans many snapshot transactions
+		// and writes files, but serializes no abstract map operation, so
+		// it is recorded with TxID 0 — the checker never joins it; only
+		// the seeded digest and the op count see it.
+		if err := w.backupCycle(); err != nil {
+			return OpRecord{}, err
+		}
+		return OpRecord{Sem: core.Snapshot, Ops: []Op{{Kind: OpBackup}}}, nil
+	}
+}
+
+func (w *persistWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
+	tree := w.m.Tree()
+	var txid uint64
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		switch op.Kind {
+		case OpPut:
+			op.Bool = tree.PutTx(tx, op.Key, op.Val)
+		case OpDelete:
+			op.Bool = tree.DeleteTx(tx, op.Key)
+		case OpGet:
+			v, found := tree.GetTx(tx, op.Key)
+			op.Bool = found
+			if found {
+				op.Int = v
+			}
+		case OpLen:
+			op.Int = tree.LenTx(tx)
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{op}}, err
+}
+
+// backupCycle extends the on-disk chain by one link: the first cycle (and
+// every fourth after it) writes a full backup, the rest write the
+// incremental diff against the previous link's pin. The previous pin is
+// released only after the new link is durably on disk, so the chain's
+// parent version is always a pin that was live while its diff was walked.
+func (w *persistWorkload) backupCycle() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next, err := w.tm.PinSnapshot()
+	if err != nil {
+		return err
+	}
+	if w.pin != nil && next.Version() == w.pin.Version() {
+		// No commit landed since the last link; a zero-advance diff would
+		// make the chain ambiguous, so the cycle is a no-op.
+		next.Release()
+		w.skips++
+		return nil
+	}
+	link := persistLink{version: next.Version()}
+	if w.pin == nil || w.cycles%4 == 0 {
+		b, err := w.m.BackupAt(next)
+		if err != nil {
+			next.Release()
+			return err
+		}
+		path, err := w.store.WriteFull(b)
+		if err != nil {
+			next.Release()
+			return err
+		}
+		link.path, link.full = path, true
+		w.fulls++
+	} else {
+		d, err := w.m.Diff(w.pin, next)
+		if err != nil {
+			next.Release()
+			return err
+		}
+		path, err := w.store.WriteDiff(d)
+		if err != nil {
+			next.Release()
+			return err
+		}
+		link.path = path
+		w.diffs++
+	}
+	if w.pin != nil {
+		w.pin.Release()
+	}
+	w.pin = next
+	w.cycles++
+	w.chain = append(w.chain, link)
+	return nil
+}
+
+func (w *persistWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	// The chain pin is done parenting diffs; the scratch directory itself
+	// is removed by cleanup after the check (finishReport's defer).
+	w.mu.Lock()
+	if w.pin != nil {
+		w.pin.Release()
+		w.pin = nil
+	}
+	w.mu.Unlock()
+
+	// Layer 1: the live map's cross-semantics model check (identical to
+	// the treemap workload's oracle).
+	vals, err := checkMapModel(log, recs)
+	if err != nil {
+		return err
+	}
+	live := make(map[int]int)
+	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		clear(live)
+		w.m.Tree().AscendTx(tx, func(k, v int) bool {
+			live[k] = v
+			return true
+		})
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(live) != len(vals) {
+		return fmt.Errorf("persist: final size %d, model has %d", len(live), len(vals))
+	}
+	for k, v := range vals {
+		if lv, ok := live[k]; !ok || lv != v {
+			return fmt.Errorf("persist: final key %d = (%d,%v), model has %d", k, lv, ok, v)
+		}
+	}
+
+	// Layer 2: durability. Every chain checkpoint reloads from disk into a
+	// FRESH TM and must equal the model's state at its pin version.
+	if w.fulls == 0 || w.diffs == 0 {
+		return fmt.Errorf("persist: vacuous run: %d full(s), %d diff(s) written (%d cycles skipped)",
+			w.fulls, w.diffs, w.skips)
+	}
+	tl := mapTimeline(log, recs)
+	// The chain is replayed incrementally — each link read once, diffs
+	// applied on top of the running state — so the check is linear in
+	// total chain bytes rather than checkpoints × chain bytes.
+	var cur *persistmap.Backup[int]
+	for i, link := range w.chain {
+		var err error
+		if link.full {
+			cur, err = w.store.ReadFull(link.path)
+		} else {
+			var d *persistmap.Diff[int]
+			if d, err = w.store.ReadDiff(link.path); err == nil {
+				cur, err = d.Apply(cur)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("persist: reload of chain checkpoint %d (version %d): %w", i, link.version, err)
+		}
+		if cur.Version != link.version {
+			return fmt.Errorf("persist: checkpoint %d replayed to version %d, want %d", i, cur.Version, link.version)
+		}
+		freshTM := core.New()
+		fresh := persistmap.New[int](freshTM)
+		if err := fresh.Restore(cur); err != nil {
+			return fmt.Errorf("persist: restore of checkpoint %d into a fresh TM: %w", i, err)
+		}
+		reloaded := make(map[int]int)
+		if err := freshTM.Atomically(core.Snapshot, func(tx *core.Tx) error {
+			clear(reloaded)
+			fresh.Tree().AscendTx(tx, func(k, v int) bool {
+				reloaded[k] = v
+				return true
+			})
+			return nil
+		}); err != nil {
+			return err
+		}
+		count := 0
+		for k := 0; k < w.keys; k++ {
+			present, val := tl.at(k, link.version)
+			rv, ok := reloaded[k]
+			if ok != present || (present && rv != val) {
+				return fmt.Errorf("persist: checkpoint %d (version %d) key %d reloaded as (%d,%v), model has (%d,%v)",
+					i, link.version, k, rv, ok, val, present)
+			}
+			if present {
+				count++
+			}
+		}
+		if len(reloaded) != count {
+			return fmt.Errorf("persist: checkpoint %d (version %d) reloaded %d bindings, model has %d",
+				i, link.version, len(reloaded), count)
+		}
+	}
+	// Chain DISCOVERY gets one end-to-end exercise too: resolving the
+	// directory at the last checkpoint's version must reproduce the
+	// incrementally replayed state exactly.
+	last := w.chain[len(w.chain)-1]
+	resolved, err := w.store.LoadVersion(last.version)
+	if err != nil {
+		return fmt.Errorf("persist: chain resolution at version %d: %w", last.version, err)
+	}
+	if resolved.Len() != cur.Len() {
+		return fmt.Errorf("persist: resolved chain has %d bindings, incremental replay has %d",
+			resolved.Len(), cur.Len())
+	}
+	err = nil
+	resolved.Ascend(func(k, v int) bool {
+		if cv, ok := cur.Get(k); !ok || cv != v {
+			err = fmt.Errorf("persist: resolved chain key %d = %d, incremental replay has (%d,%v)",
+				k, v, cv, ok)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// notes reports the chain shape for the storm report.
+func (w *persistWorkload) notes() []string {
+	return []string{fmt.Sprintf("chain: %d full + %d diff link(s), %d checkpoint(s) reloaded (%d cycles skipped)",
+		w.fulls, w.diffs, len(w.chain), w.skips)}
+}

@@ -1,0 +1,221 @@
+package storm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// TestShrinkSchedulesSyntheticHistory is the shrinker's unit test on a
+// known-bad synthetic history: per-worker schedules where the failure is
+// KNOWN to require exactly two specific records (a write in worker 0 and a
+// read in worker 2) — ddmin must isolate exactly those two, preserving
+// worker attribution and in-worker order, no matter how much passing
+// filler surrounds them.
+func TestShrinkSchedulesSyntheticHistory(t *testing.T) {
+	mk := func(kind OpKind, key int) OpRecord {
+		return OpRecord{Sem: core.Classic, Ops: []Op{{Kind: kind, Key: key}}}
+	}
+	workers := [][]OpRecord{
+		{mk(OpRead, 0), mk(OpWrite, 3), mk(OpRead, 1), mk(OpWrite, 5)},
+		{mk(OpRead, 7), mk(OpWrite, 8), mk(OpRead, 9)},
+		{mk(OpWrite, 2), mk(OpRead, 3), mk(OpWrite, 4)},
+	}
+	// The "bad history": failing iff worker 0 still writes key 3 AND
+	// worker 2 still reads key 3.
+	failing := func(ws [][]OpRecord) bool {
+		hasWrite, hasRead := false, false
+		for _, op := range ws[0] {
+			if op.Ops[0].Kind == OpWrite && op.Ops[0].Key == 3 {
+				hasWrite = true
+			}
+		}
+		for _, op := range ws[2] {
+			if op.Ops[0].Kind == OpRead && op.Ops[0].Key == 3 {
+				hasRead = true
+			}
+		}
+		return hasWrite && hasRead
+	}
+	minimal, probes := shrinkSchedules(workers, failing)
+	if probes == 0 {
+		t.Fatal("shrinker made no probes")
+	}
+	total := 0
+	for _, ops := range minimal {
+		total += len(ops)
+	}
+	if total != 2 {
+		t.Fatalf("minimal schedule has %d records, want 2: %v", total, minimal)
+	}
+	if len(minimal[0]) != 1 || minimal[0][0].Ops[0].Kind != OpWrite || minimal[0][0].Ops[0].Key != 3 {
+		t.Fatalf("worker 0 minimal = %+v, want [write k=3]", minimal[0])
+	}
+	if len(minimal[1]) != 0 {
+		t.Fatalf("worker 1 minimal = %+v, want empty", minimal[1])
+	}
+	if len(minimal[2]) != 1 || minimal[2][0].Ops[0].Kind != OpRead || minimal[2][0].Ops[0].Key != 3 {
+		t.Fatalf("worker 2 minimal = %+v, want [read k=3]", minimal[2])
+	}
+	if !failing(minimal) {
+		t.Fatal("minimal schedule no longer failing")
+	}
+}
+
+// TestShrinkSchedulesPreservesOrder: when the failure needs two records of
+// ONE worker in order, the minimal schedule keeps both, in order.
+func TestShrinkSchedulesPreservesOrder(t *testing.T) {
+	mk := func(kind OpKind, key int) OpRecord {
+		return OpRecord{Sem: core.Classic, Ops: []Op{{Kind: kind, Key: key}}}
+	}
+	workers := [][]OpRecord{
+		{mk(OpRead, 0), mk(OpWrite, 1), mk(OpRead, 2), mk(OpWrite, 3), mk(OpRead, 4)},
+	}
+	// Failing iff the worker still performs write(1) somewhere before
+	// write(3).
+	failing := func(ws [][]OpRecord) bool {
+		saw1 := false
+		for _, op := range ws[0] {
+			if op.Ops[0].Kind != OpWrite {
+				continue
+			}
+			if op.Ops[0].Key == 1 {
+				saw1 = true
+			}
+			if op.Ops[0].Key == 3 && saw1 {
+				return true
+			}
+		}
+		return false
+	}
+	minimal, _ := shrinkSchedules(workers, failing)
+	if len(minimal[0]) != 2 ||
+		minimal[0][0].Ops[0].Key != 1 || minimal[0][1].Ops[0].Key != 3 {
+		t.Fatalf("minimal = %+v, want [write k=1, write k=3] in order", minimal[0])
+	}
+}
+
+// TestTinyCaseFromSchedules checks the explorer-ready rendering: each
+// surviving transaction becomes one access program with the op's
+// read/write shape over key-named locations.
+func TestTinyCaseFromSchedules(t *testing.T) {
+	workers := [][]OpRecord{
+		{{Sem: core.Classic, Ops: []Op{{Kind: OpAdd, Key: 3}}}},
+		{},
+		{{Sem: core.Classic, Ops: []Op{{Kind: OpContains, Key: 3}, {Kind: OpSize}}}},
+	}
+	tc := tinyCaseFrom("linkedlist", workers)
+	if tc.Name != "shrunk-linkedlist" {
+		t.Fatalf("tiny case name %q", tc.Name)
+	}
+	if len(tc.Programs) != 2 {
+		t.Fatalf("%d programs, want 2", len(tc.Programs))
+	}
+	wantAdd := []history.Access{
+		{Kind: history.OpRead, Loc: "k3"},
+		{Kind: history.OpWrite, Loc: "k3"},
+	}
+	if len(tc.Programs[0]) != 2 || tc.Programs[0][0] != wantAdd[0] || tc.Programs[0][1] != wantAdd[1] {
+		t.Fatalf("add program = %v, want %v", tc.Programs[0], wantAdd)
+	}
+	wantRead := []history.Access{
+		{Kind: history.OpRead, Loc: "k3"},
+		{Kind: history.OpRead, Loc: "*"},
+	}
+	if len(tc.Programs[1]) != 2 || tc.Programs[1][0] != wantRead[0] || tc.Programs[1][1] != wantRead[1] {
+		t.Fatalf("contains+size program = %v, want %v", tc.Programs[1], wantRead)
+	}
+}
+
+// TestReplayRunReproducesCleanStorm: a passing storm's captured schedule
+// must replay cleanly through replayRun (fresh TM, same verification) for
+// every replay-capable workload — the soundness half of the shrinker: a
+// passing schedule never turns into a spurious failure.
+func TestReplayRunReproducesCleanStorm(t *testing.T) {
+	for _, name := range []string{"linkedlist", "skiplist", "hashset", "treemap", "queue", "cells", "typedcells", "bank", "lrucache"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := smallCfg(name, 11)
+			cfg.KeepOps = true
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("storm itself failed: %v", err)
+			}
+			rr, err := replayRun(cfg, rep.SetupOps, rep.WorkerOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rr.Err(); err != nil {
+				t.Fatalf("replay of a passing schedule failed: %v", err)
+			}
+			if rr.Stats.Commits == 0 {
+				t.Fatal("replay committed nothing")
+			}
+		})
+	}
+}
+
+// TestShrinkCorruptRecorderEndToEnd drives Shrink on a storm that fails
+// deterministically (the version-skew recorder corrupts the history on
+// every run, replays included) and checks the result is a genuinely
+// smaller, still-failing, explorer-renderable schedule.
+func TestShrinkCorruptRecorderEndToEnd(t *testing.T) {
+	cfg := smallCfg("linkedlist", 1)
+	cfg.Workers = 2
+	cfg.Ops = 40
+	cfg.Chaos = 0
+	cfg.WrapRecorder = func(inner core.Recorder) core.Recorder {
+		return NewVersionSkewRecorder(inner, 1)
+	}
+	res, err := Shrink(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("corrupted storm passed — nothing to shrink")
+	}
+	if res.Records == 0 || res.Records > 2*cfg.Ops {
+		t.Fatalf("minimal schedule has %d records", res.Records)
+	}
+	if res.Records == 2*cfg.Ops {
+		t.Fatalf("shrinker removed nothing (%d records)", res.Records)
+	}
+	if res.Report == nil || res.Report.Err() == nil {
+		t.Fatal("shrink result carries no failing report")
+	}
+	if len(res.Tiny.Programs) == 0 {
+		t.Fatal("tiny case has no programs")
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestShrinkUnsupportedWorkload: a workload without replay support must
+// be reported as such up front — not as a failure that "did not
+// reproduce".
+func TestShrinkUnsupportedWorkload(t *testing.T) {
+	cfg := smallCfg("persist", 1)
+	cfg.WrapRecorder = func(inner core.Recorder) core.Recorder {
+		return NewVersionSkewRecorder(inner, 1)
+	}
+	_, err := Shrink(cfg, 1)
+	if err == nil || !strings.Contains(err.Error(), "does not support replay") {
+		t.Fatalf("err = %v, want replay-unsupported", err)
+	}
+}
+
+// TestShrinkPassingStormReturnsNil: nothing to shrink on a clean run.
+func TestShrinkPassingStormReturnsNil(t *testing.T) {
+	res, err := Shrink(smallCfg("treemap", 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("clean storm shrunk to %+v", res)
+	}
+}

@@ -100,6 +100,12 @@ type Config struct {
 	// attached to the TM — the fault-injection hook used to prove the
 	// checker catches corrupted histories.
 	WrapRecorder func(core.Recorder) core.Recorder
+
+	// KeepOps retains every worker's op-record sequence in the report
+	// (Report.SetupOps / Report.WorkerOps) — the input the shrinker
+	// bisects. Off by default: a storm's records are normally only needed
+	// transiently for the model check.
+	KeepOps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +152,11 @@ type Report struct {
 	// Notes carries workload-specific observations that are not part of
 	// the pass/fail verdict, e.g. the lrucache workload's hit rate.
 	Notes []string
+
+	// SetupOps / WorkerOps are the per-worker op-record sequences, retained
+	// only when Config.KeepOps was set: the shrinker's input.
+	SetupOps  []OpRecord
+	WorkerOps [][]OpRecord
 }
 
 // Err returns nil when the run was fully clean and the first failure
@@ -215,6 +226,9 @@ func Run(cfg Config) (*Report, error) {
 	setupRecs, err := w.prepopulate(rand.New(rand.NewSource(int64(splitmix64(cfg.Seed)))))
 	if err != nil {
 		rep.WorkerErr = err
+		// finishReport (not a bare return): it owns the workload cleanup
+		// hook, which must run on every path.
+		finishReport(rep, cfg, col, tm, w, nil)
 		return rep, nil
 	}
 
@@ -224,6 +238,7 @@ func Run(cfg Config) (*Report, error) {
 		allRecs   = setupRecs
 		workerErr error
 		digest    = uint64(0)
+		workerOps = make([][]OpRecord, cfg.Workers)
 	)
 	deadline := time.Now().Add(cfg.Duration)
 	for wi := 0; wi < cfg.Workers; wi++ {
@@ -270,31 +285,48 @@ func Run(cfg Config) (*Report, error) {
 			allRecs = append(allRecs, recs...)
 			digest ^= h.Sum64()
 			mu.Unlock()
+			workerOps[wi] = recs
 		}(wi)
 	}
 	wg.Wait()
 
 	rep.WorkerErr = workerErr
 	rep.InputDigest = digest
+	if cfg.KeepOps {
+		rep.SetupOps = setupRecs
+		rep.WorkerOps = workerOps
+	}
+	finishReport(rep, cfg, col, tm, w, allRecs)
+	return rep, nil
+}
+
+// finishReport fills in the verification half of a report — stats, history
+// analysis, per-semantics verdict and the workload's model check — shared
+// by Run and the shrinker's replay runs. A workload holding external
+// resources (the persist workload's scratch directory and chain pin) is
+// released afterwards on EVERY path, including the early worker-error and
+// analysis-error returns its check never sees.
+func finishReport(rep *Report, cfg Config, col *history.RingCollector, tm *core.TM, w workload, allRecs []OpRecord) {
+	if c, ok := w.(interface{ cleanup() }); ok {
+		defer c.cleanup()
+	}
 	rep.Ops = len(allRecs)
 	rep.Stats = tm.Stats()
 	rep.SemanticsTxs = make(map[core.Semantics]int)
 	for _, r := range allRecs {
 		rep.SemanticsTxs[r.Sem]++
 	}
-	if workerErr != nil {
-		return rep, nil
+	if rep.WorkerErr != nil {
+		return
 	}
-
 	log, aerr := history.Analyze(col.Events())
 	if aerr != nil {
 		rep.AnalyzeErr = aerr
-		return rep, nil
+		return
 	}
 	rep.Verdict = log.CheckVerdict(cfg.Window)
 	rep.ModelErr = w.check(log, allRecs)
 	if n, ok := w.(interface{ notes() []string }); ok {
 		rep.Notes = n.notes()
 	}
-	return rep, nil
 }

@@ -30,9 +30,12 @@ type workload interface {
 // untyped Cell API, "typedcells" over TypedCell[int] — same operations,
 // same checker, both representations of the one engine kept honest.
 // "lrucache" storms the transactional LRU of internal/cache with hit-rate
-// and invariant checking.
+// and invariant checking. "persist" is the crash-recovery storm: map
+// mutations interleaved with on-disk full+diff backup chains, every
+// checkpoint reloaded into a fresh TM and held to the model's state at its
+// pin version.
 func Workloads() []string {
-	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache"}
+	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache", "persist"}
 }
 
 func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
@@ -65,6 +68,8 @@ func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
 		return &queueWorkload{tm: tm, q: txstruct.NewQueue(tm, core.Snapshot), keys: keys}, nil
 	case "lrucache":
 		return newCacheWorkload(tm, keys), nil
+	case "persist":
+		return newPersistWorkload(tm, keys)
 	default:
 		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Workloads())
 	}
@@ -580,29 +585,37 @@ func (w *bankWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 		if w.elasticOK {
 			transferSems = append(transferSems, core.Elastic)
 		}
-		sem := mix.pick(rng, transferSems)
-		var txid uint64
-		var observed int
-		var performed bool
-		err := w.tm.Atomically(sem, func(tx *core.Tx) error {
-			txid = tx.ID()
-			observed = w.accounts[from].Load(tx)
-			performed = observed >= amount
-			if performed {
-				tv := w.accounts[to].Load(tx)
-				w.accounts[from].Store(tx, observed-amount)
-				w.accounts[to].Store(tx, tv+amount)
-			}
-			return nil
-		})
-		return OpRecord{TxID: txid, Sem: sem,
-			Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount, Bool: performed, Aux: observed}}}, err
+		return w.execTransfer(mix.pick(rng, transferSems), from, to, amount)
 	}
 	// Whole-state audit: the sum is invariant, so EVERY committed audit
 	// must observe exactly the total — the sharpest cross-semantics check.
 	// With all debits conditional, the minimum balance must additionally
 	// never go negative (Aux carries the observed minimum).
-	sem := mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot})
+	return w.execSum(mix.pick(rng, []core.Semantics{core.Classic, core.Snapshot}))
+}
+
+// execTransfer runs one conditional transfer under sem.
+func (w *bankWorkload) execTransfer(sem core.Semantics, from, to, amount int) (OpRecord, error) {
+	var txid uint64
+	var observed int
+	var performed bool
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		observed = w.accounts[from].Load(tx)
+		performed = observed >= amount
+		if performed {
+			tv := w.accounts[to].Load(tx)
+			w.accounts[from].Store(tx, observed-amount)
+			w.accounts[to].Store(tx, tv+amount)
+		}
+		return nil
+	})
+	return OpRecord{TxID: txid, Sem: sem,
+		Ops: []Op{{Kind: OpTransfer, Key: from, Val: to, Int: amount, Bool: performed, Aux: observed}}}, err
+}
+
+// execSum runs one whole-state audit under sem.
+func (w *bankWorkload) execSum(sem core.Semantics) (OpRecord, error) {
 	var txid uint64
 	var sum, min int
 	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
