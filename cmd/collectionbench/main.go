@@ -17,7 +17,9 @@
 //
 // -persist appends a durable-persistence sweep (internal/persistmap):
 // pinned full backup, pin-to-pin incremental diff, on-disk chain write,
-// checksum-verified chain load and copy-on-write restore, per map size.
+// checksum-verified chain load and copy-on-write restore, per map size —
+// followed by a write-ahead-log group-commit sweep: durable commits/s
+// from 8 concurrent committers as the fsync batch cap grows 1 → 256.
 //
 // -typed=false swaps the transactional lists for their untyped boxing
 // comparators (nodes in `any`-payload cells), so one binary measures what
@@ -49,6 +51,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/persistmap"
+	"repro/internal/persistmap/walsync"
 	"repro/internal/storm"
 	"repro/internal/txstruct"
 )
@@ -186,6 +189,10 @@ func run(args []string) error {
 	if *persist {
 		fmt.Println()
 		if err := runPersistSweep(rec, *size, *dur, scheme); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := runWALSweep(rec, *dur, scheme); err != nil {
 			return err
 		}
 	}
@@ -393,6 +400,72 @@ func runPersistPoint(rec *bench.JSONRun, n int, dur time.Duration, scheme clock.
 	}
 	fmt.Println()
 	return nil
+}
+
+// runWALSweep measures durable (group-commit) transaction throughput
+// against the fsync batch cap: 8 committers each blocking on the WAL ack
+// of their own commit, swept over MaxBatch 1..256. At cap 1 every commit
+// pays a private fsync; as the cap grows, concurrent committers share one
+// — the classic group-commit amortization curve. With -json the points
+// land under the "wal-group-commit" figure, one one-point series per cap.
+func runWALSweep(rec *bench.JSONRun, dur time.Duration, scheme clock.Scheme) error {
+	const committers = 8
+	fmt.Printf("wal group-commit sweep: %d durable committers, commits/s vs fsync batch cap\n", committers)
+	fmt.Printf("%8s %14s %10s %10s %10s\n", "batch", "commits/s", "avgbatch", "maxbatch", "fsyncs")
+	for _, cap := range []int{1, 4, 16, 64, 256} {
+		res, stats, err := runWALPoint(cap, committers, dur, scheme)
+		if err != nil {
+			return err
+		}
+		avg := 0.0
+		if stats.Batches > 0 {
+			avg = float64(stats.Records) / float64(stats.Batches)
+		}
+		fmt.Printf("%8d %14.0f %10.1f %10d %10d\n",
+			cap, res.Throughput, avg, stats.MaxBatch, stats.Batches)
+		if rec != nil {
+			rec.AddPoint("wal-group-commit", res.Impl, res)
+		}
+	}
+	return nil
+}
+
+func runWALPoint(maxBatch, committers int, dur time.Duration, scheme clock.Scheme) (bench.Result, walsync.Stats, error) {
+	dir, err := os.MkdirTemp("", "walbench-")
+	if err != nil {
+		return bench.Result{}, walsync.Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	tm := core.New(core.WithClockScheme(scheme))
+	m := persistmap.New[int](tm)
+	store, err := persistmap.NewStore(dir, persistmap.IntCodec{})
+	if err != nil {
+		return bench.Result{}, walsync.Stats{}, err
+	}
+	w, err := store.OpenWAL(persistmap.WALOptions{MaxBatch: maxBatch})
+	if err != nil {
+		return bench.Result{}, walsync.Stats{}, err
+	}
+	m.AttachWAL(w, true)
+	// Disjoint key stripes per committer: the sweep measures the fsync
+	// path, not conflict aborts.
+	const stride = 64
+	res := bench.MeasureOps(fmt.Sprintf("wal-commit-b%d-t%d", maxBatch, committers),
+		committers, dur, 0, func(worker int) func(*bench.Xorshift) error {
+			base := worker * stride
+			return func(rng *bench.Xorshift) error {
+				_, err := m.Put(base+rng.Intn(stride), int(rng.Next()))
+				return err
+			}
+		})
+	stats := w.Stats()
+	if err := w.Close(); err != nil {
+		return bench.Result{}, walsync.Stats{}, err
+	}
+	if res.Errors > 0 {
+		return bench.Result{}, walsync.Stats{}, fmt.Errorf("wal sweep batch %d: %d commit error(s)", maxBatch, res.Errors)
+	}
+	return res, stats, nil
 }
 
 // runSoak runs the shared pre-sweep correctness storm (storm.Soak) under

@@ -1,20 +1,22 @@
-// Command persistctl inspects and maintains persistmap backup chains from
-// outside the process that wrote them — the operational face of the
-// durable persistence pipeline. Chains are self-describing (magic, format
-// version, codec name, pin lineage, CRC32) and their record framing is
-// codec-agnostic, so no subcommand needs knowledge of the value type:
-// info and verify read headers and framing only, and compact folds the
-// chain with records carried as opaque bytes — lossless for every codec,
-// built-in or custom.
+// Command persistctl inspects and maintains persistmap backup chains and
+// write-ahead logs from outside the process that wrote them — the
+// operational face of the durable persistence pipeline. Chains and WAL
+// segments are self-describing (magic, format version, codec name, CRC32)
+// and their record framing is codec-agnostic, so no subcommand needs
+// knowledge of the value type: info and verify read headers and framing
+// only, and compact folds the chain with records carried as opaque bytes
+// — lossless for every codec, built-in or custom.
 //
 // Usage:
 //
-//	persistctl info   <file|dir>...   headers + chain resolution, checksums verified
-//	persistctl verify <file|dir>...   full structural walk of every record
+//	persistctl info   <file|dir>...   headers + chain resolution + WAL segments, checksums verified
+//	persistctl verify <file|dir>...   full structural walk of every record (.pmb and .wal)
 //	persistctl compact <dir>          fold the newest chain into one full backup
 //
 // Every subcommand exits non-zero on a damaged file: a torn, truncated or
-// bit-flipped chain link is reported as corruption, never ignored.
+// bit-flipped chain link is reported as corruption, never ignored. The
+// one sanctioned exception: info (not verify) REPORTS a torn WAL tail —
+// the legitimate residue of a crash — instead of failing on it.
 package main
 
 import (
@@ -25,7 +27,11 @@ import (
 	"strings"
 
 	"repro/internal/persistmap"
+	"repro/internal/persistmap/walsync"
 )
+
+// isWAL reports whether path names a write-ahead-log segment.
+func isWAL(path string) bool { return strings.HasSuffix(path, walsync.Ext) }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -45,6 +51,14 @@ func run(args []string, out io.Writer) error {
 	switch cmd {
 	case "info":
 		return forEachFile(paths, func(path string) error {
+			if isWAL(path) {
+				wi, err := persistmap.ReadWALInfo(path)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%s\n", wi)
+				return nil
+			}
 			info, err := persistmap.ReadInfo(path)
 			if err != nil {
 				return err
@@ -57,6 +71,15 @@ func run(args []string, out io.Writer) error {
 	case "verify":
 		n := 0
 		err := forEachFile(paths, func(path string) error {
+			if isWAL(path) {
+				wi, err := persistmap.VerifyWALSegment(path)
+				if err != nil {
+					return err
+				}
+				n++
+				fmt.Fprintf(out, "%s: ok (wal seq %d, %d record(s))\n", path, wi.Seq, wi.Records)
+				return nil
+			}
 			info, err := persistmap.VerifyFile(path)
 			if err != nil {
 				return err
@@ -109,11 +132,20 @@ func forEachFile(paths []string, file func(string) error, onDir func(string) err
 		if err != nil {
 			return err
 		}
-		if len(infos) == 0 {
-			return fmt.Errorf("%s: no chain files", p)
+		segs, err := walsync.ScanSegments(p)
+		if err != nil {
+			return err
+		}
+		if len(infos) == 0 && len(segs) == 0 {
+			return fmt.Errorf("%s: no chain or wal files", p)
 		}
 		for _, fi := range infos {
 			if err := file(fi.Path); err != nil {
+				return err
+			}
+		}
+		for _, sg := range segs {
+			if err := file(sg.Path); err != nil {
 				return err
 			}
 		}
@@ -121,28 +153,42 @@ func forEachFile(paths []string, file func(string) error, onDir func(string) err
 	return nil
 }
 
-// chainInfo prints every chain file in dir plus the resolved newest chain.
+// chainInfo prints every chain file in dir plus the resolved newest chain,
+// then any WAL segments ordering past the chain's end.
 func chainInfo(out io.Writer, dir string) error {
 	infos, err := persistmap.Scan(dir)
 	if err != nil {
 		return err
 	}
-	if len(infos) == 0 {
-		return fmt.Errorf("%s: no chain files", dir)
+	segs, err := walsync.ScanSegments(dir)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 && len(segs) == 0 {
+		return fmt.Errorf("%s: no chain or wal files", dir)
 	}
 	for _, fi := range infos {
 		fmt.Fprintf(out, "%s: %s\n", fi.Path, fi)
 	}
-	chain, err := persistmap.ResolveChain(infos)
-	if err != nil {
-		return fmt.Errorf("chain: %w", err)
+	if len(infos) > 0 {
+		chain, err := persistmap.ResolveChain(infos)
+		if err != nil {
+			return fmt.Errorf("chain: %w", err)
+		}
+		names := make([]string, len(chain))
+		for i, fi := range chain {
+			names[i] = filepath.Base(fi.Path)
+		}
+		fmt.Fprintf(out, "chain: %s (ends at version %d, %d link(s))\n",
+			strings.Join(names, " → "), chain[len(chain)-1].Version, len(chain))
 	}
-	names := make([]string, len(chain))
-	for i, fi := range chain {
-		names[i] = filepath.Base(fi.Path)
+	for _, sg := range segs {
+		wi, err := persistmap.ReadWALInfo(sg.Path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", wi)
 	}
-	fmt.Fprintf(out, "chain: %s (ends at version %d, %d link(s))\n",
-		strings.Join(names, " → "), chain[len(chain)-1].Version, len(chain))
 	return nil
 }
 

@@ -32,6 +32,7 @@ func (tx *Tx) commit() bool {
 	}
 	if len(tx.writes) == 0 {
 		tx.finish(statusCommitted)
+		tx.commitVer = tx.rv
 		tx.tm.stats.commits.Add(1)
 		tx.tm.stats.readOnlyCommits.Add(1)
 		tx.record(Event{Kind: EventCommit, TxID: tx.id.Load(), Attempt: tx.attempt,
@@ -100,6 +101,7 @@ func (tx *Tx) commit() bool {
 		w.locked = false
 	}
 	tx.finish(statusCommitted)
+	tx.commitVer = wv
 	tx.tm.stats.commits.Add(1)
 	tx.record(Event{Kind: EventCommit, TxID: tx.id.Load(), Attempt: tx.attempt,
 		Sem: tx.sem, Version: wv})

@@ -35,6 +35,7 @@ type TM struct {
 	extendReads  bool
 	backoffBase  time.Duration
 	backoffMax   time.Duration
+	durableAck   func(tx *Tx) error
 
 	stats      counters
 	nextCellID padUint64 // drained in blocks of cellIDBatch via cellIDs
@@ -169,6 +170,29 @@ func WithSpinBudget(n int) Option {
 func WithReadExtension(on bool) Option {
 	return func(tm *TM) { tm.extendReads = on }
 }
+
+// WithDurableAck installs a durability barrier on Atomically: after an
+// UPDATE transaction commits and its Defer commit hooks have run, the TM
+// invokes ack and Atomically does not return until it does. The intended
+// shape is write-ahead logging (internal/persistmap's WAL): a commit hook
+// streams the committed write set, stamped with Tx.CommitVersion, into a
+// group-commit daemon, and ack blocks the committer until the daemon has
+// fsynced the record — many concurrent committers parked in their acks
+// amortize into one fsync. ack runs outside any transaction; the handle is
+// valid for CommitVersion/ID/Semantics reads only. A non-nil error reports
+// a durability failure for an already-committed transaction — the memory
+// effect stands, the caller must not assume it survives a crash — and is
+// returned from Atomically verbatim. Read-only commits skip the barrier.
+func WithDurableAck(ack func(tx *Tx) error) Option {
+	return func(tm *TM) { tm.durableAck = ack }
+}
+
+// SetDurableAck installs (or, with nil, removes) the WithDurableAck
+// barrier on an existing TM — the attach point for a durability layer
+// constructed after the TM, like a persistent map opening its WAL. It is
+// not synchronized: call it during setup, before transactions run
+// concurrently.
+func (tm *TM) SetDurableAck(ack func(tx *Tx) error) { tm.durableAck = ack }
 
 // WithBackoff sets the randomized exponential backoff window applied
 // between retries of an aborted transaction.
@@ -370,6 +394,14 @@ func (tm *TM) atomicallyAt(ctx context.Context, sem Semantics, pinned bool, pinV
 			if tx.commit() {
 				tx.runCommitHooks()
 				tm.cm.OnCommit(tx)
+				if tm.durableAck != nil && len(tx.writes) > 0 {
+					// The commit hooks above have externalized the write
+					// set (e.g. enqueued a WAL record); the ack parks this
+					// committer until the record is durable, which is what
+					// lets a group-commit daemon batch concurrent
+					// committers into one fsync.
+					return tm.durableAck(tx)
+				}
 				return nil
 			}
 			// fall through to retry handling with tx.abortReason set

@@ -84,8 +84,14 @@ type Tx struct {
 	hasWrites   bool
 	status      txStatus
 	abortReason AbortReason
-	cuts        int
-	rnd         uint64 // xorshift state for backoff jitter
+	// commitVer is the version the last successful commit installed (the
+	// write version of an update commit, the read version of a read-only
+	// one). It is what Defer commit hooks read through CommitVersion to
+	// stamp externalized effects — a write-ahead log record, an escrow
+	// publication — with the transaction's serialization point.
+	commitVer uint64
+	cuts      int
+	rnd       uint64 // xorshift state for backoff jitter
 	// Deferred side-effect hooks for the current attempt (transactional
 	// boosting, escrow counters): see Tx.Defer.
 	onCommit []func()
@@ -212,6 +218,7 @@ func (tx *Tx) beginAttempt() {
 	tx.attempt++
 	tx.status = statusActive
 	tx.abortReason = 0
+	tx.commitVer = 0
 	tx.hasWrites = false
 	tx.cuts = 0
 	tx.killed.Store(false)
@@ -380,6 +387,16 @@ func (tx *Tx) Defer(onCommit, onAbort func()) {
 		tx.onAbort = append(tx.onAbort, onAbort)
 	}
 }
+
+// CommitVersion returns the global version at which the transaction's
+// last successful commit serialized: the write version drawn at commit for
+// an update transaction, the validated read version for a read-only one.
+// It is meaningful only after the attempt committed — inside Defer's
+// onCommit hooks and in a TM durable-ack callback — and is 0 before then.
+// This is the plumbing that lets a commit hook stamp an externalized
+// record (e.g. a redo-log entry) with the exact serialization point the
+// recorder would report for the same commit.
+func (tx *Tx) CommitVersion() uint64 { return tx.commitVer }
 
 // runCommitHooks fires deferred commit actions in registration order.
 func (tx *Tx) runCommitHooks() {

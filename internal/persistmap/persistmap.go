@@ -12,8 +12,15 @@
 // reclamation denied: before pin-aware retirement, a reader slower than a
 // few commits lost the versions it was iterating (AbortSnapshotTooOld);
 // with the pin, "snapshot iteration makes cheap backups" holds at any
-// size. Restore rebuilds the tree from fresh nodes (copy-on-write) inside
-// one transaction, so concurrent pinned readers keep their old cut.
+// size. Restore brings the live tree to the backup's state in bounded
+// chunked transactions (RestoreFullTx; RestoreDiffTx is the incremental
+// counterpart), so recovery never pays one map-sized commit; concurrent
+// pinned readers keep their old cut throughout.
+//
+// On top of the checkpoint chain sits the write-ahead log (wal.go and the
+// walsync group-commit daemon): every committed write set streams into
+// CRC'd segment files and Store.Replay recovers newest-full-checkpoint +
+// WAL tail, so recovery loses nothing past the last acked commit.
 package persistmap
 
 import (
@@ -36,6 +43,9 @@ const DefaultChunk = 256
 type Map[V any] struct {
 	tm   *core.TM
 	tree *txstruct.TreeMapOf[V]
+	// wal, when attached, receives every committed write set of the map
+	// (see AttachWAL); nil keeps the map checkpoint-only.
+	wal *WAL[V]
 	// chunk is the backup chunk size; tests shrink it to force many
 	// chunks over small maps.
 	chunk int
@@ -56,14 +66,75 @@ func New[V any](tm *core.TM) *Map[V] {
 // the caller's own transactions.
 func (m *Map[V]) Tree() *txstruct.TreeMapOf[V] { return m.tree }
 
+// AttachWAL routes every subsequent committed write set of the map into
+// w (opened on the same Store the map checkpoints into). With durable
+// true, w.Ack is installed as the TM's durable-ack barrier: Atomically
+// returns to an updating committer only after its WAL record is fsynced
+// — the group-commit guarantee. With durable false the log is written
+// asynchronously (commits return at memory speed, a crash may lose the
+// un-synced tail, replay still recovers a clean prefix). Attach during
+// setup, before concurrent use; restore and replay paths bypass the WAL
+// by design (their effects are already durable, respectively being made
+// durable by the source they restore from).
+//
+// Note durable mode installs the barrier TM-wide: every update commit on
+// the TM waits on the WAL, and those that did not touch this map (no
+// logged ops) pass through without blocking.
+func (m *Map[V]) AttachWAL(w *WAL[V], durable bool) {
+	m.wal = w
+	w.durable = durable
+	if durable {
+		m.tm.SetDurableAck(w.Ack)
+	}
+}
+
+// PutTx binds key to val inside the caller's transaction, logging the
+// write to the attached WAL; it reports whether the key was new. All
+// writes that must survive a crash go through PutTx/DeleteTx (Put and
+// Delete are their Atomically conveniences).
+func (m *Map[V]) PutTx(tx *core.Tx, key int, val V) bool {
+	inserted := m.tree.PutTx(tx, key, val)
+	if m.wal != nil {
+		m.wal.logOp(tx, key, val, false)
+	}
+	return inserted
+}
+
+// DeleteTx unbinds key inside the caller's transaction, logging the
+// deletion to the attached WAL; it reports whether the key was present.
+// An absent key mutates nothing and logs nothing.
+func (m *Map[V]) DeleteTx(tx *core.Tx, key int) bool {
+	removed := m.tree.DeleteTx(tx, key)
+	if removed && m.wal != nil {
+		var zero V
+		m.wal.logOp(tx, key, zero, true)
+	}
+	return removed
+}
+
+// GetTx returns the value bound to key inside the caller's transaction.
+func (m *Map[V]) GetTx(tx *core.Tx, key int) (V, bool) { return m.tree.GetTx(tx, key) }
+
 // Put atomically binds key to val; it reports whether the key was new.
-func (m *Map[V]) Put(key int, val V) (bool, error) { return m.tree.Put(key, val) }
+func (m *Map[V]) Put(key int, val V) (inserted bool, err error) {
+	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		inserted = m.PutTx(tx, key, val)
+		return nil
+	})
+	return inserted, err
+}
 
 // Get returns the value bound to key.
 func (m *Map[V]) Get(key int) (V, bool, error) { return m.tree.Get(key) }
 
 // Delete atomically unbinds key; it reports whether the key was present.
-func (m *Map[V]) Delete(key int) (bool, error) { return m.tree.Delete(key) }
+func (m *Map[V]) Delete(key int) (removed bool, err error) {
+	err = m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		removed = m.DeleteTx(tx, key)
+		return nil
+	})
+	return removed, err
+}
 
 // Len returns the number of bindings as one consistent snapshot.
 func (m *Map[V]) Len() (int, error) { return m.tree.Len() }
@@ -131,20 +202,122 @@ func (m *Map[V]) BackupAt(pin *core.SnapshotPin) (*Backup[V], error) {
 	}
 }
 
-// Restore replaces the map's contents with the backup's, as one atomic
-// copy-on-write swap: the new tree is built from fresh nodes, so readers
-// pinned to pre-restore versions keep iterating the old state, and the
-// restore commits or aborts as a unit. The backup remains valid and can
-// be restored again (or into another Map of the same value type).
+// Restore replaces the map's contents with the backup's. It is
+// RestoreFullTx: the live tree is brought to the backup's state in bounded
+// transactions rather than one map-sized one. The backup remains valid and
+// can be restored again (or into another Map of the same value type). For
+// the old single-transaction atomic swap, compose RestoreTx into your own
+// transaction.
 func (m *Map[V]) Restore(b *Backup[V]) error {
-	return m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
-		m.tree.ReplaceAllTx(tx, b.keys, b.vals)
-		return nil
-	})
+	return m.RestoreFullTx(b)
 }
 
-// RestoreTx is Restore inside the caller's transaction, composing the
-// swap with other transactional state.
+// RestoreFullTx brings the LIVE map to exactly the backup's state in
+// bounded transactions — at most chunk bindings examined or written per
+// transaction — instead of rebuilding the whole tree inside one
+// transaction whose read and write sets grow with the map (the PR 5
+// restore bottleneck: one giant commit that validates and installs every
+// binding at once). Two chunked passes run: a prune pass deletes live keys
+// the backup does not bind, then an install pass puts every backup
+// binding. Each transaction is individually atomic — a concurrent reader
+// sees a consistent map whose every binding is either the pre-restore or
+// the backup value, never a torn record — but the restore as a whole is
+// not one atomic cut; callers needing that compose RestoreTx instead.
+// Readers pinned before the restore keep their old versions throughout.
+func (m *Map[V]) RestoreFullTx(b *Backup[V]) error {
+	// Prune pass: chunked walk of the live tree, deleting keys absent from
+	// the backup. The walk examines at most chunk live keys per
+	// transaction (bounding the read set, not just the deletions) and
+	// resumes after the last examined key. Candidates accumulate into a
+	// buffer reset at the top of every attempt — the BackupAt retry idiom
+	// — and are deleted inside the same transaction that collected them.
+	lo := math.MinInt
+	var doomed []int
+	var last int
+	var more bool
+	for {
+		err := m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			doomed = doomed[:0]
+			more = false
+			seen := 0
+			m.tree.RangeTx(tx, lo, math.MaxInt, func(k int, _ V) bool {
+				if seen == m.chunk {
+					more = true
+					return false
+				}
+				seen++
+				last = k
+				if _, ok := b.Get(k); !ok {
+					doomed = append(doomed, k)
+				}
+				if m.testHookChunkAttempt != nil {
+					m.testHookChunkAttempt(tx)
+				}
+				return true
+			})
+			for _, k := range doomed {
+				m.tree.DeleteTx(tx, k)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !more || last == math.MaxInt {
+			break
+		}
+		lo = last + 1
+	}
+	// Install pass: the backup's bindings land chunk by chunk. PutTx
+	// overwrites in place, so bindings already at their backup value are
+	// rewritten (a bounded cost) rather than read-compared.
+	for start := 0; start < len(b.keys); start += m.chunk {
+		end := min(start+m.chunk, len(b.keys))
+		err := m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			for i := start; i < end; i++ {
+				m.tree.PutTx(tx, b.keys[i], b.vals[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreDiffTx applies a Diff's changes to the LIVE map in bounded
+// transactions of at most chunk changes each: added and changed keys are
+// put, deleted keys are deleted. Unlike Diff.Apply — the strict structural
+// merge over immutable Backups — this is a redo-style blind apply: it does
+// not require the live state to equal the diff's parent, which is exactly
+// what write-ahead-log replay needs (each WAL record is a committed write
+// set re-applied on top of whatever checkpoint recovery started from).
+// Atomicity is per chunk, as with RestoreFullTx.
+func (m *Map[V]) RestoreDiffTx(d *Diff[V]) error {
+	for start := 0; start < len(d.keys); start += m.chunk {
+		end := min(start+m.chunk, len(d.keys))
+		err := m.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			for i := start; i < end; i++ {
+				if d.kinds[i] == txstruct.DiffDeleted {
+					m.tree.DeleteTx(tx, d.keys[i])
+				} else {
+					m.tree.PutTx(tx, d.keys[i], d.vals[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreTx rebuilds the map from the backup inside the caller's
+// transaction — the one-atomic-cut variant, composing the swap with other
+// transactional state. The whole backup lands in this single transaction,
+// so its cost grows with the backup; prefer Restore for bulk recovery.
 func (m *Map[V]) RestoreTx(tx *core.Tx, b *Backup[V]) {
 	m.tree.ReplaceAllTx(tx, b.keys, b.vals)
 }

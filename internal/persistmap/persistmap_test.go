@@ -279,3 +279,116 @@ func TestBackupSeesOneCutNotTearing(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 }
+
+// TestRestoreFullTxNoTearing pins the chunked-restore semantics at the
+// sharpest setting, chunk size 1 (every examined key its own
+// transaction): while RestoreFullTx rewrites the live map, concurrent
+// readers may see each binding at its pre-restore value, its backup
+// value, or appropriately absent — NEVER a torn third value, and never a
+// missing key that both states bind. Afterwards the map must equal the
+// backup exactly.
+func TestRestoreFullTxNoTearing(t *testing.T) {
+	const keys = 60
+	tm := core.New()
+	m := New[int](tm)
+	m.chunk = 1
+
+	// Key classes by k%3: 0 = live-only (the restore must delete it),
+	// 1 = bound in both states (old 1000+k, new 2000+k), 2 = backup-only
+	// (the restore must create it).
+	var bKeys, bVals []int
+	for k := 0; k < keys; k++ {
+		if k%3 != 2 {
+			if _, err := m.Put(k, 1000+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if k%3 != 0 {
+			bKeys = append(bKeys, k)
+			bVals = append(bVals, 2000+k)
+		}
+	}
+	b, err := BackupOf(1, bKeys, bVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := uint64(r)*0x9e3779b97f4a7c15 + 1
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int(rng % keys)
+				var v int
+				var ok bool
+				if err := tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+					v, ok = m.tree.GetTx(tx, k)
+					return nil
+				}); err != nil {
+					continue
+				}
+				switch {
+				case ok && v != 1000+k && v != 2000+k:
+					t.Errorf("key %d torn to %d", k, v)
+				case ok && k%3 == 0 && v != 1000+k:
+					t.Errorf("live-only key %d read backup-era value %d", k, v)
+				case ok && k%3 == 2 && v != 2000+k:
+					t.Errorf("backup-only key %d read impossible value %d", k, v)
+				case !ok && k%3 == 1:
+					t.Errorf("key %d bound in both states went missing mid-restore", k)
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		}(r)
+	}
+
+	// A few rounds: restore to the backup, then back to the original
+	// state, so the readers watch transitions in both directions.
+	var oKeys, oVals []int
+	for k := 0; k < keys; k++ {
+		if k%3 != 2 {
+			oKeys = append(oKeys, k)
+			oVals = append(oVals, 1000+k)
+		}
+	}
+	orig, err := BackupOf(1, oKeys, oVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6 && !t.Failed(); round++ {
+		target := b
+		if round%2 == 1 {
+			target = orig
+		}
+		if err := m.RestoreFullTx(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Land on the backup state and verify it binding for binding.
+	if err := m.RestoreFullTx(b); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.Len(); err != nil || n != len(bKeys) {
+		t.Fatalf("restored len = (%d,%v), want %d", n, err, len(bKeys))
+	}
+	for i, k := range bKeys {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok || v != bVals[i] {
+			t.Fatalf("restored key %d = (%d,%v,%v), want (%d,true,nil)", k, v, ok, err, bVals[i])
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package persistmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/persistmap/walsync"
+	"repro/internal/txstruct"
+)
+
+// This file is the write-ahead half of always-on durability: where the
+// checkpoint chain (store.go) makes PERIODIC cuts durable, the WAL makes
+// every COMMIT durable. A Map with a WAL attached registers, via the
+// core's Tx.Defer onCommit machinery, one commit hook per update
+// transaction; the hook stamps the transaction's buffered map operations
+// with Tx.CommitVersion and streams them as one framed record into the
+// walsync group-commit daemon, which batches concurrent committers into a
+// single fsync and acks each on durability. Recovery (Store.Replay) loads
+// the newest checkpoint chain and re-applies the WAL tail in commit-
+// version order through the chunked RestoreDiffTx live-apply path.
+//
+// Segment layout (all integers little-endian):
+//
+//	header  magic    [8]byte  "reprowal"
+//	        format   uint16   currently 1
+//	        codec    uint8 n, [n]byte   the value codec's Name
+//	        crc      uint32   IEEE CRC32 over the header bytes above
+//	records each:
+//	        version  uint64   the commit version of the write set
+//	        count    uint32   operations in the record
+//	        ops      count × { op uint8 (1 put, 2 delete), key int64,
+//	                           put: len uint32, value [len]byte }
+//	        crc      uint32   IEEE CRC32 over the record bytes above
+//
+// Every record carries its own CRC so a torn tail — the bytes a crash
+// lost from the page cache — is detected at the exact record boundary:
+// replay applies the intact prefix and stops, never a byte past a bad
+// record. A record's commit versions are NOT monotone in file order (a
+// descheduled committer can enqueue after a younger one), so replay
+// sorts; conflicting writers serialize through cell locks, which makes
+// version order the correct redo order per key.
+
+const (
+	walMagic  = "reprowal"
+	walFormat = uint16(1)
+
+	walOpPut    = uint8(1)
+	walOpDelete = uint8(2)
+)
+
+// WALOptions parameterizes OpenWAL.
+type WALOptions struct {
+	// SegmentBytes is the segment roll threshold (walsync's default when
+	// zero).
+	SegmentBytes int64
+	// MaxBatch caps records per fsync; 0 drains everything queued. The
+	// collectionbench fsync-batch sweep is a sweep over this knob.
+	MaxBatch int
+	// BeforeSync is walsync's crash-injection hook (nil in production).
+	BeforeSync func(records int) bool
+}
+
+// WAL streams committed write sets of one Map into the store directory's
+// segmented redo log. Open it with Store.OpenWAL, attach it with
+// Map.AttachWAL, close it before the process exits (Close drains and
+// fsyncs the queue).
+type WAL[V any] struct {
+	codec   Codec[V]
+	dir     string
+	d       *walsync.Daemon
+	durable bool
+
+	mu sync.Mutex
+	// pending buffers the CURRENT attempt's ops per transaction ID; the
+	// entry is consumed by the commit hook and discarded by the abort
+	// hook, so a retried attempt re-buffers from scratch.
+	pending map[uint64]*walTxBuf[V]
+	// acks parks each committed transaction's durability verdict between
+	// its commit hook (which enqueued the record) and the TM's durable
+	// ack (which waits on it).
+	acks map[uint64]<-chan error
+}
+
+// walTxBuf accumulates one transaction attempt's map operations.
+type walTxBuf[V any] struct {
+	attempt int
+	keys    []int
+	vals    []V
+	dels    []bool
+}
+
+// OpenWAL starts a write-ahead log (and its group-commit daemon) in the
+// store's directory, alongside the checkpoint chain. Existing segments
+// are left untouched — a fresh segment is opened after them — so opening
+// a WAL never destroys a crashed tail recovery has not read yet.
+func (s *Store[V]) OpenWAL(opts WALOptions) (*WAL[V], error) {
+	hdr, err := walHeader(s.codec.Name())
+	if err != nil {
+		return nil, err
+	}
+	d, err := walsync.Start(walsync.Config{
+		Dir:          s.dir,
+		Header:       hdr,
+		SegmentBytes: opts.SegmentBytes,
+		MaxBatch:     opts.MaxBatch,
+		BeforeSync:   opts.BeforeSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WAL[V]{
+		codec:   s.codec,
+		dir:     s.dir,
+		d:       d,
+		pending: make(map[uint64]*walTxBuf[V]),
+		acks:    make(map[uint64]<-chan error),
+	}, nil
+}
+
+// walHeader builds the static per-segment header for a codec.
+func walHeader(codec string) ([]byte, error) {
+	if len(codec) > 255 {
+		return nil, fmt.Errorf("persistmap: codec name %q too long", codec)
+	}
+	buf := append([]byte(nil), walMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, walFormat)
+	buf = append(buf, uint8(len(codec)))
+	buf = append(buf, codec...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// logOp buffers one map operation of the transaction's current attempt,
+// registering the commit/abort hooks on the attempt's first op.
+func (w *WAL[V]) logOp(tx *core.Tx, key int, val V, del bool) {
+	id := tx.ID()
+	w.mu.Lock()
+	b := w.pending[id]
+	fresh := b == nil
+	if fresh {
+		b = &walTxBuf[V]{attempt: tx.Attempt()}
+		w.pending[id] = b
+	} else if b.attempt != tx.Attempt() {
+		// Defensive: abort hooks discard the entry between attempts, so a
+		// stale buffer should not survive — but a retried attempt must
+		// never replay the aborted attempt's ops on top of its own.
+		b.keys, b.vals, b.dels = b.keys[:0], b.vals[:0], b.dels[:0]
+		b.attempt = tx.Attempt()
+		fresh = true
+	}
+	b.keys = append(b.keys, key)
+	b.vals = append(b.vals, val)
+	b.dels = append(b.dels, del)
+	w.mu.Unlock()
+	if fresh {
+		tx.Defer(func() { w.commitTx(id, tx) }, func() { w.abortTx(id) })
+	}
+}
+
+// commitTx is the onCommit hook: encode the attempt's buffered ops as one
+// record stamped with the commit version and hand it to the group-commit
+// daemon. The durability verdict is parked for Ack (the TM durable-ack
+// barrier) to collect; in non-durable mode it is dropped — the record
+// still reaches the daemon, the committer just does not wait.
+func (w *WAL[V]) commitTx(id uint64, tx *core.Tx) {
+	w.mu.Lock()
+	b := w.pending[id]
+	delete(w.pending, id)
+	w.mu.Unlock()
+	if b == nil {
+		return
+	}
+	rec, err := appendWALRecord(nil, w.codec, tx.CommitVersion(), b)
+	var ch <-chan error
+	if err != nil {
+		ec := make(chan error, 1)
+		ec <- err
+		ch = ec
+	} else {
+		ch = w.d.Append(rec)
+	}
+	if !w.durable {
+		return
+	}
+	w.mu.Lock()
+	w.acks[id] = ch
+	w.mu.Unlock()
+}
+
+// abortTx is the onAbort hook: the attempt's buffered ops never happened.
+func (w *WAL[V]) abortTx(id uint64) {
+	w.mu.Lock()
+	delete(w.pending, id)
+	w.mu.Unlock()
+}
+
+// Ack blocks until the transaction's WAL record is durable and returns
+// its verdict; transactions that logged nothing (or a WAL in non-durable
+// mode) return immediately. Map.AttachWAL installs it as the TM's
+// durable-ack barrier, which is what parks concurrent committers inside
+// Atomically while one fsync covers all of them.
+func (w *WAL[V]) Ack(tx *core.Tx) error {
+	id := tx.ID()
+	w.mu.Lock()
+	ch := w.acks[id]
+	delete(w.acks, id)
+	w.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	return <-ch
+}
+
+// Close drains and fsyncs the log. The Map should be quiesced first:
+// commits racing with Close fail their durability acks with
+// walsync.ErrClosed.
+func (w *WAL[V]) Close() error { return w.d.Close() }
+
+// Stats returns the daemon's group-commit counters.
+func (w *WAL[V]) Stats() walsync.Stats { return w.d.Stats() }
+
+// TrimTo removes sealed segments every record of which has commit version
+// <= ver — the aging-out of WAL history into the checkpoint chain: once a
+// full checkpoint at ver is durable, those records are redundant (the
+// checkpoint's pinned cut contains every commit at or below its version).
+// The open segment and any segment containing a newer record are kept; a
+// sealed segment that fails to parse is kept too (verify will name it).
+func (w *WAL[V]) TrimTo(ver uint64) (removed int, err error) {
+	segs, err := walsync.ScanSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	cur := w.d.CurrentSeq()
+	for _, sg := range segs {
+		if sg.Seq >= cur {
+			continue
+		}
+		info, ierr := readWALInfo(sg, false)
+		if ierr != nil || info.Torn {
+			continue
+		}
+		if info.Records > 0 && info.MaxVersion > ver {
+			continue
+		}
+		if rerr := os.Remove(sg.Path); rerr != nil {
+			return removed, fmt.Errorf("persistmap: %w", rerr)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if serr := syncDir(w.dir); serr != nil {
+			return removed, serr
+		}
+	}
+	return removed, nil
+}
+
+// appendWALRecord frames one committed write set.
+func appendWALRecord[V any](buf []byte, codec Codec[V], ver uint64, b *walTxBuf[V]) ([]byte, error) {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, ver)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.keys)))
+	var err error
+	for i := range b.keys {
+		if b.dels[i] {
+			buf = append(buf, walOpDelete)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(b.keys[i])))
+			continue
+		}
+		buf = append(buf, walOpPut)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(b.keys[i])))
+		if buf, err = appendValue(buf, codec, b.vals[i]); err != nil {
+			return nil, err
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+// WALSegmentInfo describes one scanned segment, for tooling and trim.
+type WALSegmentInfo struct {
+	Path  string
+	Seq   uint64
+	Codec string
+	// Records counts intact records; Ops the operations inside them.
+	Records, Ops int
+	// MinVersion/MaxVersion bound the intact records' commit versions
+	// (both 0 when the segment is empty). File order is NOT version
+	// order, so these are bounds, not first/last.
+	MinVersion, MaxVersion uint64
+	// Size is the file size in bytes.
+	Size int64
+	// Torn reports that the segment ends in a torn or damaged record
+	// (bytes past the intact prefix). Only tolerated, by Replay, on the
+	// newest segment.
+	Torn bool
+}
+
+// String renders the info for persistctl output.
+func (wi WALSegmentInfo) String() string {
+	state := "sealed"
+	if wi.Torn {
+		state = "torn"
+	}
+	return fmt.Sprintf("%s  wal seq %d codec=%s records=%d ops=%d versions=[%d,%d] %dB %s",
+		wi.Path, wi.Seq, wi.Codec, wi.Records, wi.Ops, wi.MinVersion, wi.MaxVersion, wi.Size, state)
+}
+
+// walRecord is one decoded redo record.
+type walRecord[V any] struct {
+	ver  uint64
+	keys []int
+	vals []V
+	dels []bool
+}
+
+// parseWALHeader verifies a segment's header and returns the codec name
+// plus a cursor positioned at the first record.
+func parseWALHeader(path string, data []byte) (string, *reader, error) {
+	r := &reader{data: data}
+	magic, err := r.take(len(walMagic))
+	if err != nil || string(magic) != walMagic {
+		return "", nil, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	}
+	format, err := r.u16()
+	if err != nil || format != walFormat {
+		return "", nil, fmt.Errorf("%w: %s: unsupported WAL format %d", ErrCorrupt, path, format)
+	}
+	n, err := r.u8()
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+	}
+	codec, err := r.take(int(n))
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+	}
+	crc, err := r.u32()
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+	}
+	if got := crc32.ChecksumIEEE(data[:r.off-4]); got != crc {
+		return "", nil, fmt.Errorf("%w: %s: header checksum %08x, file claims %08x", ErrCorrupt, path, got, crc)
+	}
+	return string(codec), r, nil
+}
+
+// parseWALRecord decodes one record at the cursor; decode is called per
+// op (the codec-free walk passes a keep-the-bytes decode). A nil error
+// with ok=false means the cursor was already at a clean end of file.
+func parseWALRecord[V any](path string, r *reader, decode func([]byte) (V, error)) (walRecord[V], bool, error) {
+	var rec walRecord[V]
+	if r.off == len(r.data) {
+		return rec, false, nil
+	}
+	start := r.off
+	bad := func(format string, args ...any) (walRecord[V], bool, error) {
+		return rec, false, fmt.Errorf("%w: %s: record at offset %d: %s", ErrCorrupt, path, start, fmt.Sprintf(format, args...))
+	}
+	ver, err := r.u64()
+	if err != nil {
+		return bad("truncated version")
+	}
+	count, err := r.u32()
+	if err != nil {
+		return bad("truncated count")
+	}
+	rec.ver = ver
+	for i := uint32(0); i < count; i++ {
+		op, err := r.u8()
+		if err != nil {
+			return bad("truncated op %d", i)
+		}
+		k, err := r.u64()
+		if err != nil {
+			return bad("truncated key of op %d", i)
+		}
+		key := int(int64(k))
+		switch op {
+		case walOpDelete:
+			var zero V
+			rec.keys = append(rec.keys, key)
+			rec.vals = append(rec.vals, zero)
+			rec.dels = append(rec.dels, true)
+		case walOpPut:
+			n, err := r.u32()
+			if err != nil {
+				return bad("truncated value length of op %d", i)
+			}
+			raw, err := r.take(int(n))
+			if err != nil {
+				return bad("truncated value of op %d", i)
+			}
+			v, err := decode(raw)
+			if err != nil {
+				return bad("value of op %d: %v", i, err)
+			}
+			rec.keys = append(rec.keys, key)
+			rec.vals = append(rec.vals, v)
+			rec.dels = append(rec.dels, false)
+		default:
+			return bad("unknown op %d", op)
+		}
+	}
+	crc, err := r.u32()
+	if err != nil {
+		return bad("truncated checksum")
+	}
+	if got := crc32.ChecksumIEEE(r.data[start : r.off-4]); got != crc {
+		return bad("checksum %08x, record claims %08x", got, crc)
+	}
+	return rec, true, nil
+}
+
+// readWALInfo scans one segment structurally (no value decode). In
+// strict mode any damage — torn tail included — is ErrCorrupt; otherwise
+// the intact prefix is summarized and Torn marks the rest.
+func readWALInfo(sg walsync.Segment, strict bool) (WALSegmentInfo, error) {
+	info := WALSegmentInfo{Path: sg.Path, Seq: sg.Seq}
+	recs, codec, size, torn, err := readWALSegment(sg, func(raw []byte) (struct{}, error) {
+		return struct{}{}, nil
+	}, strict)
+	if err != nil {
+		return info, err
+	}
+	info.Codec, info.Size, info.Torn = codec, size, torn
+	for _, rec := range recs {
+		info.Records++
+		info.Ops += len(rec.keys)
+		if info.Records == 1 {
+			info.MinVersion, info.MaxVersion = rec.ver, rec.ver
+			continue
+		}
+		if rec.ver < info.MinVersion {
+			info.MinVersion = rec.ver
+		}
+		if rec.ver > info.MaxVersion {
+			info.MaxVersion = rec.ver
+		}
+	}
+	return info, nil
+}
+
+// readWALSegment reads a segment's intact record prefix. strict turns a
+// torn or damaged tail into ErrCorrupt (sealed segments and verification
+// are strict; only the newest segment of a replay tolerates a tail —
+// that is what a mid-batch kill legitimately leaves behind).
+func readWALSegment[V any](sg walsync.Segment, decode func([]byte) (V, error), strict bool) (recs []walRecord[V], codec string, size int64, torn bool, err error) {
+	data, err := os.ReadFile(sg.Path)
+	if err != nil {
+		return nil, "", 0, false, fmt.Errorf("persistmap: %w", err)
+	}
+	size = int64(len(data))
+	codec, r, err := parseWALHeader(sg.Path, data)
+	if err != nil {
+		if strict {
+			return nil, "", size, false, err
+		}
+		// A header that never finished hitting disk: an empty torn
+		// segment, nothing to replay.
+		return nil, "", size, true, nil
+	}
+	for {
+		rec, ok, rerr := parseWALRecord(sg.Path, r, decode)
+		if rerr != nil {
+			if strict {
+				return nil, codec, size, false, rerr
+			}
+			return recs, codec, size, true, nil
+		}
+		if !ok {
+			return recs, codec, size, false, nil
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ScanWAL lists and structurally summarizes the directory's WAL segments
+// in sequence order, tolerating torn tails (Torn marks them). Use
+// VerifyWALSegment for the strict verdict on one file.
+func ScanWAL(dir string) ([]WALSegmentInfo, error) {
+	segs, err := walsync.ScanSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]WALSegmentInfo, 0, len(segs))
+	for _, sg := range segs {
+		info, err := readWALInfo(sg, false)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// segmentOf parses a path's sequence number back out of its name.
+func segmentOf(path string) walsync.Segment {
+	var seq uint64
+	fmt.Sscanf(filepath.Base(path), "wal-%016x"+walsync.Ext, &seq)
+	return walsync.Segment{Seq: seq, Path: path}
+}
+
+// ReadWALInfo summarizes one segment tolerantly: a torn or damaged tail
+// is reported via Torn, not as an error — the info counterpart of
+// VerifyWALSegment, for tooling that describes what is on disk.
+func ReadWALInfo(path string) (WALSegmentInfo, error) {
+	return readWALInfo(segmentOf(path), false)
+}
+
+// VerifyWALSegment walks every byte of one segment strictly: any
+// truncation, bit flip, bad op or checksum mismatch is ErrCorrupt. It is
+// the WAL counterpart of VerifyFile, used by persistctl verify and the
+// corruption table test.
+func VerifyWALSegment(path string) (WALSegmentInfo, error) {
+	return readWALInfo(segmentOf(path), true)
+}
+
+// ReplayInfo summarizes a Store.Replay: what the chain provided, what
+// the WAL tail added, and where recovery stopped.
+type ReplayInfo struct {
+	// ChainVersion is the newest checkpoint chain's version (0: no chain,
+	// recovery started from an empty map).
+	ChainVersion uint64
+	// Segments and Records count the WAL segments read and the intact
+	// records found; Applied counts the records with versions past the
+	// chain that were re-applied.
+	Segments, Records, Applied int
+	// Version is the highest commit version recovered (the chain's when
+	// the WAL added nothing).
+	Version uint64
+	// TornTail reports that the newest segment ended in a torn record —
+	// the expected shape after a mid-batch kill; everything before the
+	// tear was applied.
+	TornTail bool
+}
+
+// Replay is crash recovery: load the newest checkpoint chain (if any)
+// into m via the chunked restore path, then re-apply the WAL tail — every
+// intact record with a commit version past the chain — in commit-version
+// order through RestoreDiffTx. Sealed segments must verify exactly; only
+// the newest segment may end torn (the un-fsynced bytes a kill lost), and
+// replay never applies a byte past the first bad record. The recovered
+// map is exactly the checkpoint state plus every acked commit.
+func (s *Store[V]) Replay(m *Map[V]) (*ReplayInfo, error) {
+	info := &ReplayInfo{}
+	chain, err := s.Chain()
+	if err == nil && len(chain) > 0 {
+		b, lerr := s.Load()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if rerr := m.RestoreFullTx(b); rerr != nil {
+			return nil, rerr
+		}
+		info.ChainVersion = b.Version
+		info.Version = b.Version
+	}
+	segs, err := walsync.ScanSegments(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var tail []walRecord[V]
+	for i, sg := range segs {
+		strict := i < len(segs)-1
+		recs, codec, _, torn, err := readWALSegment(sg, s.codec.Decode, strict)
+		if err != nil {
+			return nil, err
+		}
+		if codec != "" && codec != s.codec.Name() {
+			return nil, fmt.Errorf("persistmap: %s: segment codec %q, store uses %q", sg.Path, codec, s.codec.Name())
+		}
+		info.Segments++
+		info.Records += len(recs)
+		info.TornTail = torn
+		tail = append(tail, recs...)
+	}
+	// File order is enqueue order, not commit order; redo must apply in
+	// commit-version order (conflicting writers serialized through cell
+	// locks in exactly that order). The sort is stable so records sharing
+	// a version — GVPass adopts the winner's version, and such commits
+	// have disjoint write sets — keep their enqueue order.
+	sort.SliceStable(tail, func(i, j int) bool { return tail[i].ver < tail[j].ver })
+	d := &Diff[V]{}
+	for _, rec := range tail {
+		if rec.ver <= info.ChainVersion {
+			// Already inside the checkpoint's pinned cut.
+			continue
+		}
+		info.Applied++
+		if rec.ver > info.Version {
+			info.Version = rec.ver
+		}
+		for i := range rec.keys {
+			d.keys = append(d.keys, rec.keys[i])
+			d.vals = append(d.vals, rec.vals[i])
+			if rec.dels[i] {
+				d.kinds = append(d.kinds, txstruct.DiffDeleted)
+			} else {
+				d.kinds = append(d.kinds, txstruct.DiffChanged)
+			}
+		}
+	}
+	if err := m.RestoreDiffTx(d); err != nil {
+		return nil, err
+	}
+	return info, nil
+}

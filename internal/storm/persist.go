@@ -1,14 +1,17 @@
 package storm
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/persistmap"
+	"repro/internal/persistmap/walsync"
 )
 
 // persistWorkload is the crash-recovery storm: seeded map mutations (the
@@ -27,6 +30,21 @@ type persistWorkload struct {
 	m    *persistmap.Map[int]
 	keys int
 	dir  string
+
+	// The write-ahead half of always-on durability: every mutation the
+	// storm commits streams through the attached WAL in durable mode, so
+	// an exec returns only after its record is fsynced (group-committed
+	// with whatever other workers were committing). The check's third
+	// layer kills the daemon mid-batch and audits that recovery restores
+	// exactly the acked commit prefix.
+	wal *persistmap.WAL[int]
+	// crashArm arms the BeforeSync hook; crashCalls counts armed batches
+	// (daemon goroutine only) so the kill fires even if group commit
+	// never forms a >= 2-record batch.
+	crashArm   atomic.Bool
+	crashCalls int
+	// Burst-audit results, filled by check for notes.
+	walAcked, walLost int
 
 	// The backup pipeline is inherently sequential (each diff's parent is
 	// the previous link's pin), so concurrent backup steps serialize here;
@@ -59,7 +77,27 @@ func newPersistWorkload(tm *core.TM, keys int) (*persistWorkload, error) {
 		os.RemoveAll(dir)
 		return nil, err
 	}
-	return &persistWorkload{tm: tm, m: persistmap.New[int](tm), keys: keys, dir: dir, store: store}, nil
+	w := &persistWorkload{tm: tm, m: persistmap.New[int](tm), keys: keys, dir: dir, store: store}
+	wal, err := store.OpenWAL(persistmap.WALOptions{
+		// The injected kill: once armed, crash on the first batch that
+		// actually grouped >= 2 committers — or unconditionally after 50
+		// armed batches, so a run whose group commit never forms a batch
+		// still exercises the crash path.
+		BeforeSync: func(records int) bool {
+			if !w.crashArm.Load() {
+				return false
+			}
+			w.crashCalls++
+			return records >= 2 || w.crashCalls > 50
+		},
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	w.wal = wal
+	w.m.AttachWAL(wal, true)
+	return w, nil
 }
 
 func (w *persistWorkload) name() string { return "persist" }
@@ -74,6 +112,11 @@ func (w *persistWorkload) cleanup() {
 	if w.pin != nil {
 		w.pin.Release()
 		w.pin = nil
+	}
+	if w.wal != nil {
+		// ErrClosed after an injected crash is the expected verdict.
+		_ = w.wal.Close()
+		w.wal = nil
 	}
 	os.RemoveAll(w.dir)
 }
@@ -123,9 +166,12 @@ func (w *persistWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
 		txid = tx.ID()
 		switch op.Kind {
 		case OpPut:
-			op.Bool = tree.PutTx(tx, op.Key, op.Val)
+			// Mutations go through the Map wrappers so every committed
+			// write set is WAL-logged; the durable ack means this
+			// Atomically returns only once the record is fsynced.
+			op.Bool = w.m.PutTx(tx, op.Key, op.Val)
 		case OpDelete:
-			op.Bool = tree.DeleteTx(tx, op.Key)
+			op.Bool = w.m.DeleteTx(tx, op.Key)
 		case OpGet:
 			v, found := tree.GetTx(tx, op.Key)
 			op.Bool = found
@@ -173,6 +219,13 @@ func (w *persistWorkload) backupCycle() error {
 		}
 		link.path, link.full = path, true
 		w.fulls++
+		// The full checkpoint covers every commit at or below its pin
+		// version, so WAL segments whose records are all inside it are
+		// redundant history: age them out of the log.
+		if _, err := w.wal.TrimTo(link.version); err != nil {
+			next.Release()
+			return err
+		}
 	} else {
 		d, err := w.m.Diff(w.pin, next)
 		if err != nil {
@@ -313,11 +366,177 @@ func (w *persistWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 		}
 		return true
 	})
-	return err
+	if err != nil {
+		return err
+	}
+
+	// Layer 3: write-ahead durability under a mid-batch kill. A burst of
+	// concurrent durable committers hammers sentinel keys while the
+	// BeforeSync hook crashes the group-commit daemon mid-batch; recovery
+	// must then restore exactly the acked commit prefix — every
+	// acknowledged write present, every unacknowledged one absent.
+	return w.checkWALCrash(vals)
 }
 
-// notes reports the chain shape for the storm report.
+// checkWALCrash is the persist storm's third layer. Burst committers use
+// keys ABOVE the storm's key range and values above the storm's value
+// range, so the expected recovered state factors cleanly: the model's
+// final bindings for storm keys (all of whose commits were durably
+// acked) overlaid with each goroutine's acked burst prefix (keys are
+// disjoint per goroutine, so per-key redo order is its program order).
+func (w *persistWorkload) checkWALCrash(vals map[int]int) error {
+	const (
+		burstWorkers  = 8
+		burstKeysEach = 4
+		phaseAOps     = 16 // pre-arm: must all ack
+		phaseBOps     = 48 // armed: the kill lands somewhere in here
+		sentinelBase  = 1 << 20
+	)
+	type burstOp struct {
+		key, val int
+		del      bool
+		acked    bool
+	}
+	ops := make([][]burstOp, burstWorkers)
+	errs := make([]error, burstWorkers)
+	var wg, preArm sync.WaitGroup
+	preArm.Add(burstWorkers)
+	armed := make(chan struct{})
+	for g := 0; g < burstWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := w.keys + g*burstKeysEach
+			run := func(i int) (burstOp, error) {
+				op := burstOp{
+					key: base + i%burstKeysEach,
+					val: sentinelBase + g*(phaseAOps+phaseBOps) + i,
+					del: i%5 == 4,
+				}
+				err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					if op.del {
+						w.m.DeleteTx(tx, op.key)
+					} else {
+						w.m.PutTx(tx, op.key, op.val)
+					}
+					return nil
+				})
+				op.acked = err == nil
+				return op, err
+			}
+			for i := 0; i < phaseAOps; i++ {
+				op, err := run(i)
+				if err != nil {
+					errs[g] = fmt.Errorf("persist: pre-arm burst op %d: %w", i, err)
+					preArm.Done()
+					return
+				}
+				ops[g] = append(ops[g], op)
+			}
+			preArm.Done()
+			<-armed
+			for i := phaseAOps; i < phaseAOps+phaseBOps; i++ {
+				op, err := run(i)
+				ops[g] = append(ops[g], op)
+				if err != nil {
+					// The commit's memory effect stands; durability was
+					// refused. Everything after the kill fails the same
+					// way, so the goroutine's acked set is a prefix.
+					if !errors.Is(err, walsync.ErrClosed) {
+						errs[g] = fmt.Errorf("persist: burst op %d failed with %v, want walsync.ErrClosed", i, err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	preArm.Wait()
+	w.crashArm.Store(true)
+	close(armed)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	expect := make(map[int]int, len(vals))
+	for k, v := range vals {
+		expect[k] = v
+	}
+	acked, lost := 0, 0
+	for _, gops := range ops {
+		for _, op := range gops {
+			if !op.acked {
+				lost++
+				continue
+			}
+			acked++
+			if op.del {
+				delete(expect, op.key)
+			} else {
+				expect[op.key] = op.val
+			}
+		}
+	}
+	if lost == 0 {
+		return fmt.Errorf("persist: crash audit vacuous: the injected kill never fired (%d burst ops acked)", acked)
+	}
+	w.walAcked, w.walLost = acked, lost
+
+	// Recovery: newest full checkpoint + WAL tail into a FRESH TM,
+	// sharing nothing with the storm's runtime but the bytes on disk.
+	rs, err := persistmap.NewStore(w.dir, persistmap.IntCodec{})
+	if err != nil {
+		return err
+	}
+	freshTM := core.New()
+	fresh := persistmap.New[int](freshTM)
+	if _, err := rs.Replay(fresh); err != nil {
+		return fmt.Errorf("persist: WAL replay after injected crash: %w", err)
+	}
+	recovered := make(map[int]int)
+	if err := freshTM.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		clear(recovered)
+		fresh.Tree().AscendTx(tx, func(k, v int) bool {
+			recovered[k] = v
+			return true
+		})
+		return nil
+	}); err != nil {
+		return err
+	}
+	for k, v := range expect {
+		rv, ok := recovered[k]
+		if !ok || rv != v {
+			return fmt.Errorf("persist: crash recovery key %d = (%d,%v), acked timeline has %d", k, rv, ok, v)
+		}
+	}
+	if len(recovered) != len(expect) {
+		// More bindings than the acked timeline: an unacked write (or a
+		// write the acked timeline deleted) survived the crash.
+		for k, v := range recovered {
+			if _, ok := expect[k]; !ok {
+				return fmt.Errorf("persist: crash recovery resurrected key %d = %d, which no acked commit left bound", k, v)
+			}
+		}
+		return fmt.Errorf("persist: crash recovery has %d bindings, acked timeline has %d", len(recovered), len(expect))
+	}
+	return nil
+}
+
+// notes reports the chain and WAL shape for the storm report.
 func (w *persistWorkload) notes() []string {
-	return []string{fmt.Sprintf("chain: %d full + %d diff link(s), %d checkpoint(s) reloaded (%d cycles skipped)",
+	notes := []string{fmt.Sprintf("chain: %d full + %d diff link(s), %d checkpoint(s) reloaded (%d cycles skipped)",
 		w.fulls, w.diffs, len(w.chain), w.skips)}
+	if w.wal != nil {
+		st := w.wal.Stats()
+		group := float64(0)
+		if st.Batches > 0 {
+			group = float64(st.Records) / float64(st.Batches)
+		}
+		notes = append(notes, fmt.Sprintf("wal: %d record(s) in %d fsync batch(es) (avg %.1f, max %d), %d segment(s); crash audit: %d acked / %d lost",
+			st.Records, st.Batches, group, st.MaxBatch, st.Segments, w.walAcked, w.walLost))
+	}
+	return notes
 }

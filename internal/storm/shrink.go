@@ -231,20 +231,28 @@ func shrinkSchedules(workers [][]OpRecord, failing func([][]OpRecord) bool) ([][
 
 // ShrinkResult is a minimized failing schedule.
 type ShrinkResult struct {
-	// Setup is the serial prepopulation (not shrunk: it establishes the
-	// structure's base state).
+	// Setup is the serial prepopulation, ddmin-shrunk AFTER the workers
+	// (against the already-minimal concurrent schedule): most failures
+	// need only a fraction of the seeded base state, and a minimal
+	// reproduction should say which fraction.
 	Setup []OpRecord
 	// Workers holds the minimal per-worker op sequences that still fail.
 	Workers [][]OpRecord
-	// Records is the total number of surviving records.
+	// Records is the total number of surviving worker records.
 	Records int
-	// Probes counts candidate schedules tried; Replays counts storm
-	// re-executions (Probes × up to attempts each).
+	// Probes counts candidate schedules tried (worker and setup rounds);
+	// Replays counts storm re-executions (Probes × up to attempts each).
 	Probes, Replays int
 	// Tiny is the minimal schedule as an explorer-ready tiny case: one
 	// access program per surviving transaction (worker ordering dropped —
 	// the explorer enumerates all interleavings, a superset).
 	Tiny sched.TinyCase
+	// Explore is the exhaustive interleaving exploration of Tiny, run
+	// automatically when the minimal schedule fits the explorer's limits
+	// (up to 3 programs, 9 accesses); nil when the schedule is too big or
+	// the case is inexplorable (ExploreErr says why).
+	Explore    *ExploreReport
+	ExploreErr error
 	// Report is a failing report of the minimal schedule.
 	Report *Report
 }
@@ -296,10 +304,10 @@ func Shrink(cfg Config, attempts int) (*ShrinkResult, error) {
 	replays := 0
 	var lastFailing *Report
 	var replayErr error
-	failing := func(workers [][]OpRecord) bool {
+	failingWith := func(setup []OpRecord, workers [][]OpRecord) bool {
 		for a := 0; a < attempts; a++ {
 			replays++
-			r, rerr := replayRun(cfg, rep.SetupOps, workers)
+			r, rerr := replayRun(cfg, setup, workers)
 			if rerr != nil {
 				if replayErr == nil {
 					replayErr = rerr
@@ -313,6 +321,7 @@ func Shrink(cfg Config, attempts int) (*ShrinkResult, error) {
 		}
 		return false
 	}
+	failing := func(workers [][]OpRecord) bool { return failingWith(rep.SetupOps, workers) }
 	if !failing(rep.WorkerOps) {
 		if replayErr != nil {
 			return nil, fmt.Errorf("storm: replay of seed %d failed: %w", cfg.Seed, replayErr)
@@ -321,10 +330,28 @@ func Shrink(cfg Config, attempts int) (*ShrinkResult, error) {
 			cfg.Seed, attempts)
 	}
 	minimal, probes := shrinkSchedules(rep.WorkerOps, failing)
+
+	// Second ddmin round: the serial prepopulation, minimized against the
+	// already-minimal workers (one synthetic "worker" holding the setup —
+	// replayRun executes it serially either way). ddmin never probes the
+	// empty candidate, so an explicit probe finishes the job when every
+	// setup record turned out to be dead weight.
+	minSetup, setupProbes := rep.SetupOps, 0
+	if len(minSetup) > 0 {
+		shrunk, p := shrinkSchedules([][]OpRecord{minSetup}, func(cand [][]OpRecord) bool {
+			return failingWith(cand[0], minimal)
+		})
+		minSetup, setupProbes = shrunk[0], p
+		if len(minSetup) > 0 && failingWith(nil, minimal) {
+			minSetup = nil
+		}
+		setupProbes++
+	}
+
 	res := &ShrinkResult{
-		Setup:   rep.SetupOps,
+		Setup:   minSetup,
 		Workers: minimal,
-		Probes:  probes + 1,
+		Probes:  probes + setupProbes + 1,
 		Replays: replays,
 		Tiny:    tinyCaseFrom(cfg.Workload, minimal),
 		Report:  lastFailing,
@@ -332,19 +359,32 @@ func Shrink(cfg Config, attempts int) (*ShrinkResult, error) {
 	for _, ops := range minimal {
 		res.Records += len(ops)
 	}
+
+	// When the minimal schedule fits the exhaustive explorer's limits,
+	// feed it straight in: the shrinker isolated the conflict shape, the
+	// explorer then enumerates EVERY interleaving of it (under the same
+	// clock scheme). An inexplorable case is reported, not fatal.
+	progs := tinyProgramsFrom(minimal)
+	total := 0
+	for _, p := range progs {
+		total += len(p.Accesses)
+	}
+	if n := len(progs); n > 0 && n <= maxTinyPrograms && total <= maxTinyAccesses {
+		res.Explore, res.ExploreErr = ExploreTiny(res.Tiny.Name, progs, core.WithClockScheme(cfg.Clock))
+	}
 	return res, nil
 }
 
-// tinyCaseFrom renders a minimal schedule as a sched.TinyCase: every
+// tinyProgramsFrom renders a minimal schedule as explorer programs: every
 // surviving transaction becomes one access program over key-named
-// locations (an abstraction — a structure op touches more cells than its
-// key — but faithful enough to seed the exhaustive explorer with the
-// conflict shape the shrinker isolated).
-func tinyCaseFrom(name string, workers [][]OpRecord) sched.TinyCase {
+// locations, keeping its recorded semantics (an abstraction — a structure
+// op touches more cells than its key — but faithful enough to seed the
+// exhaustive explorer with the conflict shape the shrinker isolated).
+func tinyProgramsFrom(workers [][]OpRecord) []TinyProgram {
 	rd := func(loc string) history.Access { return history.Access{Kind: history.OpRead, Loc: loc} }
 	wr := func(loc string) history.Access { return history.Access{Kind: history.OpWrite, Loc: loc} }
 	key := func(k int) string { return fmt.Sprintf("k%d", k) }
-	var progs [][]history.Access
+	var progs []TinyProgram
 	for _, ops := range workers {
 		for _, rec := range ops {
 			var p []history.Access
@@ -369,19 +409,30 @@ func tinyCaseFrom(name string, workers [][]OpRecord) sched.TinyCase {
 				}
 			}
 			if len(p) > 0 {
-				progs = append(progs, p)
+				progs = append(progs, TinyProgram{Sem: rec.Sem, Accesses: p})
 			}
 		}
 	}
-	return sched.TinyCase{Name: "shrunk-" + name, Programs: progs}
+	return progs
+}
+
+// tinyCaseFrom is tinyProgramsFrom flattened into a sched.TinyCase (the
+// serializable form stormcheck prints; semantics are dropped there).
+func tinyCaseFrom(name string, workers [][]OpRecord) sched.TinyCase {
+	progs := tinyProgramsFrom(workers)
+	raw := make([][]history.Access, len(progs))
+	for i, p := range progs {
+		raw[i] = p.Accesses
+	}
+	return sched.TinyCase{Name: "shrunk-" + name, Programs: raw}
 }
 
 // String renders the minimal schedule for CLI output: one line per worker,
 // one compact token per surviving transaction.
 func (r *ShrinkResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "shrunk to %d transaction(s) over %d probe(s), %d replay(s):\n",
-		r.Records, r.Probes, r.Replays)
+	fmt.Fprintf(&b, "shrunk to %d transaction(s) + %d setup record(s) over %d probe(s), %d replay(s):\n",
+		r.Records, len(r.Setup), r.Probes, r.Replays)
 	for wi, ops := range r.Workers {
 		if len(ops) == 0 {
 			continue
@@ -395,5 +446,11 @@ func (r *ShrinkResult) String() string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "  tiny case %q: %d program(s)", r.Tiny.Name, len(r.Tiny.Programs))
+	switch {
+	case r.Explore != nil:
+		fmt.Fprintf(&b, "; explored %d schedule(s): %d failing", r.Explore.Schedules, len(r.Explore.Failures))
+	case r.ExploreErr != nil:
+		fmt.Fprintf(&b, "; exploration unavailable: %v", r.ExploreErr)
+	}
 	return b.String()
 }

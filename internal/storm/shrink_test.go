@@ -190,6 +190,22 @@ func TestShrinkCorruptRecorderEndToEnd(t *testing.T) {
 	if len(res.Tiny.Programs) == 0 {
 		t.Fatal("tiny case has no programs")
 	}
+	// The corrupt recorder fails ANY schedule, so the setup ddmin (which
+	// runs after worker minimization, against the minimal workers) must
+	// strip the prepopulation entirely — including the final empty-setup
+	// probe ddmin itself never makes.
+	if len(res.Setup) != 0 {
+		t.Fatalf("setup kept %d record(s); the failure needs none", len(res.Setup))
+	}
+	// The minimal schedule fits the explorer's limits here, so the tiny
+	// case must have been auto-fed to ExploreTiny (without the corrupt
+	// recorder, so it explores clean).
+	if res.Explore == nil {
+		t.Fatalf("no auto-exploration of a %d-program tiny case: %v", len(res.Tiny.Programs), res.ExploreErr)
+	}
+	if res.Explore.Schedules == 0 {
+		t.Fatal("auto-exploration enumerated no schedules")
+	}
 	if res.String() == "" {
 		t.Fatal("empty rendering")
 	}

@@ -3,6 +3,7 @@ package txstruct
 import (
 	"fmt"
 	"math"
+	"reflect"
 
 	"repro/internal/core"
 )
@@ -22,12 +23,14 @@ const (
 	// DiffAdded: the key is bound at the newer pin but not the older.
 	DiffAdded DiffKind = iota + 1
 	// DiffChanged: the key is bound at both pins and was rewritten in
-	// between. Change detection is MVCC-based — the value record visible at
-	// the newer pin was committed after the older pin's version, or the
-	// tree node holding the binding was replaced — so an overwrite that
-	// happens to store an equal value still reports DiffChanged (the diff
-	// captures writes, not deep value equality, which a generic V does not
-	// support).
+	// between. Change detection is MVCC-based — the value record visible
+	// at the newer pin was committed after the older pin's version (an
+	// in-place overwrite, reported even when the new value happens to equal
+	// the old: the diff captures writes). When only the tree NODE holding
+	// the binding was replaced — a delete-and-reinsert, or the value-
+	// preserving successor graft an LLRB delete performs on an unrelated
+	// key — the payloads are compared and DiffChanged is emitted only if
+	// they differ, so structural churn alone never reports a change.
 	DiffChanged
 	// DiffDeleted: the key is bound at the older pin but not the newer.
 	DiffDeleted
@@ -75,12 +78,16 @@ type diffEnt[V any] struct {
 // land during the walk. fn runs OUTSIDE any transaction, exactly once per
 // difference, and may stop the walk early by returning false.
 //
-// Change detection is MVCC-exact, not value-deep: a binding is DiffChanged
-// when the value record visible at pNew was committed after pOld.Version()
-// (an in-place overwrite), or when the tree node holding the key was
-// replaced between the pins (delete-and-reinsert; also the value-preserving
-// successor graft an LLRB delete performs, which therefore emits a
-// spurious-but-harmless DiffChanged with an equal value).
+// Change detection is MVCC-first: a binding is DiffChanged when the value
+// record visible at pNew was committed after pOld.Version() (an in-place
+// overwrite — reported even for an equal value, since the diff captures
+// writes). When instead only the tree node holding the key was replaced
+// (delete-and-reinsert, or the value-preserving successor graft an LLRB
+// delete performs on a DIFFERENT key), the old and new payloads are
+// compared with reflect.DeepEqual and the binding is emitted only if they
+// differ: pure structural node churn no longer produces spurious
+// equal-value DiffChanged events, which keeps incremental diffs
+// proportional to real churn.
 func (m *TreeMapOf[V]) SnapshotDiff(pOld, pNew *core.SnapshotPin, fn func(key int, old, new V, kind DiffKind) bool) error {
 	return m.snapshotDiff(pOld, pNew, diffChunk, fn)
 }
@@ -153,13 +160,16 @@ func (m *TreeMapOf[V]) snapshotDiff(pOld, pNew *core.SnapshotPin, chunk int, fn 
 			default:
 				// Bound at both pins. Rewritten iff the record visible at
 				// pNew postdates pOld (in-place overwrite of one node's
-				// value cell) or the node itself was replaced (a fresh
-				// node's value cell starts at version 0, which is what
-				// makes the node-identity check necessary: a
-				// delete-and-reinsert between the pins would otherwise
-				// masquerade as unchanged).
+				// value cell) or the node itself was replaced with a
+				// different payload (a fresh node's value cell starts at
+				// version 0, which is what makes the node-identity check
+				// necessary: a delete-and-reinsert between the pins would
+				// otherwise masquerade as unchanged). Node replacement
+				// alone is not a change: an LLRB delete's successor graft
+				// rebuilds nodes while preserving their values, so the
+				// payloads are compared before emitting.
 				o, n := &oldEnts[i], &newEnts[j]
-				if n.ver > oldVer || o.node != n.node {
+				if n.ver > oldVer || (o.node != n.node && !reflect.DeepEqual(o.val, n.val)) {
 					if !fn(n.key, o.val, n.val, DiffChanged) {
 						return nil
 					}

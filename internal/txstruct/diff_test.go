@@ -78,9 +78,9 @@ func TestSnapshotDiffBasic(t *testing.T) {
 	}
 	for _, chunk := range []int{1, 2, 3, 256} {
 		got := collectDiff(t, m, pOld, pNew, chunk)
-		// The LLRB delete's successor graft may add spurious DiffChanged
-		// emissions with equal old/new values (documented); everything else
-		// must match `want` exactly.
+		// The LLRB delete's successor graft rebuilds nodes with preserved
+		// values; the payload comparison must suppress those, so the diff
+		// matches `want` exactly — no equal-value DiffChanged tolerated.
 		seen := make(map[int]bool)
 		prev := -1 << 62
 		for _, r := range got {
@@ -90,9 +90,6 @@ func TestSnapshotDiffBasic(t *testing.T) {
 			prev = r.key
 			w, ok := want[r.key]
 			if !ok {
-				if r.kind == DiffChanged && r.old == r.new {
-					continue // value-preserving successor graft
-				}
 				t.Fatalf("chunk %d: unexpected diff %+v", chunk, r)
 			}
 			if r != w {
@@ -292,6 +289,80 @@ func TestSnapshotDiffUnderCommitters(t *testing.T) {
 	wg.Wait()
 	if n := tm.Stats().Aborts[core.AbortSnapshotTooOld]; n != 0 {
 		t.Fatalf("pinned diff walks lost their version %d time(s)", n)
+	}
+}
+
+// TestSnapshotDiffDeleteSuccessorGraft is the regression test for the
+// spurious equal-value DiffChanged the LLRB delete used to emit: deleting
+// an interior node grafts its in-order successor into place by REBUILDING
+// nodes with preserved values, and the old MVCC-only change detection saw
+// the fresh node pointers as rewrites. Every key in a populated map is
+// deleted in its own pin window (so the set of deletions exercises every
+// tree shape, two-child interior deletes included) and each window's diff
+// must contain exactly the one DiffDeleted — zero changed events, equal-
+// value or otherwise. A delete + equal-value reinsert window must emit
+// nothing at all.
+func TestSnapshotDiffDeleteSuccessorGraft(t *testing.T) {
+	const n = 32
+	tm := core.New()
+	m := NewTreeMapOf[int](tm, core.Snapshot)
+	for k := 0; k < n; k++ {
+		if _, err := m.Put(k, 1000+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n; k++ {
+		pOld, err := tm.PinSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Delete(k); err != nil {
+			pOld.Release()
+			t.Fatal(err)
+		}
+		pNew, err := tm.PinSnapshot()
+		if err != nil {
+			pOld.Release()
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 3, 256} {
+			got := collectDiff(t, m, pOld, pNew, chunk)
+			if len(got) != 1 || got[0].kind != DiffDeleted || got[0].key != k || got[0].old != 1000+k {
+				t.Fatalf("delete %d (chunk %d): diff = %+v, want exactly [deleted %d]", k, chunk, got, k)
+			}
+		}
+		pOld.Release()
+		pNew.Release()
+	}
+
+	// Rebuild, then delete + reinsert the same binding inside one pin
+	// window: the node is replaced but the binding is identical, so the
+	// window must diff empty.
+	for k := 0; k < n; k++ {
+		if _, err := m.Put(k, 1000+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pOld, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pOld.Release()
+	for _, k := range []int{5, 13, 21} {
+		if _, err := m.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Put(k, 1000+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pNew, err := tm.PinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pNew.Release()
+	if got := collectDiff(t, m, pOld, pNew, 3); len(got) != 0 {
+		t.Fatalf("delete+equal-reinsert window diff = %+v, want empty", got)
 	}
 }
 
