@@ -12,14 +12,27 @@
 //	persistctl info   <file|dir>...   headers + chain resolution + WAL segments, checksums verified
 //	persistctl verify <file|dir>...   full structural walk of every record (.pmb and .wal)
 //	persistctl compact <dir>          fold the newest chain into one full backup
+//	persistctl clean   <dir>...       remove orphaned checkpoint temp files (.pmb.tmp)
 //
-// Every subcommand exits non-zero on a damaged file: a torn, truncated or
-// bit-flipped chain link is reported as corruption, never ignored. The
-// one sanctioned exception: info (not verify) REPORTS a torn WAL tail —
-// the legitimate residue of a crash — instead of failing on it.
+// Exit codes classify what was found, so scripts can branch on damage
+// severity without parsing output:
+//
+//	0  clean — every file sealed and intact
+//	1  torn tail — truncation-shaped damage only: an intact prefix then
+//	   a record cut off by end of file. The legal residue of a power cut
+//	   or poisoned WAL daemon; recovery replays the intact prefix.
+//	2  corrupt — full-length bytes failing their checksum or structure
+//	   (a bit flip, never a legal crash shape), or an unresolvable chain.
+//	3  operational error — bad usage, missing path, I/O failure.
+//
+// info and verify keep walking after damage and report everything they
+// saw; the exit code reflects the worst finding. Orphaned temp files are
+// reported by both (and removed by clean) but never affect the code —
+// they are inert residue, invisible to every loader.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -30,81 +43,178 @@ import (
 	"repro/internal/persistmap/walsync"
 )
 
+// Exit codes: the damage-severity contract documented above.
+const (
+	exitOK      = 0
+	exitTorn    = 1
+	exitCorrupt = 2
+	exitUsage   = 3
+)
+
 // isWAL reports whether path names a write-ahead-log segment.
 func isWAL(path string) bool { return strings.HasSuffix(path, walsync.Ext) }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "persistctl:", err)
-		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// damage aggregates per-file findings into the exit-code contract.
+type damage struct {
+	torn, corrupt int
+}
+
+func (d *damage) add(k persistmap.DamageKind) {
+	switch k {
+	case persistmap.DamageTorn:
+		d.torn++
+	case persistmap.DamageCorrupt:
+		d.corrupt++
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// classify maps a read/verify error onto the damage taxonomy: torn-tail
+// errors are the legal crash shape, everything else is corruption.
+func classify(err error) persistmap.DamageKind {
+	if err == nil {
+		return persistmap.DamageNone
+	}
+	if errors.Is(err, persistmap.ErrTornTail) {
+		return persistmap.DamageTorn
+	}
+	return persistmap.DamageCorrupt
+}
+
+// result converts the aggregate into the final (code, error) pair.
+func (d *damage) result() (int, error) {
+	switch {
+	case d.corrupt > 0:
+		return exitCorrupt, fmt.Errorf("%d corrupt file(s)", d.corrupt)
+	case d.torn > 0:
+		return exitTorn, fmt.Errorf("%d file(s) with a torn tail", d.torn)
+	default:
+		return exitOK, nil
+	}
+}
+
+func run(args []string, out io.Writer) (int, error) {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: persistctl info|verify|compact <path>...")
+		return exitUsage, fmt.Errorf("usage: persistctl info|verify|compact|clean <path>... (exit: 0 clean, 1 torn tail, 2 corrupt, 3 error)")
 	}
 	cmd, paths := args[0], args[1:]
 	if len(paths) == 0 {
-		return fmt.Errorf("%s: no paths given", cmd)
+		return exitUsage, fmt.Errorf("%s: no paths given", cmd)
 	}
 	switch cmd {
 	case "info":
-		return forEachFile(paths, func(path string) error {
-			if isWAL(path) {
-				wi, err := persistmap.ReadWALInfo(path)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(out, "%s\n", wi)
-				return nil
-			}
-			info, err := persistmap.ReadInfo(path)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "%s: %s\n", path, info)
+		var dmg damage
+		err := forEachFile(paths, func(path string) error {
+			infoFile(out, path, &dmg)
 			return nil
 		}, func(dir string) error {
-			return chainInfo(out, dir)
+			return chainInfo(out, dir, &dmg)
 		})
+		if err != nil {
+			return exitUsage, err
+		}
+		return dmg.result()
 	case "verify":
+		var dmg damage
 		n := 0
 		err := forEachFile(paths, func(path string) error {
-			if isWAL(path) {
-				wi, err := persistmap.VerifyWALSegment(path)
-				if err != nil {
-					return err
-				}
-				n++
-				fmt.Fprintf(out, "%s: ok (wal seq %d, %d record(s))\n", path, wi.Seq, wi.Records)
-				return nil
-			}
-			info, err := persistmap.VerifyFile(path)
-			if err != nil {
-				return err
-			}
 			n++
-			fmt.Fprintf(out, "%s: ok (%s)\n", path, info)
+			verifyFile(out, path, &dmg)
 			return nil
 		}, nil)
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
-		fmt.Fprintf(out, "%d file(s) verified\n", n)
-		return nil
+		fmt.Fprintf(out, "%d file(s) verified, %d torn, %d corrupt\n", n, dmg.torn, dmg.corrupt)
+		return dmg.result()
 	case "compact":
 		for _, dir := range paths {
-			path, err := compactDir(dir)
+			path, err := persistmap.CompactDir(dir)
 			if err != nil {
-				return err
+				if errors.Is(err, persistmap.ErrCorrupt) {
+					return exitCorrupt, err
+				}
+				return exitUsage, err
 			}
 			fmt.Fprintf(out, "%s: compacted to %s\n", dir, filepath.Base(path))
 		}
-		return nil
+		return exitOK, nil
+	case "clean":
+		removed := 0
+		for _, dir := range paths {
+			orphans, err := persistmap.Orphans(dir)
+			if err != nil {
+				return exitUsage, err
+			}
+			for _, o := range orphans {
+				if err := os.Remove(o); err != nil {
+					return exitUsage, err
+				}
+				fmt.Fprintf(out, "removed %s\n", o)
+				removed++
+			}
+		}
+		fmt.Fprintf(out, "%d orphaned temp file(s) removed\n", removed)
+		return exitOK, nil
 	default:
-		return fmt.Errorf("unknown command %q (want info, verify or compact)", cmd)
+		return exitUsage, fmt.Errorf("unknown command %q (want info, verify, compact or clean)", cmd)
 	}
+}
+
+// infoFile prints one file's header line, tolerant of damage: a torn or
+// corrupt file is reported with its classification instead of aborting
+// the listing.
+func infoFile(out io.Writer, path string, dmg *damage) {
+	if isWAL(path) {
+		wi, err := persistmap.ReadWALInfo(path)
+		if err != nil {
+			k := classify(err)
+			dmg.add(k)
+			fmt.Fprintf(out, "%s: %s: %v\n", path, k, err)
+			return
+		}
+		dmg.add(wi.Damage)
+		fmt.Fprintf(out, "%s\n", wi)
+		return
+	}
+	info, err := persistmap.ReadInfo(path)
+	if err != nil {
+		k := classify(err)
+		dmg.add(k)
+		fmt.Fprintf(out, "%s: %s: %v\n", path, k, err)
+		return
+	}
+	fmt.Fprintf(out, "%s: %s\n", path, info)
+}
+
+// verifyFile walks one file strictly and prints its verdict.
+func verifyFile(out io.Writer, path string, dmg *damage) {
+	if isWAL(path) {
+		wi, err := persistmap.VerifyWALSegment(path)
+		if err != nil {
+			k := classify(err)
+			dmg.add(k)
+			fmt.Fprintf(out, "%s: %s: %v\n", path, k, err)
+			return
+		}
+		fmt.Fprintf(out, "%s: ok (wal seq %d, %d record(s))\n", path, wi.Seq, wi.Records)
+		return
+	}
+	info, err := persistmap.VerifyFile(path)
+	if err != nil {
+		k := classify(err)
+		dmg.add(k)
+		fmt.Fprintf(out, "%s: %s: %v\n", path, k, err)
+		return
+	}
+	fmt.Fprintf(out, "%s: ok (%s)\n", path, info)
 }
 
 // forEachFile applies file to every chain file named by paths, expanding
@@ -128,7 +238,7 @@ func forEachFile(paths []string, file func(string) error, onDir func(string) err
 			}
 			continue
 		}
-		infos, err := persistmap.Scan(p)
+		infos, corrupt, err := persistmap.ScanLax(p)
 		if err != nil {
 			return err
 		}
@@ -136,11 +246,16 @@ func forEachFile(paths []string, file func(string) error, onDir func(string) err
 		if err != nil {
 			return err
 		}
-		if len(infos) == 0 && len(segs) == 0 {
+		if len(infos) == 0 && len(corrupt) == 0 && len(segs) == 0 {
 			return fmt.Errorf("%s: no chain or wal files", p)
 		}
 		for _, fi := range infos {
 			if err := file(fi.Path); err != nil {
+				return err
+			}
+		}
+		for _, cf := range corrupt {
+			if err := file(cf.Path); err != nil {
 				return err
 			}
 		}
@@ -154,9 +269,11 @@ func forEachFile(paths []string, file func(string) error, onDir func(string) err
 }
 
 // chainInfo prints every chain file in dir plus the resolved newest chain,
-// then any WAL segments ordering past the chain's end.
-func chainInfo(out io.Writer, dir string) error {
-	infos, err := persistmap.Scan(dir)
+// then any WAL segments ordering past the chain's end, then orphaned temp
+// files. Damaged files are reported in place; resolution runs over the
+// readable ones (the same fallback Replay uses).
+func chainInfo(out io.Writer, dir string, dmg *damage) error {
+	infos, corrupt, err := persistmap.ScanLax(dir)
 	if err != nil {
 		return err
 	}
@@ -164,38 +281,47 @@ func chainInfo(out io.Writer, dir string) error {
 	if err != nil {
 		return err
 	}
-	if len(infos) == 0 && len(segs) == 0 {
+	if len(infos) == 0 && len(corrupt) == 0 && len(segs) == 0 {
 		return fmt.Errorf("%s: no chain or wal files", dir)
 	}
 	for _, fi := range infos {
 		fmt.Fprintf(out, "%s: %s\n", fi.Path, fi)
 	}
+	for _, cf := range corrupt {
+		dmg.add(persistmap.DamageCorrupt)
+		fmt.Fprintf(out, "%s: corrupt: %v\n", cf.Path, cf.Err)
+	}
 	if len(infos) > 0 {
 		chain, err := persistmap.ResolveChain(infos)
 		if err != nil {
-			return fmt.Errorf("chain: %w", err)
+			dmg.corrupt++
+			fmt.Fprintf(out, "chain: UNRESOLVABLE: %v\n", err)
+		} else {
+			names := make([]string, len(chain))
+			for i, fi := range chain {
+				names[i] = filepath.Base(fi.Path)
+			}
+			fmt.Fprintf(out, "chain: %s (ends at version %d, %d link(s))\n",
+				strings.Join(names, " → "), chain[len(chain)-1].Version, len(chain))
 		}
-		names := make([]string, len(chain))
-		for i, fi := range chain {
-			names[i] = filepath.Base(fi.Path)
-		}
-		fmt.Fprintf(out, "chain: %s (ends at version %d, %d link(s))\n",
-			strings.Join(names, " → "), chain[len(chain)-1].Version, len(chain))
 	}
 	for _, sg := range segs {
 		wi, err := persistmap.ReadWALInfo(sg.Path)
 		if err != nil {
-			return err
+			k := classify(err)
+			dmg.add(k)
+			fmt.Fprintf(out, "%s: %s: %v\n", sg.Path, k, err)
+			continue
 		}
+		dmg.add(wi.Damage)
 		fmt.Fprintf(out, "%s\n", wi)
 	}
+	orphans, err := persistmap.Orphans(dir)
+	if err != nil {
+		return err
+	}
+	for _, o := range orphans {
+		fmt.Fprintf(out, "%s: orphaned temp file (persistctl clean removes it)\n", o)
+	}
 	return nil
-}
-
-// compactDir folds dir's newest chain into one full backup. Records are
-// carried as opaque bytes (persistmap.CompactDir), so compaction is
-// lossless for every codec — built-in or custom — and never re-encodes a
-// value.
-func compactDir(dir string) (string, error) {
-	return persistmap.CompactDir(dir)
 }

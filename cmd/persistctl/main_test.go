@@ -12,6 +12,15 @@ import (
 	"repro/internal/persistmap/walsync"
 )
 
+// mustRun asserts a clean (exit 0) invocation.
+func mustRun(t *testing.T, args []string, out *strings.Builder) {
+	t.Helper()
+	code, err := run(args, out)
+	if code != exitOK || err != nil {
+		t.Fatalf("%v: code %d, err %v\n%s", args, code, err, out.String())
+	}
+}
+
 // writeChain builds a real full+2-diff chain in dir and returns the final
 // expected state.
 func writeChain(t *testing.T, dir string) map[int]int {
@@ -79,9 +88,7 @@ func TestInfoVerifyCompact(t *testing.T) {
 	want := writeChain(t, dir)
 
 	var out strings.Builder
-	if err := run([]string{"info", dir}, &out); err != nil {
-		t.Fatalf("info: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"info", dir}, &out)
 	for _, frag := range []string{"full", "diff", "chain:", "codec=int"} {
 		if !strings.Contains(out.String(), frag) {
 			t.Fatalf("info output lacks %q:\n%s", frag, out.String())
@@ -89,17 +96,13 @@ func TestInfoVerifyCompact(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"verify", dir}, &out); err != nil {
-		t.Fatalf("verify: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"verify", dir}, &out)
 	if !strings.Contains(out.String(), "3 file(s) verified") {
 		t.Fatalf("verify output:\n%s", out.String())
 	}
 
 	out.Reset()
-	if err := run([]string{"compact", dir}, &out); err != nil {
-		t.Fatalf("compact: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"compact", dir}, &out)
 	infos, err := persistmap.Scan(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -142,14 +145,20 @@ func TestVerifyRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{"verify", filepath.Clean(victim)}, &out); err == nil {
-		t.Fatalf("verify accepted a bit-flipped file:\n%s", out.String())
+	if code, _ := run([]string{"verify", filepath.Clean(victim)}, &out); code != exitCorrupt {
+		t.Fatalf("verify of a bit-flipped file: code %d, want %d:\n%s", code, exitCorrupt, out.String())
 	}
-	if err := run([]string{"info", dir}, &out); err == nil {
-		t.Fatal("info accepted a directory with a bit-flipped file")
+	// info keeps rendering the directory — resolution falls back around
+	// the damaged diff — but the exit code must still say corrupt.
+	out.Reset()
+	if code, _ := run([]string{"info", dir}, &out); code != exitCorrupt {
+		t.Fatalf("info on a dir with a bit-flipped file: code %d, want %d:\n%s", code, exitCorrupt, out.String())
 	}
-	if err := run([]string{"compact", dir}, &out); err == nil {
-		t.Fatal("compact accepted a directory with a bit-flipped file")
+	if !strings.Contains(out.String(), "corrupt") {
+		t.Fatalf("info does not name the damage:\n%s", out.String())
+	}
+	if code, err := run([]string{"compact", dir}, &out); code != exitCorrupt || err == nil {
+		t.Fatalf("compact on a dir with a bit-flipped diff: code %d (err %v), want %d", code, err, exitCorrupt)
 	}
 }
 
@@ -183,8 +192,9 @@ func writeWAL(t *testing.T, dir string) {
 
 // TestWALInfoVerify covers the tool's write-ahead-log face: info and
 // verify must pick up .wal segments alongside the chain, a WAL-only
-// directory is not an error, and a bit-flipped sealed segment fails
-// verify while info still renders it (torn, not fatal).
+// directory is not an error, and a bit-flipped sealed segment is
+// classified corrupt (exit 2) by both — full-length damage is never the
+// torn shape.
 func TestWALInfoVerify(t *testing.T) {
 	dir := t.TempDir()
 	writeChain(t, dir)
@@ -198,9 +208,7 @@ func TestWALInfoVerify(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := run([]string{"info", dir}, &out); err != nil {
-		t.Fatalf("info: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"info", dir}, &out)
 	for _, frag := range []string{"chain:", "wal seq", "codec=int"} {
 		if !strings.Contains(out.String(), frag) {
 			t.Fatalf("info output lacks %q:\n%s", frag, out.String())
@@ -208,9 +216,7 @@ func TestWALInfoVerify(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"verify", dir}, &out); err != nil {
-		t.Fatalf("verify: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"verify", dir}, &out)
 	want := fmt.Sprintf("%d file(s) verified", 3+len(segs))
 	if !strings.Contains(out.String(), want) {
 		t.Fatalf("verify output lacks %q:\n%s", want, out.String())
@@ -220,16 +226,14 @@ func TestWALInfoVerify(t *testing.T) {
 	walOnly := t.TempDir()
 	writeWAL(t, walOnly)
 	out.Reset()
-	if err := run([]string{"info", walOnly}, &out); err != nil {
-		t.Fatalf("info on wal-only dir: %v\n%s", err, out.String())
-	}
+	mustRun(t, []string{"info", walOnly}, &out)
 	if strings.Contains(out.String(), "chain:") {
 		t.Fatalf("wal-only dir claims a chain:\n%s", out.String())
 	}
 
-	// Flip a byte inside the oldest sealed segment: verify must reject
-	// it, info must still render the directory (reporting the damage as
-	// a torn segment rather than failing).
+	// Flip a byte inside the oldest sealed segment: full-length damage,
+	// so both verify and info must exit 2 — info still rendering the
+	// rest of the directory on the way.
 	data, err := os.ReadFile(segs[0].Path)
 	if err != nil {
 		t.Fatal(err)
@@ -239,24 +243,130 @@ func TestWALInfoVerify(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"verify", dir}, &out); err == nil {
-		t.Fatalf("verify accepted a bit-flipped wal segment:\n%s", out.String())
+	if code, _ := run([]string{"verify", dir}, &out); code != exitCorrupt {
+		t.Fatalf("verify of a bit-flipped wal segment: code %d, want %d:\n%s", code, exitCorrupt, out.String())
 	}
 	out.Reset()
-	if err := run([]string{"info", dir}, &out); err != nil {
-		t.Fatalf("info after wal flip: %v\n%s", err, out.String())
+	if code, _ := run([]string{"info", dir}, &out); code != exitCorrupt {
+		t.Fatalf("info after wal flip: code %d, want %d:\n%s", code, exitCorrupt, out.String())
 	}
-	if !strings.Contains(out.String(), "torn") {
+	if !strings.Contains(out.String(), "corrupt") {
 		t.Fatalf("info output does not flag the damaged segment:\n%s", out.String())
 	}
 }
 
+// TestExitCodeTable drives every damage scenario through the CLI and pins
+// the documented exit-code contract: 0 clean, 1 torn tail, 2 corrupt
+// (dominating torn), 3 operational.
+func TestExitCodeTable(t *testing.T) {
+	build := func(t *testing.T, torn, corrupt bool) string {
+		t.Helper()
+		dir := t.TempDir()
+		writeChain(t, dir)
+		writeWAL(t, dir)
+		segs, err := walsync.ScanSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn {
+			// Cut the newest segment mid-record: the legal crash shape.
+			last := segs[len(segs)-1].Path
+			data, err := os.ReadFile(last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(last, data[:len(data)-2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if corrupt {
+			data, err := os.ReadFile(segs[0].Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-2] ^= 0x40
+			if err := os.WriteFile(segs[0].Path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	cases := []struct {
+		name          string
+		torn, corrupt bool
+		want          int
+	}{
+		{"clean", false, false, exitOK},
+		{"torn-tail", true, false, exitTorn},
+		{"corrupt", false, true, exitCorrupt},
+		{"torn-and-corrupt", true, true, exitCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := build(t, tc.torn, tc.corrupt)
+			for _, cmd := range []string{"info", "verify"} {
+				var out strings.Builder
+				code, err := run([]string{cmd, dir}, &out)
+				if code != tc.want {
+					t.Fatalf("%s: code %d (err %v), want %d\n%s", cmd, code, err, tc.want, out.String())
+				}
+				if (err != nil) != (tc.want != exitOK) {
+					t.Fatalf("%s: err %v inconsistent with code %d", cmd, err, code)
+				}
+			}
+		})
+	}
+	t.Run("operational", func(t *testing.T) {
+		var out strings.Builder
+		if code, err := run([]string{"info", filepath.Join(t.TempDir(), "nope")}, &out); code != exitUsage || err == nil {
+			t.Fatalf("missing path: code %d, err %v, want %d", code, err, exitUsage)
+		}
+	})
+}
+
+// TestCleanRemovesOrphans: an interrupted checkpoint's temp file is
+// reported by info and removed by clean; the chain is untouched.
+func TestCleanRemovesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	writeChain(t, dir)
+	orphan := filepath.Join(dir, "zz-interrupted.pmb.tmp")
+	if err := os.WriteFile(orphan, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	mustRun(t, []string{"info", dir}, &out)
+	if !strings.Contains(out.String(), "orphaned temp file") {
+		t.Fatalf("info does not report the orphan:\n%s", out.String())
+	}
+
+	out.Reset()
+	mustRun(t, []string{"clean", dir}, &out)
+	if !strings.Contains(out.String(), "1 orphaned temp file(s) removed") {
+		t.Fatalf("clean output:\n%s", out.String())
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan still present after clean (stat err %v)", err)
+	}
+	// Idempotent, and the chain still loads.
+	out.Reset()
+	mustRun(t, []string{"clean", dir}, &out)
+	if !strings.Contains(out.String(), "0 orphaned temp file(s) removed") {
+		t.Fatalf("second clean output:\n%s", out.String())
+	}
+	out.Reset()
+	mustRun(t, []string{"verify", dir}, &out)
+}
+
 func TestUnknownCommand(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"frobnicate", "x"}, &out); err == nil {
-		t.Fatal("unknown command accepted")
+	if code, err := run([]string{"frobnicate", "x"}, &out); code != exitUsage || err == nil {
+		t.Fatalf("unknown command: code %d, err %v", code, err)
 	}
-	if err := run([]string{"info"}, &out); err == nil {
-		t.Fatal("info with no paths accepted")
+	if code, err := run([]string{"info"}, &out); code != exitUsage || err == nil {
+		t.Fatalf("info with no paths: code %d, err %v", code, err)
+	}
+	if code, err := run(nil, &out); code != exitUsage || err == nil {
+		t.Fatalf("no args: code %d, err %v", code, err)
 	}
 }

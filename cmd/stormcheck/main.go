@@ -12,13 +12,17 @@
 //	           [-workers 4] [-ops 200] [-keys 32] [-seed 1]
 //	           [-mix 60,25,15] [-duration 0] [-chaos 10] [-window 2]
 //	           [-clock gv1|gvpass|gvsharded|all]
-//	           [-explore] [-shrink] [-selftest-corrupt] [-v]
+//	           [-explore] [-crashpoints] [-shrink] [-selftest-corrupt] [-v]
 //
 // -mix weighs classic,elastic,snapshot. -duration overrides -ops with a
 // wall-clock bound. -clock selects the commit-versioning scheme under test
 // ('all' sweeps every scheme — storms and explorer alike — so relaxed
 // clocks are held to the same guarantees as the default). -explore
-// additionally runs the exhaustive tiny-interleaving suite. -shrink, on a
+// additionally runs the exhaustive tiny-interleaving suite. -crashpoints
+// runs the exhaustive crash-point exploration: a seeded durable-WAL +
+// checkpoint run is recorded op by op, then a power cut is simulated at
+// EVERY filesystem operation boundary (plus torn-write variants) and
+// recovery must restore an exact acked commit prefix. -shrink, on a
 // failing storm, bisects the per-worker op sequences to a minimal
 // still-failing schedule and prints it (plus its explorer-ready tiny
 // case). -selftest-corrupt records the storm through a
@@ -63,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		window   = fs.Int("window", 2, "elastic window size")
 		clockSch = fs.String("clock", "gv1", "clock scheme under test, or 'all'")
 		explore  = fs.Bool("explore", false, "also run the exhaustive tiny-interleaving suite")
+		crashpts = fs.Bool("crashpoints", false, "also run the exhaustive crash-point (power cut per fs op) exploration")
 		corrupt  = fs.Bool("selftest-corrupt", false, "record through a broken recorder; the run must fail")
 		shrink   = fs.Bool("shrink", false, "on a failing storm, bisect to a minimal failing schedule")
 		verbose  = fs.Bool("v", false, "print per-violation detail")
@@ -148,6 +153,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *crashpts {
+		for _, scheme := range schemes {
+			if err := runCrashPoints(out, scheme, *seed); err != nil {
+				return err
+			}
+		}
+	}
+
 	if *corrupt {
 		if failures == 0 {
 			return fmt.Errorf("selftest: the corrupted history passed the checker")
@@ -186,6 +199,24 @@ func runExplore(out io.Writer, scheme clock.Scheme) error {
 		return fmt.Errorf("%d tiny case(s) failed exhaustive exploration under %s", failed, scheme)
 	}
 	return nil
+}
+
+func runCrashPoints(out io.Writer, scheme clock.Scheme, seed uint64) error {
+	start := time.Now()
+	rep, err := storm.ExploreCrashPoints(scheme.String(), storm.CrashPointConfig{Seed: int64(seed)},
+		core.WithClockScheme(scheme))
+	if err != nil {
+		return err
+	}
+	status := "ok"
+	rerr := rep.Err()
+	if rerr != nil {
+		status = "FAILED: " + rerr.Error()
+	}
+	fmt.Fprintf(out, "crashpoints [%s] %d commits, %d boundaries, %d crash images in %v — %s\n",
+		scheme, rep.Commits, rep.Boundaries, rep.Images,
+		time.Since(start).Round(time.Millisecond), status)
+	return rerr
 }
 
 // parseMix parses "classic,elastic,snapshot" weights.

@@ -51,6 +51,18 @@ func TestExploreFlag(t *testing.T) {
 	}
 }
 
+// TestCrashPointsFlag runs the exhaustive crash-point exploration through
+// the CLI surface CI invokes.
+func TestCrashPointsFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "cells", "-ops", "40", "-crashpoints"}, &sb); err != nil {
+		t.Fatalf("crashpoints run failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "crashpoints [gv1]") || !strings.Contains(sb.String(), "— ok") {
+		t.Fatalf("crashpoints output missing its summary line:\n%s", sb.String())
+	}
+}
+
 // TestBadFlags covers the config-error paths.
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{

@@ -1,0 +1,146 @@
+package faultfs
+
+// Crash-image construction: replay a prefix of the recorded mutation
+// trace into a fresh disk model, then apply strict-POSIX power-cut
+// semantics — a directory keeps only its synced entry set, a file keeps
+// only the bytes covered by its last successful Sync, and (optionally) a
+// torn prefix of the bytes written since then survives on the file that
+// was written last. The result is a read-ready *FaultFS with no injector
+// that Replay can load like a real post-crash disk.
+
+// CrashImage simulates a power cut at boundary k of the recorded trace
+// (after trace op k-1, before op k; k ranges 0..Ops()). torn is how many
+// unsynced bytes of the most recently written surviving file additionally
+// make it to the platter (clamped; 0 = strict sync-only semantics).
+//
+// It returns the post-crash filesystem and the number of torn bytes that
+// were AVAILABLE at this boundary, so an explorer can enumerate torn
+// variants: call once with torn=0, read avail, re-call for each variant.
+func (f *FaultFS) CrashImage(k, torn int) (*FaultFS, int) {
+	f.mu.Lock()
+	prefix := append([]TraceOp(nil), f.trace[:min(k, len(f.trace))]...)
+	f.mu.Unlock()
+
+	// Stage 1: replay the prefix into a fresh model, reproducing each
+	// op's recorded EFFECTIVE outcome (short writes landed their prefix,
+	// failed syncs dropped their dirty bytes).
+	img := New(nil)
+	var lastWrite string
+	for _, op := range prefix {
+		switch op.Kind {
+		case OpMkdir:
+			img.mkdirAllLocked(op.Path)
+		case OpCreate:
+			if !op.Ok {
+				continue
+			}
+			dir, base := split(op.Path)
+			if d := img.dir(dir); d != nil {
+				d.live[base] = &fileNode{}
+			}
+		case OpWrite:
+			// Recorded for failed writes too: Data holds the landed
+			// prefix. The node must exist (a create preceded), but be
+			// lenient so a stray trace doesn't panic the explorer.
+			if node := img.liveNode(op.Path); node != nil {
+				node.data = append(node.data, op.Data...)
+				lastWrite = op.Path
+			}
+		case OpSync:
+			node := img.liveNode(op.Path)
+			if node == nil {
+				continue
+			}
+			if op.Ok {
+				node.synced = append([]byte(nil), node.data...)
+			} else {
+				// fsyncgate: the dirty bytes were dropped by the kernel.
+				node.data = append([]byte(nil), node.synced...)
+			}
+		case OpTruncate:
+			if !op.Ok {
+				continue
+			}
+			if node := img.liveNode(op.Path); node != nil {
+				applyTruncate(node, op.Size)
+			}
+		case OpRename:
+			if !op.Ok {
+				continue
+			}
+			odir, obase := split(op.Path)
+			ndir, nbase := split(op.To)
+			od, nd := img.dir(odir), img.dir(ndir)
+			if od == nil || nd == nil || od.live[obase] == nil {
+				continue
+			}
+			nd.live[nbase] = od.live[obase]
+			delete(od.live, obase)
+		case OpRemove:
+			if !op.Ok {
+				continue
+			}
+			dir, base := split(op.Path)
+			if d := img.dir(dir); d != nil {
+				delete(d.live, base)
+			}
+		case OpSyncDir:
+			if !op.Ok {
+				continue
+			}
+			d := img.dir(cleanPath(op.Path))
+			if d == nil {
+				continue
+			}
+			d.synced = make(map[string]*fileNode, len(d.live))
+			for k, v := range d.live {
+				d.synced[k] = v
+			}
+		}
+	}
+
+	// Stage 2: the power cut. Directories revert to their synced entry
+	// sets; every surviving file reverts to its synced bytes.
+	//
+	// A node can be reachable through several entries (rename syncs
+	// pending); survivors are collected first so each node is cut once.
+	survivors := map[*fileNode]bool{}
+	for _, d := range img.dirs {
+		d.live = make(map[string]*fileNode, len(d.synced))
+		for name, node := range d.synced {
+			d.live[name] = node
+			survivors[node] = true
+		}
+	}
+
+	// Torn suffix: the last-written file, if it survives, may carry a
+	// prefix of its unsynced tail.
+	avail := 0
+	var tornNode *fileNode
+	if lastWrite != "" {
+		if node := img.liveNode(lastWrite); node != nil && survivors[node] {
+			if tail := len(node.data) - len(node.synced); tail > 0 {
+				avail, tornNode = tail, node
+			}
+		}
+	}
+	for node := range survivors {
+		keep := len(node.synced)
+		if node == tornNode {
+			keep += min(max(torn, 0), avail)
+		}
+		node.data = append([]byte(nil), node.data[:min(keep, len(node.data))]...)
+		node.synced = append([]byte(nil), node.data...)
+	}
+	return img, avail
+}
+
+// liveNode resolves a path to its live file node, or nil.
+func (f *FaultFS) liveNode(path string) *fileNode {
+	dir, base := split(path)
+	d := f.dir(dir)
+	if d == nil {
+		return nil
+	}
+	return d.live[base]
+}

@@ -1,0 +1,489 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sync"
+)
+
+// Injected fault errors. They deliberately avoid syscall constants so
+// matching with errors.Is is platform-independent; call sites treat them
+// exactly like the real ENOSPC/EIO they stand in for.
+var (
+	// ErrNoSpace is an injected "no space left on device".
+	ErrNoSpace = errors.New("faultfs: injected ENOSPC")
+	// ErrIO is an injected "input/output error".
+	ErrIO = errors.New("faultfs: injected EIO")
+)
+
+// OpKind names one recorded (and injectable) filesystem mutation.
+type OpKind uint8
+
+const (
+	// OpMkdir is recorded (crash replay needs the directories) but never
+	// injected: directory creation happens at setup, not on hot paths.
+	OpMkdir OpKind = iota
+	// OpCreate opens a file for writing (truncating or exclusive).
+	OpCreate
+	// OpWrite appends bytes to an open file.
+	OpWrite
+	// OpSync fsyncs a file's written bytes.
+	OpSync
+	// OpTruncate cuts a file to a given size.
+	OpTruncate
+	// OpRename atomically replaces one directory entry with another.
+	OpRename
+	// OpRemove unlinks a file.
+	OpRemove
+	// OpSyncDir fsyncs a directory's entries.
+	OpSyncDir
+)
+
+// String names the op for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpMkdir:
+		return "mkdir"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return "op?"
+	}
+}
+
+// Fault is one injected failure verdict.
+type Fault struct {
+	// Err is the error the operation returns (ErrNoSpace, ErrIO, ...).
+	Err error
+	// Short, for writes, is how many bytes still land in the page cache
+	// before the error — the short-write model. Ignored by other ops.
+	Short int
+}
+
+// Injector decides, per fallible operation, whether it fails. n is the
+// index of the operation in the FS's fallible-op stream (0-based,
+// deterministic for a deterministic caller), op and path identify it.
+// Returning nil lets the operation through.
+type Injector interface {
+	Fault(n int, op OpKind, path string) *Fault
+}
+
+// failOp fails exactly the n-th fallible operation.
+type failOp struct {
+	n int
+	f Fault
+}
+
+// FailOp returns an Injector that fails exactly the n-th fallible
+// operation (0-based) with f — the table-test workhorse: count a clean
+// run's ops, then fail each index in turn.
+func FailOp(n int, f Fault) Injector { return &failOp{n: n, f: f} }
+
+func (i *failOp) Fault(n int, op OpKind, path string) *Fault {
+	if n != i.n {
+		return nil
+	}
+	f := i.f
+	return &f
+}
+
+// seeded fails each fallible op with a fixed probability, picking the
+// failure mode pseudo-randomly.
+type seeded struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	perMille int
+}
+
+// NewSeededInjector returns an Injector that fails each fallible
+// operation with probability perMille/1000, choosing uniformly among
+// ENOSPC, EIO and a half-length short write. The same seed over the same
+// operation stream replays the same schedule.
+func NewSeededInjector(seed uint64, perMille int) Injector {
+	return &seeded{rng: rand.New(rand.NewSource(int64(seed))), perMille: perMille}
+}
+
+func (s *seeded) Fault(n int, op OpKind, path string) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng.Intn(1000) >= s.perMille {
+		return nil
+	}
+	switch s.rng.Intn(3) {
+	case 0:
+		return &Fault{Err: ErrNoSpace}
+	case 1:
+		return &Fault{Err: ErrIO}
+	default:
+		return &Fault{Err: ErrNoSpace, Short: -1} // -1: half the write, resolved at the site
+	}
+}
+
+// TraceOp is one recorded mutation — enough to replay the disk history
+// into a fresh model. Failed operations are recorded too, with their
+// EFFECTIVE outcome (a short write's landed prefix, a failed sync's
+// dropped dirty bytes), so a crash image reflects what the page cache and
+// platter really held.
+type TraceOp struct {
+	Kind OpKind
+	Path string
+	// To is the rename target.
+	To string
+	// Data is the bytes a write landed in the page cache (already cut to
+	// the short-write length when the write failed partway).
+	Data []byte
+	// Size is the truncate target size.
+	Size int64
+	// Excl marks an exclusive create.
+	Excl bool
+	// Ok reports whether the operation succeeded. A failed OpSync is the
+	// fsyncgate event: its dirty bytes were dropped, not kept.
+	Ok bool
+}
+
+// fileNode is one in-memory file: the page-cache view (data) and the
+// bytes a crash would preserve (synced — content as of the last
+// successful fsync).
+type fileNode struct {
+	data   []byte
+	synced []byte
+}
+
+// dirNode is one directory: live entries and the entry set as of the last
+// successful directory sync. A crash reverts to the synced set.
+type dirNode struct {
+	live   map[string]*fileNode
+	synced map[string]*fileNode
+}
+
+func newDirNode() *dirNode {
+	return &dirNode{live: map[string]*fileNode{}, synced: map[string]*fileNode{}}
+}
+
+// FaultFS is the injecting, recording, in-memory FS. Safe for concurrent
+// use; every mutation serializes on one mutex (the model is a test
+// instrument, not a hot path).
+type FaultFS struct {
+	mu       sync.Mutex
+	dirs     map[string]*dirNode
+	inj      Injector
+	trace    []TraceOp
+	fallible int
+	// lastWrite tracks the file of the most recent write, for the torn-
+	// suffix crash variant.
+	lastWrite string
+}
+
+// New returns an empty FaultFS injecting per inj (nil: no faults).
+func New(inj Injector) *FaultFS {
+	return &FaultFS{dirs: map[string]*dirNode{}, inj: inj}
+}
+
+// SetInjector swaps the fault schedule — arm faults after a clean setup.
+func (f *FaultFS) SetInjector(inj Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inj = inj
+}
+
+// Ops returns the number of recorded mutations: the crash-point explorer
+// iterates boundaries 0..Ops().
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.trace)
+}
+
+// Fallible returns how many fallible operations have run — the index
+// space FailOp addresses.
+func (f *FaultFS) Fallible() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fallible
+}
+
+// Trace returns a copy of the recorded mutation trace.
+func (f *FaultFS) Trace() []TraceOp {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]TraceOp(nil), f.trace...)
+}
+
+// decide consults the injector for the next fallible op. Callers hold mu.
+func (f *FaultFS) decide(op OpKind, path string, writeLen int) *Fault {
+	n := f.fallible
+	f.fallible++
+	if f.inj == nil {
+		return nil
+	}
+	ft := f.inj.Fault(n, op, path)
+	if ft != nil && op == OpWrite && ft.Short < 0 {
+		ft.Short = writeLen / 2
+	}
+	return ft
+}
+
+// record appends one trace op. Callers hold mu.
+func (f *FaultFS) record(op TraceOp) { f.trace = append(f.trace, op) }
+
+// dir returns the dirNode for a cleaned dir path. Callers hold mu.
+func (f *FaultFS) dir(path string) *dirNode { return f.dirs[path] }
+
+// MkdirAll implements FS. Never injected; recorded so crash replays have
+// the directories.
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkdirAllLocked(dir)
+	f.record(TraceOp{Kind: OpMkdir, Path: dir, Ok: true})
+	return nil
+}
+
+func (f *FaultFS) mkdirAllLocked(dir string) {
+	dir = cleanPath(dir)
+	for p := dir; ; {
+		if f.dirs[p] == nil {
+			f.dirs[p] = newDirNode()
+		}
+		parent := parentOf(p)
+		if parent == p {
+			break
+		}
+		p = parent
+	}
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string, excl bool) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, base := split(name)
+	d := f.dir(dir)
+	if d == nil {
+		return nil, notExist("create", name)
+	}
+	if excl && d.live[base] != nil {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrExist}
+	}
+	if ft := f.decide(OpCreate, name, 0); ft != nil {
+		f.record(TraceOp{Kind: OpCreate, Path: name, Excl: excl})
+		return nil, pathErr("create", name, ft.Err)
+	}
+	node := &fileNode{}
+	d.live[base] = node
+	f.record(TraceOp{Kind: OpCreate, Path: name, Excl: excl, Ok: true})
+	return &memFile{fs: f, path: name, node: node, writable: true}, nil
+}
+
+// Open implements FS: read-only, reads the page-cache view. Reads are
+// neither injected nor recorded — the fault surface is the write path.
+func (f *FaultFS) Open(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, base := split(name)
+	d := f.dir(dir)
+	if d == nil || d.live[base] == nil {
+		return nil, notExist("open", name)
+	}
+	return &memFile{fs: f, path: name, node: d.live[base]}, nil
+}
+
+// Rename implements FS. The live entry moves immediately; durability
+// waits for SyncDir.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	odir, obase := split(oldname)
+	ndir, nbase := split(newname)
+	od, nd := f.dir(odir), f.dir(ndir)
+	if od == nil || od.live[obase] == nil || nd == nil {
+		return notExist("rename", oldname)
+	}
+	if ft := f.decide(OpRename, oldname, 0); ft != nil {
+		f.record(TraceOp{Kind: OpRename, Path: oldname, To: newname})
+		return pathErr("rename", oldname, ft.Err)
+	}
+	nd.live[nbase] = od.live[obase]
+	delete(od.live, obase)
+	f.record(TraceOp{Kind: OpRename, Path: oldname, To: newname, Ok: true})
+	return nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, base := split(name)
+	d := f.dir(dir)
+	if d == nil || d.live[base] == nil {
+		return notExist("remove", name)
+	}
+	if ft := f.decide(OpRemove, name, 0); ft != nil {
+		f.record(TraceOp{Kind: OpRemove, Path: name})
+		return pathErr("remove", name, ft.Err)
+	}
+	delete(d.live, base)
+	f.record(TraceOp{Kind: OpRemove, Path: name, Ok: true})
+	return nil
+}
+
+// ReadDir implements FS: live file names, sorted.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := f.dir(cleanPath(dir))
+	if d == nil {
+		return nil, notExist("readdir", dir)
+	}
+	return sortedKeys(d.live), nil
+}
+
+// SyncDir implements FS: the live entry set becomes the crash-durable
+// one. A failed SyncDir leaves the pending entries pending (they are not
+// dropped — fsyncgate is a page-cache phenomenon, entries simply stay
+// volatile).
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := f.dir(cleanPath(dir))
+	if d == nil {
+		return notExist("syncdir", dir)
+	}
+	if ft := f.decide(OpSyncDir, dir, 0); ft != nil {
+		f.record(TraceOp{Kind: OpSyncDir, Path: dir})
+		return pathErr("syncdir", dir, ft.Err)
+	}
+	d.synced = make(map[string]*fileNode, len(d.live))
+	for k, v := range d.live {
+		d.synced[k] = v
+	}
+	f.record(TraceOp{Kind: OpSyncDir, Path: dir, Ok: true})
+	return nil
+}
+
+// memFile is one open handle on a FaultFS file. Writes append (the
+// durability stack only ever appends or rewrites whole files); reads walk
+// the page-cache view.
+type memFile struct {
+	fs       *FaultFS
+	path     string
+	node     *fileNode
+	writable bool
+	readOff  int
+	closed   bool
+}
+
+func (m *memFile) Read(p []byte) (int, error) {
+	m.fs.mu.Lock()
+	defer m.fs.mu.Unlock()
+	if m.closed {
+		return 0, fs.ErrClosed
+	}
+	if m.readOff >= len(m.node.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.node.data[m.readOff:])
+	m.readOff += n
+	return n, nil
+}
+
+// Write appends to the page cache. An injected fault lands Short bytes
+// first, then fails — the short-write model.
+func (m *memFile) Write(p []byte) (int, error) {
+	m.fs.mu.Lock()
+	defer m.fs.mu.Unlock()
+	if m.closed || !m.writable {
+		return 0, fs.ErrClosed
+	}
+	if ft := m.fs.decide(OpWrite, m.path, len(p)); ft != nil {
+		short := min(ft.Short, len(p))
+		m.node.data = append(m.node.data, p[:short]...)
+		m.fs.lastWrite = m.path
+		m.fs.record(TraceOp{Kind: OpWrite, Path: m.path, Data: append([]byte(nil), p[:short]...)})
+		return short, pathErr("write", m.path, ft.Err)
+	}
+	m.node.data = append(m.node.data, p...)
+	m.fs.lastWrite = m.path
+	m.fs.record(TraceOp{Kind: OpWrite, Path: m.path, Data: append([]byte(nil), p...), Ok: true})
+	return len(p), nil
+}
+
+// Sync flushes the page cache to the platter — or, on an injected
+// failure, models fsyncgate: the DIRTY BYTES ARE DROPPED. The synced
+// content stays what it was, the page-cache view reverts to it, and a
+// retried Sync reports success over the lost data. Callers that retry
+// and ack are exactly the bug this model exists to expose.
+func (m *memFile) Sync() error {
+	m.fs.mu.Lock()
+	defer m.fs.mu.Unlock()
+	if m.closed {
+		return fs.ErrClosed
+	}
+	if ft := m.fs.decide(OpSync, m.path, 0); ft != nil {
+		m.node.data = append([]byte(nil), m.node.synced...)
+		m.fs.record(TraceOp{Kind: OpSync, Path: m.path})
+		return pathErr("sync", m.path, ft.Err)
+	}
+	m.node.synced = append([]byte(nil), m.node.data...)
+	m.fs.record(TraceOp{Kind: OpSync, Path: m.path, Ok: true})
+	return nil
+}
+
+func (m *memFile) Truncate(size int64) error {
+	m.fs.mu.Lock()
+	defer m.fs.mu.Unlock()
+	if m.closed || !m.writable {
+		return fs.ErrClosed
+	}
+	if ft := m.fs.decide(OpTruncate, m.path, 0); ft != nil {
+		m.fs.record(TraceOp{Kind: OpTruncate, Path: m.path, Size: size})
+		return pathErr("truncate", m.path, ft.Err)
+	}
+	applyTruncate(m.node, size)
+	m.fs.record(TraceOp{Kind: OpTruncate, Path: m.path, Size: size, Ok: true})
+	return nil
+}
+
+// Close is never injected and not recorded: it has no durability effect.
+func (m *memFile) Close() error {
+	m.fs.mu.Lock()
+	defer m.fs.mu.Unlock()
+	if m.closed {
+		return fs.ErrClosed
+	}
+	m.closed = true
+	return nil
+}
+
+func applyTruncate(n *fileNode, size int64) {
+	if int64(len(n.data)) > size {
+		n.data = n.data[:size]
+	}
+	for int64(len(n.data)) < size {
+		n.data = append(n.data, 0)
+	}
+}
+
+func cleanPath(p string) string {
+	if p == "" {
+		return "."
+	}
+	return filepath.Clean(p)
+}
+
+func parentOf(p string) string { return filepath.Dir(p) }

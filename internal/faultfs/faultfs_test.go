@@ -1,0 +1,244 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// mustWrite writes p through f, failing the test on error.
+func mustWrite(t *testing.T, f File, p []byte) {
+	t.Helper()
+	if n, err := f.Write(p); err != nil || n != len(p) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) []byte {
+	t.Helper()
+	b, err := ReadFile(fsys, name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+// TestFsyncgate is the model's reason to exist: a failed fsync DROPS the
+// dirty bytes, and a retried fsync reports success over the lost data.
+func TestFsyncgate(t *testing.T) {
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("durable."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Arm: next fallible op (the write) passes, the sync after it fails.
+	ffs.SetInjector(FailOp(ffs.Fallible()+1, Fault{Err: ErrIO}))
+	mustWrite(t, f, []byte("doomed"))
+	if err := f.Sync(); !errors.Is(err, ErrIO) {
+		t.Fatalf("injected sync error: %v", err)
+	}
+	// fsyncgate: the retry "succeeds" — but the bytes are gone.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	if got := readAll(t, ffs, "d/x"); string(got) != "durable." {
+		t.Fatalf("after failed fsync, page cache = %q, want the synced prefix only", got)
+	}
+	// And the crash image agrees.
+	img, _ := ffs.CrashImage(ffs.Ops(), 0)
+	if got := readAll(t, img, "d/x"); string(got) != "durable." {
+		t.Fatalf("crash image = %q, want %q", got, "durable.")
+	}
+}
+
+// TestShortWrite checks the ENOSPC short-write model: the landed prefix
+// stays in the page cache and replays into crash images.
+func TestShortWrite(t *testing.T) {
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetInjector(FailOp(ffs.Fallible(), Fault{Err: ErrNoSpace, Short: 3}))
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if got := readAll(t, ffs, "d/x"); string(got) != "abc" {
+		t.Fatalf("page cache after short write = %q", got)
+	}
+}
+
+// TestCrashImageDirEntries checks directory-entry durability: a renamed
+// file is lost on crash until the directory itself was synced, even when
+// its bytes were fsynced.
+func TestCrashImageDirEntries(t *testing.T) {
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x.tmp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("payload"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename("d/x.tmp", "d/x"); err != nil {
+		t.Fatal(err)
+	}
+	preSync := ffs.Ops()
+	if err := ffs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the directory sync: nothing survives — neither name.
+	img, _ := ffs.CrashImage(preSync, 0)
+	for _, name := range []string{"d/x", "d/x.tmp"} {
+		if _, err := ReadFile(img, name); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("pre-SyncDir crash: %s resolves (err=%v), want gone", name, err)
+		}
+	}
+	// After: the final name survives with its synced bytes.
+	img, _ = ffs.CrashImage(ffs.Ops(), 0)
+	if got := readAll(t, img, "d/x"); string(got) != "payload" {
+		t.Fatalf("post-SyncDir crash: d/x = %q", got)
+	}
+	if _, err := ReadFile(img, "d/x.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("post-SyncDir crash: tmp name still resolves (err=%v)", err)
+	}
+}
+
+// TestCrashImageTornSuffix checks the torn-write variant: unsynced bytes
+// of the last-written surviving file can partially land.
+func TestCrashImageTornSuffix(t *testing.T) {
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("sync'd|"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("pending"))
+
+	img, avail := ffs.CrashImage(ffs.Ops(), 0)
+	if avail != len("pending") {
+		t.Fatalf("avail=%d, want %d", avail, len("pending"))
+	}
+	if got := readAll(t, img, "d/x"); string(got) != "sync'd|" {
+		t.Fatalf("strict image = %q", got)
+	}
+	img, _ = ffs.CrashImage(ffs.Ops(), 3)
+	if got := readAll(t, img, "d/x"); string(got) != "sync'd|pen" {
+		t.Fatalf("torn image = %q", got)
+	}
+	img, _ = ffs.CrashImage(ffs.Ops(), 99)
+	if got := readAll(t, img, "d/x"); string(got) != "sync'd|pending" {
+		t.Fatalf("fully-torn image = %q", got)
+	}
+}
+
+// TestFailOpDeterminism: the same deterministic caller sequence hits the
+// same fallible index, and indexes advance per fallible op only.
+func TestFailOpDeterminism(t *testing.T) {
+	runSeq := func(inj Injector) (errs []error) {
+		ffs := New(inj)
+		_ = ffs.MkdirAll("d") // not fallible
+		f, err := ffs.Create("d/x", false)
+		errs = append(errs, err)
+		if err == nil {
+			_, werr := f.Write([]byte("hi"))
+			errs = append(errs, werr)
+			errs = append(errs, f.Sync())
+		}
+		return errs
+	}
+	clean := runSeq(nil)
+	for _, e := range clean {
+		if e != nil {
+			t.Fatalf("clean run errored: %v", e)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		errs := runSeq(FailOp(i, Fault{Err: ErrIO}))
+		for j, e := range errs {
+			if j == i && !errors.Is(e, ErrIO) {
+				t.Fatalf("FailOp(%d): step %d err=%v, want ErrIO", i, j, e)
+			}
+			if j != i && e != nil {
+				t.Fatalf("FailOp(%d): step %d err=%v, want nil", i, j, e)
+			}
+		}
+	}
+}
+
+// TestExclCreate pins Create's excl contract on both implementations'
+// shared interface semantics (in-memory side).
+func TestExclCreate(t *testing.T) {
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ffs.Create("d/x", true); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("excl re-create: %v", err)
+	}
+	f2, err := ffs.Create("d/x", false)
+	if err != nil {
+		t.Fatalf("truncating create: %v", err)
+	}
+	f2.Close()
+}
+
+// TestSeededInjectorReplays: the same seed over the same op stream makes
+// the same decisions.
+func TestSeededInjectorReplays(t *testing.T) {
+	run := func() []bool {
+		inj := NewSeededInjector(42, 300)
+		var fails []bool
+		for n := 0; n < 64; n++ {
+			fails = append(fails, inj.Fault(n, OpWrite, "p") != nil)
+		}
+		return fails
+	}
+	a, b := run(), run()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded injector diverged at op %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("seeded injector at 30% never fired in 64 ops")
+	}
+}

@@ -88,6 +88,24 @@ func (m *Map[V]) AttachWAL(w *WAL[V], durable bool) {
 	}
 }
 
+// DetachWAL removes the attached WAL and, in durable mode, the TM's
+// durable-ack barrier: subsequent commits return at memory speed and are
+// not logged. This is the EXPLICIT degradation path after durability is
+// lost (WALOptions.OnDurabilityLost / WAL.Err): a poisoned WAL fails
+// every durable commit, and the owner chooses between stopping and
+// serving on without the durability promise — this makes that choice a
+// visible API call instead of an accident. Call it quiesced (no commits
+// in flight), like AttachWAL.
+func (m *Map[V]) DetachWAL() {
+	if m.wal == nil {
+		return
+	}
+	if m.wal.durable {
+		m.tm.SetDurableAck(nil)
+	}
+	m.wal = nil
+}
+
 // PutTx binds key to val inside the caller's transaction, logging the
 // write to the attached WAL; it reports whether the key was new. All
 // writes that must survive a crash go through PutTx/DeleteTx (Put and

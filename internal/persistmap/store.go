@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/txstruct"
 )
 
@@ -72,6 +73,13 @@ func (k FileKind) String() string {
 // can distinguish "the backup is damaged" from I/O errors with errors.Is.
 var ErrCorrupt = errors.New("persistmap: corrupt backup file")
 
+// ErrNoChain marks a chain resolution that found no usable full backup at
+// or below its target — the directory may be empty, hold only diffs, or
+// (under a lax scan) have lost its fulls to damage. Distinguishable from
+// ErrCorrupt so Replay's fallback logic can tell "nothing there" from
+// "something there is broken".
+var ErrNoChain = errors.New("persistmap: no full backup")
+
 const (
 	fileMagic   = "repromap"
 	fileFormat  = uint16(1)
@@ -98,15 +106,59 @@ func (h fileHeader) fileName() string {
 type Store[V any] struct {
 	dir   string
 	codec Codec[V]
+	fs    faultfs.FS
+	// Checkpoint-write retry policy (see StoreOptions).
+	writeAttempts int
+	writeBackoff  time.Duration
 }
 
+// StoreOptions tunes a Store beyond its directory and codec.
+type StoreOptions struct {
+	// FS is the filesystem the store reads and writes through; nil means
+	// the real disk (faultfs.OS). Fault-injection harnesses substitute a
+	// faultfs.FaultFS here.
+	FS faultfs.FS
+	// WriteAttempts bounds how many times a checkpoint write
+	// (WriteFull/WriteDiff/Compact's output file) is attempted before the
+	// error is surfaced; <= 0 means the default (3). Retrying here is
+	// SAFE, unlike in the WAL: every attempt rebuilds the entire temp
+	// file from the in-memory buffer with a truncating create, so a
+	// prior attempt's fate — including an fsync whose dirty pages the
+	// kernel dropped — cannot leak into the bytes the successful attempt
+	// lands.
+	WriteAttempts int
+	// WriteBackoff is the pause before retry n (scaled linearly by n);
+	// <= 0 means the default (2ms).
+	WriteBackoff time.Duration
+}
+
+const (
+	defaultWriteAttempts = 3
+	defaultWriteBackoff  = 2 * time.Millisecond
+)
+
 // NewStore opens (creating if needed) the chain directory with the given
-// value codec.
+// value codec, on the real disk with default retry policy.
 func NewStore[V any](dir string, codec Codec[V]) (*Store[V], error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewStoreWith(dir, codec, StoreOptions{})
+}
+
+// NewStoreWith is NewStore with explicit options.
+func NewStoreWith[V any](dir string, codec Codec[V], opts StoreOptions) (*Store[V], error) {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	if opts.WriteAttempts <= 0 {
+		opts.WriteAttempts = defaultWriteAttempts
+	}
+	if opts.WriteBackoff <= 0 {
+		opts.WriteBackoff = defaultWriteBackoff
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("persistmap: %w", err)
 	}
-	return &Store[V]{dir: dir, codec: codec}, nil
+	return &Store[V]{dir: dir, codec: codec, fs: opts.FS,
+		writeAttempts: opts.WriteAttempts, writeBackoff: opts.WriteBackoff}, nil
 }
 
 // Dir returns the chain directory.
@@ -159,53 +211,65 @@ func (s *Store[V]) WriteDiff(d *Diff[V]) (string, error) {
 	return s.writeFile(h, buf)
 }
 
-// writeFile seals buf with the trailer CRC and lands it atomically.
+// writeFile seals buf with the trailer CRC and lands it atomically, with
+// bounded retry for transient failures (ENOSPC racing a cleanup, a
+// flaky device). Retrying is sound here — and ONLY here, never in the
+// WAL — because every attempt rebuilds the whole temp file from buf with
+// a truncating create before the rename publishes it: a previous
+// attempt's failed fsync cannot have left bytes the successful attempt
+// depends on.
 func (s *Store[V]) writeFile(h fileHeader, buf []byte) (string, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	path := filepath.Join(s.dir, h.fileName())
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	var err error
+	for attempt := 0; attempt < s.writeAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * s.writeBackoff)
+		}
+		if err = s.writeFileOnce(path, tmp, buf); err == nil {
+			return path, nil
+		}
+		// Best-effort cleanup; a leaked .tmp is inert (Scan reports it as
+		// an orphan, persistctl clean removes it).
+		s.fs.Remove(tmp)
+	}
+	return "", err
+}
+
+// writeFileOnce is one atomic-publish attempt: temp file, write, fsync,
+// close, rename, directory fsync.
+func (s *Store[V]) writeFileOnce(path, tmp string, buf []byte) error {
+	f, err := s.fs.Create(tmp, false)
 	if err != nil {
-		return "", fmt.Errorf("persistmap: %w", err)
+		return fmt.Errorf("persistmap: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return "", fmt.Errorf("persistmap: %w", err)
+		return fmt.Errorf("persistmap: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return "", fmt.Errorf("persistmap: %w", err)
+		return fmt.Errorf("persistmap: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return "", fmt.Errorf("persistmap: %w", err)
+		return fmt.Errorf("persistmap: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return "", fmt.Errorf("persistmap: %w", err)
+	if err := s.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persistmap: %w", err)
 	}
 	// The rename's directory entry must reach disk too: without it a
 	// crash after "success" can lose the whole file, and a chain whose
 	// newest diff silently vanished would load an OLDER state with no
 	// error — the quiet data loss this format exists to preclude.
-	if err := syncDir(s.dir); err != nil {
-		return "", err
-	}
-	return path, nil
+	return syncDirFS(s.fs, s.dir)
 }
 
-// syncDir fsyncs a directory, making its entries (renames, removals)
+// syncDirFS fsyncs a directory, making its entries (renames, removals)
 // durable. Filesystems that refuse to fsync directories surface the error
 // rather than downgrading durability silently.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("persistmap: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDirFS(fsys faultfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("persistmap: sync %s: %w", dir, err)
 	}
 	return nil
@@ -294,8 +358,12 @@ func (r *reader) u64() (uint64, error) {
 // damage mode — truncation, bit flips, bad magic, unknown format — fails
 // here with ErrCorrupt before a single record is decoded.
 func openFile(path string) (fileHeader, *reader, error) {
+	return openFileFS(faultfs.OS, path)
+}
+
+func openFileFS(fsys faultfs.FS, path string) (fileHeader, *reader, error) {
 	var h fileHeader
-	data, err := os.ReadFile(path)
+	data, err := faultfs.ReadFile(fsys, path)
 	if err != nil {
 		return h, nil, fmt.Errorf("persistmap: %w", err)
 	}
@@ -373,7 +441,12 @@ func (fi FileInfo) String() string {
 // agnostically. It does not decode records; VerifyFile does the structural
 // walk as well.
 func ReadInfo(path string) (FileInfo, error) {
-	h, r, err := openFile(path)
+	return ReadInfoFS(faultfs.OS, path)
+}
+
+// ReadInfoFS is ReadInfo through an explicit filesystem.
+func ReadInfoFS(fsys faultfs.FS, path string) (FileInfo, error) {
+	h, r, err := openFileFS(fsys, path)
 	if err != nil {
 		return FileInfo{}, err
 	}
@@ -443,7 +516,7 @@ func (s *Store[V]) checkCodec(path string, h fileHeader) error {
 
 // ReadFull loads one full-backup file.
 func (s *Store[V]) ReadFull(path string) (*Backup[V], error) {
-	h, r, err := openFile(path)
+	h, r, err := openFileFS(s.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +559,7 @@ func (s *Store[V]) ReadFull(path string) (*Backup[V], error) {
 
 // ReadDiff loads one incremental-diff file.
 func (s *Store[V]) ReadDiff(path string) (*Diff[V], error) {
-	h, r, err := openFile(path)
+	h, r, err := openFileFS(s.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -541,18 +614,54 @@ func (s *Store[V]) ReadDiff(path string) (*Diff[V], error) {
 // directory, sorted by (version, kind). A directory with no chain files is
 // an empty (not an error) scan.
 func Scan(dir string) ([]FileInfo, error) {
-	ents, err := os.ReadDir(dir)
+	return ScanFS(faultfs.OS, dir)
+}
+
+// ScanFS is Scan through an explicit filesystem.
+func ScanFS(fsys faultfs.FS, dir string) ([]FileInfo, error) {
+	infos, corrupt, err := scanLax(fsys, dir)
 	if err != nil {
-		return nil, fmt.Errorf("persistmap: %w", err)
+		return nil, err
+	}
+	if len(corrupt) > 0 {
+		return nil, corrupt[0].Err
+	}
+	return infos, nil
+}
+
+// CorruptFile is one chain file a lax scan could not verify.
+type CorruptFile struct {
+	Path string
+	Err  error
+}
+
+// ScanLax reads every chain file's header like Scan, but collects
+// damaged files instead of failing on the first one — the scan tooling
+// uses to render a partially damaged directory.
+func ScanLax(dir string) ([]FileInfo, []CorruptFile, error) {
+	return scanLax(faultfs.OS, dir)
+}
+
+// scanLax reads every chain file's header, collecting damaged files
+// instead of failing the scan — the substrate of checkpoint-corruption
+// fallback (Replay keeps loading around a corrupt newest full) and of
+// tooling that must render a damaged directory.
+func scanLax(fsys faultfs.FS, dir string) ([]FileInfo, []CorruptFile, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persistmap: %w", err)
 	}
 	var infos []FileInfo
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), fileExt) {
+	var corrupt []CorruptFile
+	for _, name := range names {
+		if !strings.HasSuffix(name, fileExt) {
 			continue
 		}
-		info, err := ReadInfo(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, name)
+		info, err := ReadInfoFS(fsys, path)
 		if err != nil {
-			return nil, err
+			corrupt = append(corrupt, CorruptFile{Path: path, Err: err})
+			continue
 		}
 		infos = append(infos, info)
 	}
@@ -562,7 +671,30 @@ func Scan(dir string) ([]FileInfo, error) {
 		}
 		return infos[i].Kind < infos[j].Kind
 	})
-	return infos, nil
+	return infos, corrupt, nil
+}
+
+// Orphans lists leftover temp files (.pmb.tmp) in the directory: the
+// residue of an interrupted or failed checkpoint write. They are inert —
+// no loader considers them — but they hold space; persistctl's clean
+// subcommand removes them.
+func Orphans(dir string) ([]string, error) {
+	return OrphansFS(faultfs.OS, dir)
+}
+
+// OrphansFS is Orphans through an explicit filesystem.
+func OrphansFS(fsys faultfs.FS, dir string) ([]string, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persistmap: %w", err)
+	}
+	var orphans []string
+	for _, name := range names {
+		if strings.HasSuffix(name, fileExt+".tmp") {
+			orphans = append(orphans, filepath.Join(dir, name))
+		}
+	}
+	return orphans, nil
 }
 
 // Chain resolves the newest chain in the directory: the full backup with
@@ -570,7 +702,7 @@ func Scan(dir string) ([]FileInfo, error) {
 // It returns the ordered FileInfos (full first). An ambiguous chain — two
 // diffs claiming the same parent — is an error rather than a guess.
 func (s *Store[V]) Chain() ([]FileInfo, error) {
-	infos, err := Scan(s.dir)
+	infos, err := ScanFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -594,7 +726,7 @@ func resolveChain(infos []FileInfo, target uint64) ([]FileInfo, error) {
 		}
 	}
 	if full == nil {
-		return nil, fmt.Errorf("persistmap: no full backup at or below version %d", target)
+		return nil, fmt.Errorf("%w at or below version %d", ErrNoChain, target)
 	}
 	chain := []FileInfo{*full}
 	cur := full.Version
@@ -645,7 +777,7 @@ func (s *Store[V]) LoadVersion(version uint64) (*Backup[V], error) {
 }
 
 func (s *Store[V]) loadTo(target uint64) (*Backup[V], error) {
-	infos, err := Scan(s.dir)
+	infos, err := ScanFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -699,7 +831,8 @@ func CompactDir(dir string) (string, error) {
 			return "", fmt.Errorf("persistmap: %s: mixed codecs %q and %q", dir, name, fi.Codec)
 		}
 	}
-	s := &Store[[]byte]{dir: dir, codec: rawCodec{name: name}}
+	s := &Store[[]byte]{dir: dir, codec: rawCodec{name: name}, fs: faultfs.OS,
+		writeAttempts: defaultWriteAttempts, writeBackoff: defaultWriteBackoff}
 	return s.Compact()
 }
 
@@ -738,7 +871,7 @@ func (s *Store[V]) Compact() (string, error) {
 		if link.Path == path {
 			continue
 		}
-		if err := os.Remove(link.Path); err != nil {
+		if err := s.fs.Remove(link.Path); err != nil {
 			return "", fmt.Errorf("persistmap: compacted but could not remove %s: %w", link.Path, err)
 		}
 	}
@@ -746,7 +879,7 @@ func (s *Store[V]) Compact() (string, error) {
 	// already synced (writeFile), so after this sync the directory holds
 	// exactly the compacted chain — and before it, at worst the old chain
 	// plus the new full, both loadable.
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDirFS(s.fs, s.dir); err != nil {
 		return "", err
 	}
 	return path, nil

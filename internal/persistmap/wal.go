@@ -2,14 +2,15 @@ package persistmap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/persistmap/walsync"
 	"repro/internal/txstruct"
 )
@@ -54,6 +55,52 @@ const (
 	walOpDelete = uint8(2)
 )
 
+// ErrTornTail marks WAL damage whose shape is a TRUNCATION — the parse
+// ran off the end of the file mid-record, exactly what a power cut does
+// to unsynced page-cache bytes. It always wraps ErrCorrupt too (a torn
+// file IS damaged), so errors.Is(err, ErrCorrupt) keeps matching; the
+// finer class lets recovery and tooling tell the legal crash shape from
+// a bit flip inside fully-present bytes (checksum mismatch, bad op),
+// which is never legal and fails replay loudly.
+var ErrTornTail = errors.New("persistmap: torn segment tail")
+
+// DamageKind classifies what a tolerant WAL-segment read found.
+type DamageKind uint8
+
+const (
+	// DamageNone: the segment parsed to a clean end of file.
+	DamageNone DamageKind = iota
+	// DamageTorn: an intact prefix, then a record cut off by the end of
+	// the file — the legal residue of a crash or poisoned daemon.
+	DamageTorn
+	// DamageCorrupt: full-length bytes that fail their checksum or
+	// structure — never a legal crash shape.
+	DamageCorrupt
+)
+
+// String names the damage for tooling output.
+func (d DamageKind) String() string {
+	switch d {
+	case DamageNone:
+		return "sealed"
+	case DamageTorn:
+		return "torn"
+	default:
+		return "corrupt"
+	}
+}
+
+// classifyDamage maps a tolerant read's parse error to its kind.
+func classifyDamage(err error) DamageKind {
+	if err == nil {
+		return DamageNone
+	}
+	if errors.Is(err, ErrTornTail) {
+		return DamageTorn
+	}
+	return DamageCorrupt
+}
+
 // WALOptions parameterizes OpenWAL.
 type WALOptions struct {
 	// SegmentBytes is the segment roll threshold (walsync's default when
@@ -64,6 +111,11 @@ type WALOptions struct {
 	MaxBatch int
 	// BeforeSync is walsync's crash-injection hook (nil in production).
 	BeforeSync func(records int) bool
+	// OnDurabilityLost, when set, fires exactly once if the daemon
+	// poisons itself after a failed segment write or fsync (see
+	// walsync.ErrDurabilityLost): the place to decide whether to degrade
+	// to non-durable serving (Map.DetachWAL) or stop the process.
+	OnDurabilityLost func(error)
 }
 
 // WAL streams committed write sets of one Map into the store directory's
@@ -73,6 +125,7 @@ type WALOptions struct {
 type WAL[V any] struct {
 	codec   Codec[V]
 	dir     string
+	fs      faultfs.FS
 	d       *walsync.Daemon
 	durable bool
 
@@ -105,11 +158,13 @@ func (s *Store[V]) OpenWAL(opts WALOptions) (*WAL[V], error) {
 		return nil, err
 	}
 	d, err := walsync.Start(walsync.Config{
-		Dir:          s.dir,
-		Header:       hdr,
-		SegmentBytes: opts.SegmentBytes,
-		MaxBatch:     opts.MaxBatch,
-		BeforeSync:   opts.BeforeSync,
+		Dir:              s.dir,
+		Header:           hdr,
+		SegmentBytes:     opts.SegmentBytes,
+		MaxBatch:         opts.MaxBatch,
+		BeforeSync:       opts.BeforeSync,
+		FS:               s.fs,
+		OnDurabilityLost: opts.OnDurabilityLost,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +172,7 @@ func (s *Store[V]) OpenWAL(opts WALOptions) (*WAL[V], error) {
 	return &WAL[V]{
 		codec:   s.codec,
 		dir:     s.dir,
+		fs:      s.fs,
 		d:       d,
 		pending: make(map[uint64]*walTxBuf[V]),
 		acks:    make(map[uint64]<-chan error),
@@ -224,6 +280,13 @@ func (w *WAL[V]) Close() error { return w.d.Close() }
 // Stats returns the daemon's group-commit counters.
 func (w *WAL[V]) Stats() walsync.Stats { return w.d.Stats() }
 
+// Err reports the daemon's poison state: nil while healthy, the
+// walsync.ErrDurabilityLost-wrapping error once a segment write or fsync
+// has failed. A poisoned WAL fails every durable commit; the owner
+// chooses between Map.DetachWAL (serve on, non-durably, by explicit
+// decision) and stopping.
+func (w *WAL[V]) Err() error { return w.d.Err() }
+
 // TrimTo removes sealed segments every record of which has commit version
 // <= ver — the aging-out of WAL history into the checkpoint chain: once a
 // full checkpoint at ver is durable, those records are redundant (the
@@ -231,7 +294,7 @@ func (w *WAL[V]) Stats() walsync.Stats { return w.d.Stats() }
 // The open segment and any segment containing a newer record are kept; a
 // sealed segment that fails to parse is kept too (verify will name it).
 func (w *WAL[V]) TrimTo(ver uint64) (removed int, err error) {
-	segs, err := walsync.ScanSegments(w.dir)
+	segs, err := walsync.ScanSegmentsFS(w.fs, w.dir)
 	if err != nil {
 		return 0, err
 	}
@@ -240,20 +303,20 @@ func (w *WAL[V]) TrimTo(ver uint64) (removed int, err error) {
 		if sg.Seq >= cur {
 			continue
 		}
-		info, ierr := readWALInfo(sg, false)
+		info, ierr := readWALInfo(w.fs, sg, false)
 		if ierr != nil || info.Torn {
 			continue
 		}
 		if info.Records > 0 && info.MaxVersion > ver {
 			continue
 		}
-		if rerr := os.Remove(sg.Path); rerr != nil {
+		if rerr := w.fs.Remove(sg.Path); rerr != nil {
 			return removed, fmt.Errorf("persistmap: %w", rerr)
 		}
 		removed++
 	}
 	if removed > 0 {
-		if serr := syncDir(w.dir); serr != nil {
+		if serr := syncDirFS(w.fs, w.dir); serr != nil {
 			return removed, serr
 		}
 	}
@@ -294,20 +357,18 @@ type WALSegmentInfo struct {
 	MinVersion, MaxVersion uint64
 	// Size is the file size in bytes.
 	Size int64
-	// Torn reports that the segment ends in a torn or damaged record
-	// (bytes past the intact prefix). Only tolerated, by Replay, on the
-	// newest segment.
-	Torn bool
+	// Torn reports that the segment ends in bytes past the intact prefix
+	// (of either damage kind); Damage classifies them — DamageTorn is the
+	// legal crash shape (truncation), DamageCorrupt is a bit flip or
+	// structural damage inside fully-present bytes.
+	Torn   bool
+	Damage DamageKind
 }
 
 // String renders the info for persistctl output.
 func (wi WALSegmentInfo) String() string {
-	state := "sealed"
-	if wi.Torn {
-		state = "torn"
-	}
 	return fmt.Sprintf("%s  wal seq %d codec=%s records=%d ops=%d versions=[%d,%d] %dB %s",
-		wi.Path, wi.Seq, wi.Codec, wi.Records, wi.Ops, wi.MinVersion, wi.MaxVersion, wi.Size, state)
+		wi.Path, wi.Seq, wi.Codec, wi.Records, wi.Ops, wi.MinVersion, wi.MaxVersion, wi.Size, wi.Damage)
 }
 
 // walRecord is one decoded redo record.
@@ -322,25 +383,36 @@ type walRecord[V any] struct {
 // plus a cursor positioned at the first record.
 func parseWALHeader(path string, data []byte) (string, *reader, error) {
 	r := &reader{data: data}
+	// Running out of bytes mid-header is the torn shape (a crash before
+	// the header's fsync); wrong bytes at full length are corruption.
+	torn := func(what string) (string, *reader, error) {
+		return "", nil, fmt.Errorf("%w: %w: %s: %s", ErrCorrupt, ErrTornTail, path, what)
+	}
 	magic, err := r.take(len(walMagic))
-	if err != nil || string(magic) != walMagic {
+	if err != nil {
+		return torn("truncated magic")
+	}
+	if string(magic) != walMagic {
 		return "", nil, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
 	}
 	format, err := r.u16()
-	if err != nil || format != walFormat {
+	if err != nil {
+		return torn("truncated format")
+	}
+	if format != walFormat {
 		return "", nil, fmt.Errorf("%w: %s: unsupported WAL format %d", ErrCorrupt, path, format)
 	}
 	n, err := r.u8()
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+		return torn("truncated header")
 	}
 	codec, err := r.take(int(n))
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+		return torn("truncated header")
 	}
 	crc, err := r.u32()
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
+		return torn("truncated header")
 	}
 	if got := crc32.ChecksumIEEE(data[:r.off-4]); got != crc {
 		return "", nil, fmt.Errorf("%w: %s: header checksum %08x, file claims %08x", ErrCorrupt, path, got, crc)
@@ -360,23 +432,28 @@ func parseWALRecord[V any](path string, r *reader, decode func([]byte) (V, error
 	bad := func(format string, args ...any) (walRecord[V], bool, error) {
 		return rec, false, fmt.Errorf("%w: %s: record at offset %d: %s", ErrCorrupt, path, start, fmt.Sprintf(format, args...))
 	}
+	// cut is bad's torn-classified sibling: the parse ran off the end of
+	// the file, the shape a power cut legally leaves.
+	cut := func(format string, args ...any) (walRecord[V], bool, error) {
+		return rec, false, fmt.Errorf("%w: %w: %s: record at offset %d: %s", ErrCorrupt, ErrTornTail, path, start, fmt.Sprintf(format, args...))
+	}
 	ver, err := r.u64()
 	if err != nil {
-		return bad("truncated version")
+		return cut("truncated version")
 	}
 	count, err := r.u32()
 	if err != nil {
-		return bad("truncated count")
+		return cut("truncated count")
 	}
 	rec.ver = ver
 	for i := uint32(0); i < count; i++ {
 		op, err := r.u8()
 		if err != nil {
-			return bad("truncated op %d", i)
+			return cut("truncated op %d", i)
 		}
 		k, err := r.u64()
 		if err != nil {
-			return bad("truncated key of op %d", i)
+			return cut("truncated key of op %d", i)
 		}
 		key := int(int64(k))
 		switch op {
@@ -388,11 +465,11 @@ func parseWALRecord[V any](path string, r *reader, decode func([]byte) (V, error
 		case walOpPut:
 			n, err := r.u32()
 			if err != nil {
-				return bad("truncated value length of op %d", i)
+				return cut("truncated value length of op %d", i)
 			}
 			raw, err := r.take(int(n))
 			if err != nil {
-				return bad("truncated value of op %d", i)
+				return cut("truncated value of op %d", i)
 			}
 			v, err := decode(raw)
 			if err != nil {
@@ -407,7 +484,7 @@ func parseWALRecord[V any](path string, r *reader, decode func([]byte) (V, error
 	}
 	crc, err := r.u32()
 	if err != nil {
-		return bad("truncated checksum")
+		return cut("truncated checksum")
 	}
 	if got := crc32.ChecksumIEEE(r.data[start : r.off-4]); got != crc {
 		return bad("checksum %08x, record claims %08x", got, crc)
@@ -417,16 +494,21 @@ func parseWALRecord[V any](path string, r *reader, decode func([]byte) (V, error
 
 // readWALInfo scans one segment structurally (no value decode). In
 // strict mode any damage — torn tail included — is ErrCorrupt; otherwise
-// the intact prefix is summarized and Torn marks the rest.
-func readWALInfo(sg walsync.Segment, strict bool) (WALSegmentInfo, error) {
+// the intact prefix is summarized and Torn/Damage mark the rest.
+func readWALInfo(fsys faultfs.FS, sg walsync.Segment, strict bool) (WALSegmentInfo, error) {
 	info := WALSegmentInfo{Path: sg.Path, Seq: sg.Seq}
-	recs, codec, size, torn, err := readWALSegment(sg, func(raw []byte) (struct{}, error) {
+	mode := walTolerateAll
+	if strict {
+		mode = walStrict
+	}
+	recs, codec, size, damage, err := readWALSegment(fsys, sg, func(raw []byte) (struct{}, error) {
 		return struct{}{}, nil
-	}, strict)
+	}, mode)
 	if err != nil {
 		return info, err
 	}
-	info.Codec, info.Size, info.Torn = codec, size, torn
+	info.Codec, info.Size, info.Damage = codec, size, damage
+	info.Torn = damage != DamageNone
 	for _, rec := range recs {
 		info.Records++
 		info.Ops += len(rec.keys)
@@ -444,35 +526,59 @@ func readWALInfo(sg walsync.Segment, strict bool) (WALSegmentInfo, error) {
 	return info, nil
 }
 
-// readWALSegment reads a segment's intact record prefix. strict turns a
-// torn or damaged tail into ErrCorrupt (sealed segments and verification
-// are strict; only the newest segment of a replay tolerates a tail —
-// that is what a mid-batch kill legitimately leaves behind).
-func readWALSegment[V any](sg walsync.Segment, decode func([]byte) (V, error), strict bool) (recs []walRecord[V], codec string, size int64, torn bool, err error) {
-	data, err := os.ReadFile(sg.Path)
+// Tolerance modes for readWALSegment.
+const (
+	// walStrict: any damage is an error — verification's mode.
+	walStrict = iota
+	// walTolerateTorn: a truncation-shaped tail is summarized as damage
+	// and the intact prefix returned; corruption inside fully-present
+	// bytes is still an error. Replay's mode: a torn tail is what a
+	// crash or poisoned daemon legally leaves (on ANY segment — a daemon
+	// poisoned mid-batch leaves a torn segment that later reopens make a
+	// middle segment), while a bit flip must never be silently skipped.
+	walTolerateTorn
+	// walTolerateAll: every damage kind is summarized, never an error —
+	// tooling's describe-what-is-there mode.
+	walTolerateAll
+)
+
+// readWALSegment reads a segment's intact record prefix; mode governs
+// what damage past it does (see the constants above).
+func readWALSegment[V any](fsys faultfs.FS, sg walsync.Segment, decode func([]byte) (V, error), mode int) (recs []walRecord[V], codec string, size int64, damage DamageKind, err error) {
+	data, err := faultfs.ReadFile(fsys, sg.Path)
 	if err != nil {
-		return nil, "", 0, false, fmt.Errorf("persistmap: %w", err)
+		return nil, "", 0, DamageNone, fmt.Errorf("persistmap: %w", err)
 	}
 	size = int64(len(data))
+	tolerated := func(perr error) bool {
+		switch mode {
+		case walTolerateAll:
+			return true
+		case walTolerateTorn:
+			return errors.Is(perr, ErrTornTail)
+		default:
+			return false
+		}
+	}
 	codec, r, err := parseWALHeader(sg.Path, data)
 	if err != nil {
-		if strict {
-			return nil, "", size, false, err
+		if !tolerated(err) {
+			return nil, "", size, classifyDamage(err), err
 		}
 		// A header that never finished hitting disk: an empty torn
 		// segment, nothing to replay.
-		return nil, "", size, true, nil
+		return nil, "", size, classifyDamage(err), nil
 	}
 	for {
 		rec, ok, rerr := parseWALRecord(sg.Path, r, decode)
 		if rerr != nil {
-			if strict {
-				return nil, codec, size, false, rerr
+			if !tolerated(rerr) {
+				return nil, codec, size, classifyDamage(rerr), rerr
 			}
-			return recs, codec, size, true, nil
+			return recs, codec, size, classifyDamage(rerr), nil
 		}
 		if !ok {
-			return recs, codec, size, false, nil
+			return recs, codec, size, DamageNone, nil
 		}
 		recs = append(recs, rec)
 	}
@@ -488,7 +594,7 @@ func ScanWAL(dir string) ([]WALSegmentInfo, error) {
 	}
 	infos := make([]WALSegmentInfo, 0, len(segs))
 	for _, sg := range segs {
-		info, err := readWALInfo(sg, false)
+		info, err := readWALInfo(faultfs.OS, sg, false)
 		if err != nil {
 			return nil, err
 		}
@@ -508,7 +614,7 @@ func segmentOf(path string) walsync.Segment {
 // is reported via Torn, not as an error — the info counterpart of
 // VerifyWALSegment, for tooling that describes what is on disk.
 func ReadWALInfo(path string) (WALSegmentInfo, error) {
-	return readWALInfo(segmentOf(path), false)
+	return readWALInfo(faultfs.OS, segmentOf(path), false)
 }
 
 // VerifyWALSegment walks every byte of one segment strictly: any
@@ -516,7 +622,7 @@ func ReadWALInfo(path string) (WALSegmentInfo, error) {
 // the WAL counterpart of VerifyFile, used by persistctl verify and the
 // corruption table test.
 func VerifyWALSegment(path string) (WALSegmentInfo, error) {
-	return readWALInfo(segmentOf(path), true)
+	return readWALInfo(faultfs.OS, segmentOf(path), true)
 }
 
 // ReplayInfo summarizes a Store.Replay: what the chain provided, what
@@ -532,41 +638,87 @@ type ReplayInfo struct {
 	// Version is the highest commit version recovered (the chain's when
 	// the WAL added nothing).
 	Version uint64
-	// TornTail reports that the newest segment ended in a torn record —
-	// the expected shape after a mid-batch kill; everything before the
-	// tear was applied.
+	// TornTail reports that a segment ended in a torn record — the
+	// expected shape after a mid-batch kill or a poisoned daemon;
+	// everything before the tear was applied.
 	TornTail bool
+	// SkippedCorrupt lists checkpoint files the chain resolution skipped
+	// as damaged: recovery fell back to the newest chain the REMAINING
+	// files resolve. When the skipped file was the newest full and the
+	// WAL had already been trimmed past the previous checkpoint, commits
+	// between the two checkpoints may be unrecoverable — non-empty
+	// SkippedCorrupt is a restore-from-here warning, not business as
+	// usual.
+	SkippedCorrupt []string
 }
 
-// Replay is crash recovery: load the newest checkpoint chain (if any)
-// into m via the chunked restore path, then re-apply the WAL tail — every
-// intact record with a commit version past the chain — in commit-version
-// order through RestoreDiffTx. Sealed segments must verify exactly; only
-// the newest segment may end torn (the un-fsynced bytes a kill lost), and
-// replay never applies a byte past the first bad record. The recovered
-// map is exactly the checkpoint state plus every acked commit.
+// Replay is crash recovery: load the newest checkpoint chain into m via
+// the chunked restore path, then re-apply the WAL tail — every intact
+// record with a commit version past the chain — in commit-version order
+// through RestoreDiffTx. Damaged checkpoint files are skipped (reported
+// in SkippedCorrupt) and the chain re-resolved from what remains, so one
+// corrupt newest full degrades recovery instead of failing it. The
+// newest WAL segment tolerates any damage (a crash legally leaves
+// arbitrary garbage past the synced prefix); sealed segments tolerate
+// only TORN tails — a truncation is what a poisoned daemon's unsynced
+// bytes legally leave — while full-length corruption there is a bit flip
+// over ACKED records and fails the replay loudly: silently skipping them
+// would break acked ⇒ survives. The recovered map is the checkpoint
+// state plus every acked commit the disk still holds.
 func (s *Store[V]) Replay(m *Map[V]) (*ReplayInfo, error) {
 	info := &ReplayInfo{}
-	chain, err := s.Chain()
-	if err == nil && len(chain) > 0 {
-		b, lerr := s.Load()
+	infos, corrupt, err := scanLax(s.fs, s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range corrupt {
+		info.SkippedCorrupt = append(info.SkippedCorrupt, c.Path)
+	}
+	chain, cerr := resolveChain(infos, ^uint64(0))
+	switch {
+	case cerr == nil:
+		b, lerr := s.ReadFull(chain[0].Path)
 		if lerr != nil {
 			return nil, lerr
+		}
+		for _, link := range chain[1:] {
+			d, derr := s.ReadDiff(link.Path)
+			if derr != nil {
+				return nil, derr
+			}
+			if b, lerr = d.Apply(b); lerr != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, link.Path, lerr)
+			}
 		}
 		if rerr := m.RestoreFullTx(b); rerr != nil {
 			return nil, rerr
 		}
 		info.ChainVersion = b.Version
 		info.Version = b.Version
+	case errors.Is(cerr, ErrNoChain):
+		// No usable checkpoint (empty directory, or every full damaged):
+		// recover from the WAL alone, starting empty.
+	default:
+		// Ambiguity or a structurally-broken link among READABLE files is
+		// not something to guess around.
+		return nil, cerr
 	}
-	segs, err := walsync.ScanSegments(s.dir)
+	segs, err := walsync.ScanSegmentsFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
 	var tail []walRecord[V]
 	for i, sg := range segs {
-		strict := i < len(segs)-1
-		recs, codec, _, torn, err := readWALSegment(sg, s.codec.Decode, strict)
+		// The newest segment tolerates ANY damage — a crash can land a
+		// full-length record with garbage bytes, not just a truncation —
+		// while sealed segments tolerate only the truncation shape: their
+		// bytes were fsynced before the roll, so full-length corruption
+		// there is a bit flip over ACKED records, never a legal crash.
+		mode := walTolerateTorn
+		if i == len(segs)-1 {
+			mode = walTolerateAll
+		}
+		recs, codec, _, damage, err := readWALSegment(s.fs, sg, s.codec.Decode, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -575,7 +727,9 @@ func (s *Store[V]) Replay(m *Map[V]) (*ReplayInfo, error) {
 		}
 		info.Segments++
 		info.Records += len(recs)
-		info.TornTail = torn
+		if damage != DamageNone {
+			info.TornTail = true
+		}
 		tail = append(tail, recs...)
 	}
 	// File order is enqueue order, not commit order; redo must apply in

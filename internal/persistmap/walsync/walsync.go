@@ -19,11 +19,12 @@ package walsync
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // Ext is the segment file extension. persistmap's checkpoint chain uses
@@ -35,6 +36,20 @@ const Ext = ".wal"
 // has shut down — including a crash injected by the BeforeSync test hook,
 // whose unsynced records are gone and must not be acknowledged.
 var ErrClosed = errors.New("walsync: daemon closed")
+
+// ErrDurabilityLost marks a poisoned daemon: a write or fsync on the open
+// segment failed, so the segment's tail is in an unknown state and no
+// further record can ever be promised durable through it. The failed
+// batch, everything queued behind it, and every later Append all fail
+// with an error wrapping both this sentinel and the root cause.
+//
+// The one thing a poisoned daemon must NEVER do is retry the fsync and
+// ack on success: after a failed fsync the kernel may have dropped the
+// dirty pages, so the retry "succeeds" over data that no longer exists
+// (the fsyncgate failure mode). Recovery is a process-level decision —
+// keep serving non-durably (detach the WAL) or stop — made explicitly by
+// the owner, typically from the OnDurabilityLost callback.
+var ErrDurabilityLost = errors.New("walsync: durability lost")
 
 // Config parameterizes a daemon.
 type Config struct {
@@ -57,6 +72,15 @@ type Config struct {
 	// ErrClosed, and the daemon shuts down. Test and storm hook; nil in
 	// production.
 	BeforeSync func(records int) bool
+	// FS is the filesystem the daemon writes through; nil means the real
+	// disk (faultfs.OS). Fault-injection harnesses substitute a
+	// faultfs.FaultFS here.
+	FS faultfs.FS
+	// OnDurabilityLost, when set, is called exactly once — from the
+	// daemon goroutine — when the daemon poisons itself after a failed
+	// write or fsync (see ErrDurabilityLost). The owner decides there
+	// whether to degrade to non-durable serving or stop.
+	OnDurabilityLost func(error)
 }
 
 // defaultSegmentBytes is the roll threshold when Config leaves it unset.
@@ -93,13 +117,14 @@ type Daemon struct {
 	closed  bool
 	stats   Stats
 	seq     uint64 // open segment's sequence
+	poison  error  // set once when durability is lost; sticky
 
 	wake chan struct{}
 	done chan struct{}
 
 	// Loop-goroutine state: the open segment file, its total and synced
 	// sizes. Only the loop touches these after Start.
-	f          *os.File
+	f          faultfs.File
 	size       int64
 	syncedSize int64
 
@@ -121,14 +146,18 @@ type Segment struct {
 // Files with the extension but an unparsable name are an error — a WAL
 // directory is append-only machinery, not a dumping ground.
 func ScanSegments(dir string) ([]Segment, error) {
-	ents, err := os.ReadDir(dir)
+	return ScanSegmentsFS(faultfs.OS, dir)
+}
+
+// ScanSegmentsFS is ScanSegments through an explicit filesystem.
+func ScanSegmentsFS(fsys faultfs.FS, dir string) ([]Segment, error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("walsync: %w", err)
 	}
 	var segs []Segment
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, Ext) {
+	for _, name := range names {
+		if !strings.HasSuffix(name, Ext) {
 			continue
 		}
 		var seq uint64
@@ -148,10 +177,13 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.SegmentBytes <= 0 {
 		cfg.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 		return nil, fmt.Errorf("walsync: %w", err)
 	}
-	segs, err := ScanSegments(cfg.Dir)
+	segs, err := ScanSegmentsFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +203,7 @@ func Start(cfg Config) (*Daemon, error) {
 // and fsyncs the directory so the new entry survives a crash.
 func (d *Daemon) openSegment(seq uint64) error {
 	path := SegmentPath(d.cfg.Dir, seq)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := d.cfg.FS.Create(path, true)
 	if err != nil {
 		return fmt.Errorf("walsync: %w", err)
 	}
@@ -185,9 +217,9 @@ func (d *Daemon) openSegment(seq uint64) error {
 		f.Close()
 		return fmt.Errorf("walsync: %w", err)
 	}
-	if err := syncDir(d.cfg.Dir); err != nil {
+	if err := d.cfg.FS.SyncDir(d.cfg.Dir); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("walsync: sync %s: %w", d.cfg.Dir, err)
 	}
 	d.f = f
 	d.size = int64(len(d.cfg.Header))
@@ -207,8 +239,12 @@ func (d *Daemon) Append(rec []byte) <-chan error {
 	ack := make(chan error, 1)
 	d.mu.Lock()
 	if d.closing || d.closed {
+		err := d.poison
 		d.mu.Unlock()
-		ack <- ErrClosed
+		if err == nil {
+			err = ErrClosed
+		}
+		ack <- err
 		return ack
 	}
 	d.queue = append(d.queue, pending{rec: rec, ack: ack})
@@ -233,6 +269,15 @@ func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// Err reports the daemon's poison state: nil while healthy (or after a
+// clean close), or the ErrDurabilityLost-wrapping error once a write or
+// fsync failure has poisoned it.
+func (d *Daemon) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.poison
 }
 
 // Close drains the queue, fsyncs and closes the open segment, and stops
@@ -302,10 +347,13 @@ func (d *Daemon) loop() {
 			werr = d.f.Sync()
 		}
 		if werr != nil {
-			// A write or sync failure leaves the segment in an unknown
-			// state: durability can no longer be promised, so the daemon
-			// fails this batch and everything after it loudly.
-			d.failAll(batch, fmt.Errorf("walsync: %w", werr))
+			// A write or fsync failure leaves the segment's tail in an
+			// unknown state — after a failed fsync the kernel may already
+			// have dropped the dirty pages, so retrying the fsync and
+			// acking on "success" would claim durability for lost bytes
+			// (fsyncgate). The only sound move is to poison: fail this
+			// batch and everything after it, permanently.
+			d.poisonAll(batch, werr)
 			return
 		}
 		d.syncedSize = d.size
@@ -325,7 +373,8 @@ func (d *Daemon) loop() {
 		}
 		if d.size >= d.cfg.SegmentBytes {
 			if err := d.roll(seq); err != nil {
-				d.failAll(nil, err)
+				// No further record can ever be made durable: poison.
+				d.poisonAll(nil, err)
 				return
 			}
 		}
@@ -375,11 +424,15 @@ func (d *Daemon) crash(batch []pending) {
 	d.finalErr = ErrClosed
 }
 
-// failAll reports a fatal daemon error to the batch, the queue, and
-// Close.
-func (d *Daemon) failAll(batch []pending, err error) {
+// poisonAll marks the daemon permanently poisoned with cause, reports the
+// wrapped error to the failed batch, everything queued, and Close, and
+// notifies OnDurabilityLost. The open segment is closed WITHOUT a retry
+// fsync — its tail stays whatever the kernel left.
+func (d *Daemon) poisonAll(batch []pending, cause error) {
+	err := fmt.Errorf("%w: %w", ErrDurabilityLost, cause)
 	d.mu.Lock()
 	d.closed = true
+	d.poison = err
 	q := d.queue
 	d.queue = nil
 	d.mu.Unlock()
@@ -391,17 +444,7 @@ func (d *Daemon) failAll(batch []pending, err error) {
 	}
 	d.f.Close()
 	d.finalErr = err
-}
-
-// syncDir fsyncs a directory so entry creations survive a crash.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("walsync: %w", err)
+	if d.cfg.OnDurabilityLost != nil {
+		d.cfg.OnDurabilityLost(err)
 	}
-	defer f.Close()
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("walsync: sync %s: %w", dir, err)
-	}
-	return nil
 }
