@@ -12,13 +12,19 @@
 // Usage:
 //
 //	ablationbench [-run cm,versions,window,baseline] [-size 1024]
-//	              [-dur 150ms] [-threads 4]
+//	              [-dur 150ms] [-threads 4] [-procs 2,4,8]
+//
+// -procs repeats the ablations once per GOMAXPROCS value; each
+// repetition is recorded as its own trajectory run with the host
+// topology.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,8 +54,13 @@ func run(args []string) error {
 		soak     = fs.Bool("soak", true, "run a correctness storm before the sweeps")
 		outPath  = fs.String("out", "BENCH_ablation.json", "JSON trajectory file (with -json)")
 		runLabel = fs.String("label", "run", "label recorded for this run in the trajectory")
+		procsFl  = fs.String("procs", "", "comma-separated GOMAXPROCS values: repeat the ablations per value (empty = current setting)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	procs, err := parseProcs(*procsFl)
+	if err != nil {
 		return err
 	}
 	wl := bench.Workload{
@@ -71,40 +82,71 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
-	var rec *bench.JSONRun
-	if *jsonOut {
-		rec = bench.NewJSONRun("ablationbench", *runLabel, "gv1", wl)
-	}
-	for _, name := range strings.Split(*which, ",") {
-		switch strings.TrimSpace(name) {
-		case "cm":
-			if err := cmSweep(wl, rec); err != nil {
-				return err
-			}
-		case "versions":
-			if err := versionSweep(wl, rec); err != nil {
-				return err
-			}
-		case "window":
-			if err := windowSweep(wl, rec); err != nil {
-				return err
-			}
-		case "baseline":
-			if err := baselineSweep(wl, rec); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown ablation %q", name)
+	runOnce := func(label string) error {
+		var rec *bench.JSONRun
+		if *jsonOut {
+			rec = bench.NewJSONRun("ablationbench", label, "gv1", wl)
 		}
-		fmt.Println()
+		for _, name := range strings.Split(*which, ",") {
+			switch strings.TrimSpace(name) {
+			case "cm":
+				if err := cmSweep(wl, rec); err != nil {
+					return err
+				}
+			case "versions":
+				if err := versionSweep(wl, rec); err != nil {
+					return err
+				}
+			case "window":
+				if err := windowSweep(wl, rec); err != nil {
+					return err
+				}
+			case "baseline":
+				if err := baselineSweep(wl, rec); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown ablation %q", name)
+			}
+			fmt.Println()
+		}
+		if rec != nil {
+			if err := bench.AppendJSONRun(*outPath, rec); err != nil {
+				return err
+			}
+			fmt.Printf("appended run %q to %s\n", label, *outPath)
+		}
+		return nil
 	}
-	if rec != nil {
-		if err := bench.AppendJSONRun(*outPath, rec); err != nil {
+	for _, p := range procs {
+		label := *runLabel
+		if p > 0 {
+			runtime.GOMAXPROCS(p)
+			label = fmt.Sprintf("%s@procs=%d", label, p)
+			fmt.Printf("=== GOMAXPROCS=%d ===\n", p)
+		}
+		if err := runOnce(label); err != nil {
 			return err
 		}
-		fmt.Printf("appended run %q to %s\n", *runLabel, *outPath)
 	}
 	return nil
+}
+
+// parseProcs parses the -procs list; empty input yields a single
+// sentinel 0 ("leave GOMAXPROCS alone").
+func parseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	out := make([]int, 0, 4)
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs value %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func printHeader(title string) {

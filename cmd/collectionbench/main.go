@@ -9,11 +9,22 @@
 //	collectionbench [-fig 5|7|9|all|none] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
 //	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
-//	                [-cache] [-persist] [-json] [-out BENCH_collection.json]
+//	                [-cache] [-persist] [-readpath] [-procs 2,4,8]
+//	                [-json] [-out BENCH_collection.json]
 //	                [-label run] [-soak=true]
 //
 // -cache appends a transactional-LRU sweep (internal/cache: throughput,
 // abort rate and hit rate per thread count); -fig none runs it standalone.
+//
+// -readpath appends the privatization read-path sweep: the same map read
+// through classic transactions, a pinned snapshot, and privatized plain
+// loads (core.TM.Privatize), with the privatized-over-pinned ratio per
+// thread count.
+//
+// -procs repeats the whole run once per GOMAXPROCS value, so one
+// invocation measures a true many-core sweep; each repetition is its own
+// trajectory run and the recorded host topology (CPU count, model,
+// GOMAXPROCS) keeps them interpretable.
 //
 // -persist appends a durable-persistence sweep (internal/persistmap):
 // pinned full backup, pin-to-pin incremental diff, on-disk chain write,
@@ -42,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -81,6 +93,8 @@ func run(args []string) error {
 		typed    = fs.Bool("typed", true, "bench the typed-cell lists; false swaps in the untyped boxing comparators")
 		cacheFl  = fs.Bool("cache", false, "also sweep the transactional LRU cache (internal/cache)")
 		persist  = fs.Bool("persist", false, "also sweep the durable persistence pipeline (internal/persistmap)")
+		readpath = fs.Bool("readpath", false, "also sweep the privatization read path (classic vs pinned vs privatized reads)")
+		procsFl  = fs.String("procs", "", "comma-separated GOMAXPROCS values: repeat the whole run per value (empty = current setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,78 +145,126 @@ func run(args []string) error {
 			figures[i] = boxed
 		}
 	}
+	procs, err := parseProcs(*procsFl)
+	if err != nil {
+		return err
+	}
 	if *soak {
 		if err := runSoak(scheme); err != nil {
 			return err
 		}
 	}
-	var rec *bench.JSONRun
-	if *jsonOut {
-		rec = bench.NewJSONRun("collectionbench", *runLabel, scheme.String(), wl)
-	}
-	for i, f := range figures {
-		if i > 0 {
+	// runOnce is the whole measured suite at the current GOMAXPROCS; with
+	// -procs it repeats per value, each repetition its own trajectory run
+	// (the recorded host topology tells them apart).
+	runOnce := func(label string) error {
+		var rec *bench.JSONRun
+		if *jsonOut {
+			rec = bench.NewJSONRun("collectionbench", label, scheme.String(), wl)
+		}
+		for i, f := range figures {
+			if i > 0 {
+				fmt.Println()
+			}
+			series, seq, err := bench.RunFigureFull(os.Stdout, f)
+			if err != nil {
+				return err
+			}
+			if rec != nil {
+				rec.AddFigure(f.Name, series, seq)
+			}
+		}
+		if *extra {
 			fmt.Println()
+			parseOnly := wl
+			parseOnly.SizePct = 0
+			extraFig := bench.Figure{
+				Name:    "parse-only",
+				Caption: "No size ops: fine-grained and lock-free baselines join the comparison",
+				Impls: []bench.Factory{
+					bench.SnapshotMixedFactory(opts...),
+					bench.ClassicSTMFactory(opts...),
+					bench.HoHFactory(),
+					bench.LazyFactory(),
+					bench.HarrisFactory(),
+					bench.HashSetFactory("tx-hashset", 64, txstruct.ListConfig{
+						Parse: core.Elastic, Size: core.Snapshot,
+					}, opts...),
+				},
+				Workload: parseOnly,
+				Threads:  ths,
+			}
+			series, seq, err := bench.RunFigureFull(os.Stdout, extraFig)
+			if err != nil {
+				return err
+			}
+			if rec != nil {
+				rec.AddFigure(extraFig.Name, series, seq)
+			}
 		}
-		series, seq, err := bench.RunFigureFull(os.Stdout, f)
-		if err != nil {
-			return err
+		if *cacheFl {
+			fmt.Println()
+			if err := runCacheSweep(rec, *size, ths, *dur, scheme); err != nil {
+				return err
+			}
+		}
+		if *persist {
+			fmt.Println()
+			if err := runPersistSweep(rec, *size, *dur, scheme); err != nil {
+				return err
+			}
+			fmt.Println()
+			if err := runWALSweep(rec, *dur, scheme); err != nil {
+				return err
+			}
+		}
+		if *readpath {
+			fmt.Println()
+			if err := bench.RunReadPathSweep(os.Stdout, rec, *size, ths, *dur, core.WithClockScheme(scheme)); err != nil {
+				return err
+			}
 		}
 		if rec != nil {
-			rec.AddFigure(f.Name, series, seq)
+			if err := bench.AppendJSONRun(*outPath, rec); err != nil {
+				return err
+			}
+			fmt.Printf("\nappended run %q to %s\n", label, *outPath)
 		}
+		return nil
 	}
-	if *extra {
-		fmt.Println()
-		parseOnly := wl
-		parseOnly.SizePct = 0
-		extraFig := bench.Figure{
-			Name:    "parse-only",
-			Caption: "No size ops: fine-grained and lock-free baselines join the comparison",
-			Impls: []bench.Factory{
-				bench.SnapshotMixedFactory(opts...),
-				bench.ClassicSTMFactory(opts...),
-				bench.HoHFactory(),
-				bench.LazyFactory(),
-				bench.HarrisFactory(),
-				bench.HashSetFactory("tx-hashset", 64, txstruct.ListConfig{
-					Parse: core.Elastic, Size: core.Snapshot,
-				}, opts...),
-			},
-			Workload: parseOnly,
-			Threads:  ths,
+	for i, p := range procs {
+		label := *runLabel
+		if p > 0 {
+			runtime.GOMAXPROCS(p)
+			label = fmt.Sprintf("%s@procs=%d", label, p)
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("=== GOMAXPROCS=%d ===\n", p)
 		}
-		series, seq, err := bench.RunFigureFull(os.Stdout, extraFig)
-		if err != nil {
+		if err := runOnce(label); err != nil {
 			return err
 		}
-		if rec != nil {
-			rec.AddFigure(extraFig.Name, series, seq)
-		}
-	}
-	if *cacheFl {
-		fmt.Println()
-		if err := runCacheSweep(rec, *size, ths, *dur, scheme); err != nil {
-			return err
-		}
-	}
-	if *persist {
-		fmt.Println()
-		if err := runPersistSweep(rec, *size, *dur, scheme); err != nil {
-			return err
-		}
-		fmt.Println()
-		if err := runWALSweep(rec, *dur, scheme); err != nil {
-			return err
-		}
-	}
-	if rec != nil {
-		if err := bench.AppendJSONRun(*outPath, rec); err != nil {
-			return err
-		}
-		fmt.Printf("\nappended run %q to %s\n", *runLabel, *outPath)
 	}
 	return nil
+}
+
+// parseProcs parses the -procs list; empty input yields a single
+// sentinel 0 ("leave GOMAXPROCS alone").
+func parseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs value %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runCacheSweep measures the transactional LRU cache (internal/cache)

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -42,6 +43,37 @@ type JSONFigure struct {
 	Series       []JSONSeries `json:"series"`
 }
 
+// JSONHost records the machine topology a run measured on — the context
+// without which a many-core sweep's numbers cannot be read (a 64-thread
+// point on a 4-core host measures oversubscription, not scaling).
+type JSONHost struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// hostInfo samples the topology at run-record time. The CPU model comes
+// from /proc/cpuinfo where available and is empty elsewhere.
+func hostInfo() JSONHost {
+	h := JSONHost{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				h.CPUModel = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	return h
+}
+
 // JSONWorkload records the workload parameters a run measured under.
 type JSONWorkload struct {
 	InitialSize int    `json:"initial_size"`
@@ -58,6 +90,7 @@ type JSONRun struct {
 	Time       string       `json:"time"`
 	GoVersion  string       `json:"go_version"`
 	GoMaxProcs int          `json:"gomaxprocs"`
+	Host       JSONHost     `json:"host"`
 	Scheme     string       `json:"clock_scheme"`
 	Workload   JSONWorkload `json:"workload"`
 	Figures    []JSONFigure `json:"figures"`
@@ -76,6 +109,7 @@ func NewJSONRun(benchName, label, scheme string, w Workload) *JSONRun {
 		Time:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       hostInfo(),
 		Scheme:     scheme,
 		Workload: JSONWorkload{
 			InitialSize: w.InitialSize,

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file serves read bursts from a privatized cache index: Detach
+// freezes the cache behind core.TM.Privatize's quiescence barrier and
+// returns a view whose probes are plain bucket-chain walks — no
+// transactions, no promotion writes, zero allocations per probe. The
+// trade is explicit: a detached burst does not touch recency (the LRU
+// order is frozen with the rest of the structure), which is exactly what
+// a read burst wants — a million probes should not commit a million
+// promotion writes, nor should they evict each other's working set.
+//
+// The fence contract is the caller's, as for TM.Privatize: stop writers
+// to THIS cache before Detach, re-admit them after Republish. Race
+// builds mark every cell of the frozen structure, so a writer that slips
+// the fence fails loudly.
+
+// DetachedCache is a frozen, detached view of a Cache at a fixed epoch:
+// safe for concurrent use by any number of readers. Republish must be
+// called exactly once, after all readers are done.
+type DetachedCache[V any] struct {
+	c *Cache[V]
+	p *core.Private
+
+	// Burst-local statistics: plain atomics, since no transaction is in
+	// flight to carry escrow bumps. Folded back by Republish.
+	hits   atomic.Int64
+	misses atomic.Int64
+	folded atomic.Bool
+}
+
+// Detach privatizes the cache and returns the frozen view. The caller
+// must have fenced new writers away from this cache first.
+func (c *Cache[V]) Detach() (*DetachedCache[V], error) {
+	p, err := c.tm.Privatize()
+	if err != nil {
+		return nil, err
+	}
+	d := &DetachedCache[V]{c: c, p: p}
+	if core.PrivatizeGuardsEnabled {
+		// Guard walk (race builds only): arm the loud-error rails on the
+		// directory, the recency links and every entry.
+		c.head.MarkDetached(p)
+		c.tail.MarkDetached(p)
+		c.size.MarkDetached(p)
+		for i := range c.buckets {
+			c.buckets[i].MarkDetached(p)
+			for e := c.buckets[i].LoadDetached(p); e != nil; e = e.hnext.LoadDetached(p) {
+				e.val.MarkDetached(p)
+				e.prev.MarkDetached(p)
+				e.next.MarkDetached(p)
+				e.hnext.MarkDetached(p)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Epoch returns the detach epoch the view is frozen at.
+func (d *DetachedCache[V]) Epoch() uint64 { return d.p.Epoch() }
+
+// Get probes the frozen index with a plain bucket-chain walk. Unlike the
+// transactional Get it never promotes — recency is frozen — and the
+// hit/miss tallies accrue burst-locally until Republish folds them into
+// the cache's escrow counters.
+func (d *DetachedCache[V]) Get(key int) (V, bool) {
+	for e := d.c.bucket(key).LoadDetached(d.p); e != nil; e = e.hnext.LoadDetached(d.p) {
+		if e.key == key {
+			d.hits.Add(1)
+			return e.val.LoadDetached(d.p), true
+		}
+	}
+	d.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of cached entries in the frozen view.
+func (d *DetachedCache[V]) Len() int { return d.c.size.LoadDetached(d.p) }
+
+// Stats returns the burst-local hit/miss tallies so far.
+func (d *DetachedCache[V]) Stats() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
+}
+
+// Republish re-attaches the cache and folds the burst's hit/miss tallies
+// into its escrow counters (one small transaction; a cache serving a
+// read burst wants its hit-rate monitoring to include the burst). The
+// caller may then re-admit writers. Idempotent — only the first call
+// folds. Returns the fold transaction's error, nil on repeat calls.
+func (d *DetachedCache[V]) Republish() error {
+	d.p.Republish()
+	if d.folded.Swap(true) {
+		return nil
+	}
+	h, m := d.hits.Load(), d.misses.Load()
+	if h == 0 && m == 0 {
+		return nil
+	}
+	return d.c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		if h != 0 {
+			d.c.hits.AddTx(tx, h)
+		}
+		if m != 0 {
+			d.c.misses.AddTx(tx, m)
+		}
+		return nil
+	})
+}

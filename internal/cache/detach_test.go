@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCacheDetachServesFrozenIndex detaches a warm cache and checks the
+// plain-probe view: hits return the frozen values, misses miss, recency
+// is untouched (no promotions), and Republish folds the burst tallies
+// into the escrow counters.
+func TestCacheDetachServesFrozenIndex(t *testing.T) {
+	tm := core.New()
+	c := New[int](tm, 64)
+	for i := 0; i < 64; i++ {
+		if _, err := c.Put(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if v, ok := d.Get(i); !ok || v != i*10 {
+			t.Fatalf("detached Get(%d) = %d,%v, want %d,true", i, v, ok, i*10)
+		}
+	}
+	if _, ok := d.Get(999); ok {
+		t.Fatal("detached Get(999) hit")
+	}
+	if got := d.Len(); got != 64 {
+		t.Fatalf("detached Len = %d, want 64", got)
+	}
+	h, m := d.Stats()
+	if h != 64 || m != 1 {
+		t.Fatalf("burst stats = %d hits, %d misses; want 64, 1", h, m)
+	}
+	preHits, preMisses, _ := c.Stats()
+	if err := d.Republish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Republish(); err != nil { // idempotent, no double fold
+		t.Fatal(err)
+	}
+	postHits, postMisses, _ := c.Stats()
+	if postHits != preHits+64 || postMisses != preMisses+1 {
+		t.Fatalf("escrow fold: hits %d->%d misses %d->%d, want +64/+1",
+			preHits, postHits, preMisses, postMisses)
+	}
+	// Republished: the cache accepts writes again and the structure is
+	// intact (the burst promoted nothing and broke nothing).
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		return c.CheckTx(tx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheDetachZeroAllocProbe pins the read-burst cost: a detached
+// probe allocates nothing. (Race builds skip.)
+func TestCacheDetachZeroAllocProbe(t *testing.T) {
+	if core.PrivatizeGuardsEnabled {
+		t.Skip("allocation counts are only meaningful without the race runtime")
+	}
+	tm := core.New()
+	c := New[int](tm, 128)
+	for i := 0; i < 128; i++ {
+		if _, err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Republish()
+	var sink int
+	if avg := testing.AllocsPerRun(200, func() {
+		v, _ := d.Get(77)
+		sink += v
+	}); avg != 0 {
+		t.Fatalf("detached probe allocates %.1f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestCacheDetachGuardRails (race builds) asserts an unfenced writer
+// dies loudly on the marked structure.
+func TestCacheDetachGuardRails(t *testing.T) {
+	if !core.PrivatizeGuardsEnabled {
+		t.Skip("guard rails are compiled in race builds only")
+	}
+	tm := core.New()
+	c := New[int](tm, 8)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unfenced Put into a detached cache did not panic")
+			}
+		}()
+		_, _ = c.Put(3, 99)
+	}()
+	if err := d.Republish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(3, 100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in normal builds: the privatization guard rails
+// compile away and the zero-allocation tests assert exact counts. See
+// racedetect_on.go.
+const raceEnabled = false

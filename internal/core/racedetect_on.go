@@ -1,0 +1,16 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Two things key off it:
+//
+//   - the zero-allocation lifecycle tests skip their exact-alloc
+//     assertions (the race runtime defeats sync.Pool reuse), and
+//   - the privatization guard rails (privatize.go) turn transactional
+//     touches of a detached cell — and detached reads newer than their
+//     epoch — into loud panics instead of silent races.
+//
+// It is a build-tagged constant, so in a normal build every guard branch
+// is dead code the compiler deletes: the hot read/write paths pay nothing.
+const raceEnabled = true

@@ -24,6 +24,9 @@ func (tx *Tx) Load(c *Cell) any {
 func (tx *Tx) load(c *cell) vbox {
 	tx.checkUsable()
 	tx.step()
+	if raceEnabled {
+		tx.tm.privCheck(c)
+	}
 	// Read-your-writes: the write set of list/set operations holds at
 	// most a handful of entries, so a linear scan beats a map.
 	for i := range tx.writes {
@@ -281,6 +284,9 @@ const VersionPending = ^uint64(0)
 func (tx *Tx) loadVersioned(c *cell) (vbox, uint64) {
 	tx.checkUsable()
 	tx.step()
+	if raceEnabled {
+		tx.tm.privCheck(c)
+	}
 	for i := range tx.writes {
 		if tx.writes[i].cell == c {
 			return tx.writes[i].val, VersionPending

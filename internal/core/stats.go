@@ -26,6 +26,7 @@ type counters struct {
 	kills           padUint64
 	extensions      padUint64
 	pins            padUint64
+	privatizes      padUint64
 }
 
 // Stats is a point-in-time snapshot of a TM's counters.
@@ -49,6 +50,8 @@ type Stats struct {
 	Extensions uint64
 	// SnapshotPins counts successful TM.PinSnapshot acquisitions.
 	SnapshotPins uint64
+	// Privatizations counts successful TM.Privatize detach barriers.
+	Privatizations uint64
 }
 
 // TotalAborts sums aborts across all reasons.
@@ -80,6 +83,7 @@ func (c *counters) snapshot() Stats {
 		Kills:            c.kills.Load(),
 		Extensions:       c.extensions.Load(),
 		SnapshotPins:     c.pins.Load(),
+		Privatizations:   c.privatizes.Load(),
 	}
 	for r := AbortReadInvalid; r <= AbortExplicit; r++ {
 		if n := c.aborts[int(r)].Load(); n > 0 {

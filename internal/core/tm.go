@@ -45,6 +45,14 @@ type TM struct {
 	// version-record reclamation (see snapshot.go and cell.retire).
 	pins pinRegistry
 
+	// quiesce tracks in-flight attempts for Privatize's drain barrier;
+	// privMu serializes Privatize calls (each barrier flips a generation);
+	// priv is the race-build registry of detached cells behind the
+	// privatization guard rails. See privatize.go.
+	quiesce quiescer
+	privMu  sync.Mutex
+	priv    privGuard
+
 	// txPool recycles Tx handles (and their read/write/window sets) across
 	// Atomically calls: with it, a read-only transaction allocates nothing.
 	txPool sync.Pool
@@ -387,11 +395,10 @@ func (tm *TM) atomicallyAt(ctx context.Context, sem Semantics, pinned bool, pinV
 			default:
 			}
 		}
-		tx.beginAttempt()
-		err := tx.run(fn)
+		err, committed := tm.runAttempt(tx, fn)
 		switch {
 		case err == nil:
-			if tx.commit() {
+			if committed {
 				tx.runCommitHooks()
 				tm.cm.OnCommit(tx)
 				if tm.durableAck != nil && len(tx.writes) > 0 {

@@ -29,6 +29,9 @@ func (tx *Tx) store(c *cell, v vbox) {
 		panic(permanentError{err: &SemanticsError{Sem: Snapshot, Op: "store"}})
 	}
 	tx.step()
+	if raceEnabled {
+		tx.tm.privCheck(c)
+	}
 	if tx.sem == Elastic && !tx.hasWrites {
 		tx.sealElastic()
 	}

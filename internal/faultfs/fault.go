@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Injected fault errors. They deliberately avoid syscall constants so
@@ -69,10 +70,18 @@ func (k OpKind) String() string {
 // Fault is one injected failure verdict.
 type Fault struct {
 	// Err is the error the operation returns (ErrNoSpace, ErrIO, ...).
+	// A Fault with a zero Err and a non-zero Delay is a pure latency
+	// injection: the operation stalls, then succeeds normally.
 	Err error
 	// Short, for writes, is how many bytes still land in the page cache
 	// before the error — the short-write model. Ignored by other ops.
 	Short int
+	// Delay stalls the operation before its outcome applies — the slow-
+	// device model (a write stall, an fsync that takes its time). Honored
+	// on OpWrite and OpSync, the durability hot path; the stall happens
+	// outside the filesystem lock, so a slow file blocks its caller, not
+	// every other handle. Delay-only faults on other ops are ignored.
+	Delay time.Duration
 }
 
 // Injector decides, per fallible operation, whether it fails. n is the
@@ -132,6 +141,37 @@ func (s *seeded) Fault(n int, op OpKind, path string) *Fault {
 	default:
 		return &Fault{Err: ErrNoSpace, Short: -1} // -1: half the write, resolved at the site
 	}
+}
+
+// latency injects pure delays (no errors) on the write/sync hot path
+// with a fixed probability: the slow-device schedule.
+type latency struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	perMille int
+	stall    time.Duration
+}
+
+// NewLatencyInjector returns an Injector that stalls each write or fsync
+// with probability perMille/1000 for a jittered duration in
+// [stall/2, 3*stall/2], never failing anything — the seeded slow-disk
+// schedule for exercising group-commit backpressure. The same seed over
+// the same operation stream replays the same stalls.
+func NewLatencyInjector(seed uint64, perMille int, stall time.Duration) Injector {
+	return &latency{rng: rand.New(rand.NewSource(int64(seed))), perMille: perMille, stall: stall}
+}
+
+func (l *latency) Fault(n int, op OpKind, path string) *Fault {
+	if op != OpWrite && op != OpSync {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rng.Intn(1000) >= l.perMille {
+		return nil
+	}
+	d := l.stall/2 + time.Duration(l.rng.Int63n(int64(l.stall)+1))
+	return &Fault{Delay: d}
 }
 
 // TraceOp is one recorded mutation — enough to replay the disk history
@@ -235,7 +275,27 @@ func (f *FaultFS) decide(op OpKind, path string, writeLen int) *Fault {
 	if ft != nil && op == OpWrite && ft.Short < 0 {
 		ft.Short = writeLen / 2
 	}
+	if ft != nil && ft.Err == nil && op != OpWrite && op != OpSync {
+		// Delay-only faults are modeled on the write/sync hot path only;
+		// elsewhere a fault without an error would read as a failure with
+		// a nil cause at the call sites.
+		return nil
+	}
 	return ft
+}
+
+// stall sleeps out a fault's injected delay outside the lock, then
+// re-checks the handle (it may have been closed while sleeping). Callers
+// hold mu on entry and on return; the return value reports whether the
+// handle is still usable.
+func (m *memFile) stall(ft *Fault) bool {
+	if ft == nil || ft.Delay <= 0 {
+		return true
+	}
+	m.fs.mu.Unlock()
+	time.Sleep(ft.Delay)
+	m.fs.mu.Lock()
+	return !m.closed
 }
 
 // record appends one trace op. Callers hold mu.
@@ -410,7 +470,11 @@ func (m *memFile) Write(p []byte) (int, error) {
 	if m.closed || !m.writable {
 		return 0, fs.ErrClosed
 	}
-	if ft := m.fs.decide(OpWrite, m.path, len(p)); ft != nil {
+	ft := m.fs.decide(OpWrite, m.path, len(p))
+	if !m.stall(ft) {
+		return 0, fs.ErrClosed
+	}
+	if ft != nil && ft.Err != nil {
 		short := min(ft.Short, len(p))
 		m.node.data = append(m.node.data, p[:short]...)
 		m.fs.lastWrite = m.path
@@ -434,7 +498,11 @@ func (m *memFile) Sync() error {
 	if m.closed {
 		return fs.ErrClosed
 	}
-	if ft := m.fs.decide(OpSync, m.path, 0); ft != nil {
+	ft := m.fs.decide(OpSync, m.path, 0)
+	if !m.stall(ft) {
+		return fs.ErrClosed
+	}
+	if ft != nil && ft.Err != nil {
 		m.node.data = append([]byte(nil), m.node.synced...)
 		m.fs.record(TraceOp{Kind: OpSync, Path: m.path})
 		return pathErr("sync", m.path, ft.Err)

@@ -45,6 +45,12 @@ const (
 	// never joins it; it exists so the cycle enters the seeded input
 	// digest and the report's op count.
 	OpBackup
+	// OpDetach marks one privatization cycle of the privatize workload:
+	// fence → detach barrier → plain read burst → republish → unfence.
+	// Like OpBackup it is recorded with TxID 0 and checked out-of-band
+	// (every frozen read must equal the model exactly at the detach
+	// epoch).
+	OpDetach
 )
 
 // String names the op for failure messages.
@@ -84,6 +90,8 @@ func (k OpKind) String() string {
 		return "addIfAbsent"
 	case OpBackup:
 		return "backup"
+	case OpDetach:
+		return "detach"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,239 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/txstruct"
+)
+
+// privatizeWorkload storms the privatization read path: a treemap under
+// the usual put/delete/get/len mix, interleaved with detach cycles that
+// fence the writers, privatize the tree behind the quiescence barrier,
+// take plain (non-transactional) reads of the frozen view, republish and
+// re-admit the writers.
+//
+// The checker holds every detached observation to the EXACT model state
+// at the cycle's epoch — not a window. checkMapModel validates the
+// transactional ops as usual; the detach cycles then replay against
+// mapTimeline: a frozen Get or Len that disagrees with the model's
+// binding at the detach epoch means the barrier admitted a torn commit
+// or leaked one from after the epoch into the privatized view.
+//
+// The fence is a transactional bool the workers read first in every
+// transaction: when set they commit without touching the tree (recorded
+// as an op-less read-only record, so the history checker still joins the
+// transaction but has nothing to verify). The detach cycle commits the
+// fence BEFORE Privatize — any writer that read it unset is in flight
+// and drained by the barrier, so its commit lands at or before the
+// epoch; any writer starting later reads it set.
+type privatizeWorkload struct {
+	tm    *core.TM
+	m     *txstruct.TreeMapOf[int]
+	fence *core.TypedCell[bool]
+	keys  int
+
+	mu     sync.Mutex // serializes detach cycles, guards cycles
+	cycles []privCycle
+
+	fencedSkips atomic.Int64
+	frozenReads atomic.Int64
+}
+
+// privCycle is one detach→read-burst→republish cycle's observations.
+type privCycle struct {
+	epoch uint64
+	len   int
+	obs   []privObs
+}
+
+// privObs is one plain read of the frozen view.
+type privObs struct {
+	key   int
+	found bool
+	val   int
+}
+
+func newPrivatizeWorkload(tm *core.TM, keys int) *privatizeWorkload {
+	return &privatizeWorkload{
+		tm:    tm,
+		m:     txstruct.NewTreeMapOf[int](tm, core.Snapshot),
+		fence: core.NewTypedCell(tm, false),
+		keys:  keys,
+	}
+}
+
+func (w *privatizeWorkload) name() string { return "privatize" }
+
+func (w *privatizeWorkload) prepopulate(rng *rand.Rand) ([]OpRecord, error) {
+	var recs []OpRecord
+	for i := 0; i < w.keys/2; i++ {
+		rec, err := w.exec(core.Classic, Op{Kind: OpPut, Key: rng.Intn(w.keys), Val: rng.Intn(1 << 16)})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (w *privatizeWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
+	roll := rng.Intn(100)
+	key := rng.Intn(w.keys)
+	// Elastic is excluded by the privatization fence contract (an elastic
+	// window cut may drop the fence read from revalidation), so updaters
+	// and readers both stay classic/snapshot.
+	classicOnly := []core.Semantics{core.Classic}
+	reads := []core.Semantics{core.Classic, core.Snapshot}
+	switch {
+	case roll < 28:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpPut, Key: key, Val: rng.Intn(1 << 16)})
+	case roll < 50:
+		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpDelete, Key: key})
+	case roll < 78:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpGet, Key: key})
+	case roll < 92:
+		return w.exec(mix.pick(rng, reads), Op{Kind: OpLen})
+	default:
+		return w.detachCycle(rng)
+	}
+}
+
+// exec runs one fenced transactional op: every transaction reads the
+// fence first and commits without touching the tree when it is set.
+func (w *privatizeWorkload) exec(sem core.Semantics, op Op) (OpRecord, error) {
+	var txid uint64
+	var fenced bool
+	err := w.tm.Atomically(sem, func(tx *core.Tx) error {
+		txid = tx.ID()
+		fenced = w.fence.Load(tx)
+		if fenced {
+			return nil
+		}
+		switch op.Kind {
+		case OpPut:
+			op.Bool = w.m.PutTx(tx, op.Key, op.Val)
+		case OpDelete:
+			op.Bool = w.m.DeleteTx(tx, op.Key)
+		case OpGet:
+			op.Int, op.Bool = w.m.GetTx(tx, op.Key)
+		case OpLen:
+			op.Int = w.m.LenTx(tx)
+		}
+		return nil
+	})
+	if err != nil {
+		return OpRecord{}, err
+	}
+	if fenced {
+		w.fencedSkips.Add(1)
+		return OpRecord{TxID: txid, Sem: sem}, nil
+	}
+	return OpRecord{TxID: txid, Sem: sem, Ops: []Op{op}}, nil
+}
+
+func (w *privatizeWorkload) setFence(v bool) error {
+	return w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		w.fence.Store(tx, v)
+		return nil
+	})
+}
+
+// detachCycle runs one full privatization cycle. Like the persist
+// workload's backup cycle it is recorded with TxID 0 — the cycle spans
+// the fence transactions and a non-transactional read burst, none of
+// which serializes one abstract map op — so the history checker never
+// joins it; its observations are held to the model by check instead.
+func (w *privatizeWorkload) detachCycle(rng *rand.Rand) (OpRecord, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.setFence(true); err != nil {
+		return OpRecord{}, err
+	}
+	d, err := w.m.Detach()
+	if err != nil {
+		return OpRecord{}, err
+	}
+	cy := privCycle{epoch: d.Epoch(), len: d.Len()}
+	for i := 0; i < 8; i++ {
+		k := rng.Intn(w.keys)
+		v, found := d.Get(k)
+		cy.obs = append(cy.obs, privObs{key: k, found: found, val: v})
+	}
+	w.frozenReads.Add(int64(len(cy.obs) + 1))
+	d.Republish()
+	if err := w.setFence(false); err != nil {
+		return OpRecord{}, err
+	}
+	w.cycles = append(w.cycles, cy)
+	return OpRecord{Sem: core.Snapshot, Ops: []Op{{Kind: OpDetach}}}, nil
+}
+
+func (w *privatizeWorkload) check(log *history.ExecLog, recs []OpRecord) error {
+	vals, err := checkMapModel(log, recs)
+	if err != nil {
+		return err
+	}
+	tl := mapTimeline(log, recs)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, cy := range w.cycles {
+		n := 0
+		for k := 0; k < w.keys; k++ {
+			if present, _ := tl.at(k, cy.epoch); present {
+				n++
+			}
+		}
+		if n != cy.len {
+			return fmt.Errorf("privatize: cycle %d frozen Len = %d, model holds %d exactly at epoch %d",
+				i, cy.len, n, cy.epoch)
+		}
+		for _, o := range cy.obs {
+			present, v := tl.at(o.key, cy.epoch)
+			if present != o.found || (present && v != o.val) {
+				return fmt.Errorf("privatize: cycle %d detached Get(%d) = (found=%v,val=%d), model holds (found=%v,val=%d) exactly at epoch %d",
+					i, o.key, o.found, o.val, present, v, cy.epoch)
+			}
+		}
+	}
+	// Final live-vs-model comparison: republish cycles must not have lost
+	// or resurrected updates.
+	keys, err := w.m.Keys()
+	if err != nil {
+		return err
+	}
+	want := make([]int, 0, len(vals))
+	for k := range vals {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	if len(keys) != len(want) {
+		return fmt.Errorf("privatize: final key count %d, model has %d", len(keys), len(want))
+	}
+	for i, k := range want {
+		if keys[i] != k {
+			return fmt.Errorf("privatize: final key[%d] = %d, model has %d", i, keys[i], k)
+		}
+		v, found, err := w.m.Get(k)
+		if err != nil {
+			return err
+		}
+		if !found || v != vals[k] {
+			return fmt.Errorf("privatize: final value of %d is %d (found=%v), model has %d",
+				k, v, found, vals[k])
+		}
+	}
+	return nil
+}
+
+func (w *privatizeWorkload) notes() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return []string{fmt.Sprintf("privatize: %d detach cycles, %d frozen reads, %d fenced skips",
+		len(w.cycles), w.frozenReads.Load(), w.fencedSkips.Load())}
+}

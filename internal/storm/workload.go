@@ -33,9 +33,12 @@ type workload interface {
 // and invariant checking. "persist" is the crash-recovery storm: map
 // mutations interleaved with on-disk full+diff backup chains, every
 // checkpoint reloaded into a fresh TM and held to the model's state at its
-// pin version.
+// pin version. "privatize" storms the detach/republish read path: fenced
+// map mutations interleaved with quiescence-barrier privatization cycles
+// whose plain frozen reads are held to the model exactly at the detach
+// epoch.
 func Workloads() []string {
-	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache", "persist"}
+	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache", "persist", "privatize"}
 }
 
 func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
@@ -70,6 +73,8 @@ func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
 		return newCacheWorkload(tm, keys), nil
 	case "persist":
 		return newPersistWorkload(tm, keys)
+	case "privatize":
+		return newPrivatizeWorkload(tm, keys), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Workloads())
 	}

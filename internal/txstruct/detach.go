@@ -1,0 +1,137 @@
+package txstruct
+
+import "repro/internal/core"
+
+// This file is the structure-level privatization skin: TreeMapOf.Detach
+// freezes the whole tree behind core.TM.Privatize's quiescence barrier
+// and returns a view whose lookups and traversals are plain pointer
+// walks — no transactions, no version sampling, zero allocations per
+// operation — until Republish re-attaches it.
+//
+// The fence contract is the caller's, exactly as for TM.Privatize: stop
+// new writers to THIS map before calling Detach (other maps and cells of
+// the TM may keep committing freely — the barrier drains in-flight
+// transactions TM-wide, but only this map must stay write-free while
+// detached). In race builds Detach walks the frozen tree once and marks
+// every node cell, so a writer that slips the fence panics loudly at its
+// first touch.
+
+// DetachedTreeMapOf is a frozen, detached view of a TreeMapOf at a fixed
+// epoch: safe for concurrent use by any number of readers with no
+// synchronization among them. Republish must be called exactly once,
+// after all readers are done.
+type DetachedTreeMapOf[V any] struct {
+	m *TreeMapOf[V]
+	p *core.Private
+}
+
+// Detach privatizes the map: it drains every in-flight transaction of
+// the map's TM behind the quiescence barrier, draws the detach epoch,
+// and returns the frozen view. The caller must have fenced new writers
+// away from this map first.
+func (m *TreeMapOf[V]) Detach() (*DetachedTreeMapOf[V], error) {
+	p, err := m.tm.Privatize()
+	if err != nil {
+		return nil, err
+	}
+	d := &DetachedTreeMapOf[V]{m: m, p: p}
+	if core.PrivatizeGuardsEnabled {
+		// Guard walk (race builds only): arm the loud-error rails on
+		// every cell of the frozen tree, root included.
+		m.root.MarkDetached(p)
+		var mark func(n *tnode[V])
+		mark = func(n *tnode[V]) {
+			if n == nil {
+				return
+			}
+			n.val.MarkDetached(p)
+			n.left.MarkDetached(p)
+			n.right.MarkDetached(p)
+			n.red.MarkDetached(p)
+			mark(n.left.LoadDetached(p))
+			mark(n.right.LoadDetached(p))
+		}
+		mark(m.root.LoadDetached(p))
+	}
+	return d, nil
+}
+
+// Epoch returns the detach epoch the view is frozen at.
+func (d *DetachedTreeMapOf[V]) Epoch() uint64 { return d.p.Epoch() }
+
+// Republish re-attaches the map: the view becomes invalid and the caller
+// may re-admit writers (clear the fence AFTER Republish returns).
+// Subsequent commits draw versions past the epoch, so the republished
+// map's history is well-ordered after everything the view observed.
+// Idempotent.
+func (d *DetachedTreeMapOf[V]) Republish() { d.p.Republish() }
+
+// Get returns the value bound to key in the frozen view: a plain tree
+// descent, no transaction.
+func (d *DetachedTreeMapOf[V]) Get(key int) (V, bool) {
+	n := d.m.root.LoadDetached(d.p)
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left.LoadDetached(d.p)
+		case key > n.key:
+			n = n.right.LoadDetached(d.p)
+		default:
+			return n.val.LoadDetached(d.p), true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Len counts the bindings in the frozen view.
+func (d *DetachedTreeMapOf[V]) Len() int {
+	n := 0
+	d.Ascend(func(int, V) bool { n++; return true })
+	return n
+}
+
+// Ascend visits bindings in ascending key order, stopping when fn
+// returns false.
+func (d *DetachedTreeMapOf[V]) Ascend(fn func(key int, val V) bool) {
+	var walk func(h *tnode[V]) bool
+	walk = func(h *tnode[V]) bool {
+		if h == nil {
+			return true
+		}
+		if !walk(h.left.LoadDetached(d.p)) {
+			return false
+		}
+		if !fn(h.key, h.val.LoadDetached(d.p)) {
+			return false
+		}
+		return walk(h.right.LoadDetached(d.p))
+	}
+	walk(d.m.root.LoadDetached(d.p))
+}
+
+// Range visits bindings with lo <= key <= hi ascending, pruning subtrees
+// outside the range, stopping when fn returns false.
+func (d *DetachedTreeMapOf[V]) Range(lo, hi int, fn func(key int, val V) bool) {
+	var walk func(h *tnode[V]) bool
+	walk = func(h *tnode[V]) bool {
+		if h == nil {
+			return true
+		}
+		if h.key > lo {
+			if !walk(h.left.LoadDetached(d.p)) {
+				return false
+			}
+		}
+		if h.key >= lo && h.key <= hi {
+			if !fn(h.key, h.val.LoadDetached(d.p)) {
+				return false
+			}
+		}
+		if h.key < hi {
+			return walk(h.right.LoadDetached(d.p))
+		}
+		return true
+	}
+	walk(d.m.root.LoadDetached(d.p))
+}

@@ -1,0 +1,202 @@
+package txstruct
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTreeMapDetachFrozenView populates a tree, detaches it, and checks
+// every read surface of the frozen view against the transactional truth
+// taken at the same instant.
+func TestTreeMapDetachFrozenView(t *testing.T) {
+	tm := core.New()
+	m := NewTreeMapOf[int](tm, 0)
+	want := map[int]int{}
+	for i := 0; i < 200; i++ {
+		k := (i * 37) % 101
+		if _, err := m.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = i
+	}
+	d, err := m.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Republish()
+
+	for k, v := range want {
+		got, ok := d.Get(k)
+		if !ok || got != v {
+			t.Fatalf("detached Get(%d) = %d,%v, want %d,true", k, got, ok, v)
+		}
+	}
+	if _, ok := d.Get(-1); ok {
+		t.Fatal("detached Get(-1) found a binding")
+	}
+	if got := d.Len(); got != len(want) {
+		t.Fatalf("detached Len = %d, want %d", got, len(want))
+	}
+	prev := -1
+	n := 0
+	d.Ascend(func(k, v int) bool {
+		if k <= prev {
+			t.Fatalf("Ascend out of order: %d after %d", k, prev)
+		}
+		if want[k] != v {
+			t.Fatalf("Ascend val for %d = %d, want %d", k, v, want[k])
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != len(want) {
+		t.Fatalf("Ascend visited %d, want %d", n, len(want))
+	}
+	var ranged []int
+	d.Range(10, 30, func(k, _ int) bool {
+		ranged = append(ranged, k)
+		return true
+	})
+	for _, k := range ranged {
+		if k < 10 || k > 30 {
+			t.Fatalf("Range(10,30) yielded %d", k)
+		}
+	}
+	if d.Epoch() == 0 {
+		t.Fatal("epoch 0 after update commits")
+	}
+}
+
+// TestTreeMapDetachRepublishResumes checks the full cycle: writers
+// fenced, detach, burst, republish, writers resume — with the
+// post-republish commits landing (no lost updates) and a second detach
+// observing them.
+func TestTreeMapDetachRepublishResumes(t *testing.T) {
+	tm := core.New()
+	m := NewTreeMapOf[int](tm, 0)
+	fence := core.NewTypedCell(tm, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = tm.Atomically(core.Classic, func(tx *core.Tx) error {
+					if fence.Load(tx) {
+						return nil
+					}
+					m.PutTx(tx, w*1000+i%50, i)
+					return nil
+				})
+			}
+		}(w)
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			fence.Store(tx, true)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Detach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, l2 := d.Len(), d.Len()
+		if l1 != l2 {
+			t.Fatalf("cycle %d: frozen view moved: Len %d then %d", cycle, l1, l2)
+		}
+		d.Republish()
+		if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+			fence.Store(tx, false)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Post-republish commits landed: a marker put after the last cycle is
+	// visible both transactionally and through a fresh detach.
+	if _, err := m.Put(-7, 42); err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Get(-7); !ok || v != 42 {
+		t.Fatalf("post-republish marker = %d,%v through fresh detach, want 42,true", v, ok)
+	}
+	d.Republish()
+}
+
+// TestTreeMapDetachZeroAlloc pins the zero-STM-tax claim at the
+// structure level: a detached lookup allocates nothing. (Race builds
+// skip — instrumentation allocates.)
+func TestTreeMapDetachZeroAlloc(t *testing.T) {
+	if core.PrivatizeGuardsEnabled {
+		t.Skip("allocation counts are only meaningful without the race runtime")
+	}
+	tm := core.New()
+	m := NewTreeMapOf[int](tm, 0)
+	for i := 0; i < 128; i++ {
+		if _, err := m.Put(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := m.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Republish()
+	var sink int
+	if avg := testing.AllocsPerRun(200, func() {
+		v, _ := d.Get(63)
+		sink += v
+	}); avg != 0 {
+		t.Fatalf("detached Get allocates %.1f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestTreeMapDetachGuardRails (race builds) asserts a writer slipping
+// the fence dies loudly on the marked tree.
+func TestTreeMapDetachGuardRails(t *testing.T) {
+	if !core.PrivatizeGuardsEnabled {
+		t.Skip("guard rails are compiled in race builds only")
+	}
+	tm := core.New()
+	m := NewTreeMapOf[int](tm, 0)
+	for i := 0; i < 16; i++ {
+		if _, err := m.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := m.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unfenced PutTx into a detached tree did not panic")
+			}
+		}()
+		_, _ = m.Put(3, 99)
+	}()
+	d.Republish()
+	// Legal again after republish.
+	if _, err := m.Put(3, 100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -64,6 +64,13 @@ type (
 	// soon as possible (each pinned-over commit retains one extra version
 	// record per overwritten cell until Release).
 	SnapshotPin = core.SnapshotPin
+	// Private is a detached, frozen view of a TM's state at a fixed
+	// epoch, returned by TM.Privatize after a quiescence barrier: reads
+	// through it are plain loads — no transaction, no version sampling,
+	// zero allocations — until Republish re-attaches the region. Fence
+	// new writers away from the region before privatizing (see
+	// core.ExampleTM_Privatize); the barrier drains the in-flight ones.
+	Private = core.Private
 )
 
 // Transaction semantics labels (the tx-begin hint of section 5).
