@@ -9,7 +9,7 @@
 //	collectionbench [-fig 5|7|9|all|none] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
 //	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
-//	                [-cache] [-persist] [-readpath] [-procs 2,4,8]
+//	                [-cache] [-persist] [-readpath] [-shards] [-procs 2,4,8]
 //	                [-json] [-out BENCH_collection.json]
 //	                [-label run] [-soak=true]
 //
@@ -25,6 +25,12 @@
 // invocation measures a true many-core sweep; each repetition is its own
 // trajectory run and the recorded host topology (CPU count, model,
 // GOMAXPROCS) keeps them interpretable.
+//
+// -shards appends the partitioned-store sweep (internal/shard): the
+// paper's Collection mix (-update point updates, -sizepct whole-domain
+// atomic scans) behind 1/2/4/8 independent clock domains on disjoint
+// worker key stripes, then a cross-shard mix sweep at 4 shards pricing
+// the 2PC coordinator against the single-shard fast path.
 //
 // -persist appends a durable-persistence sweep (internal/persistmap):
 // pinned full backup, pin-to-pin incremental diff, on-disk chain write,
@@ -94,6 +100,7 @@ func run(args []string) error {
 		cacheFl  = fs.Bool("cache", false, "also sweep the transactional LRU cache (internal/cache)")
 		persist  = fs.Bool("persist", false, "also sweep the durable persistence pipeline (internal/persistmap)")
 		readpath = fs.Bool("readpath", false, "also sweep the privatization read path (classic vs pinned vs privatized reads)")
+		shardsFl = fs.Bool("shards", false, "also sweep the partitioned store (threads × shard count, plus cross-shard mix ratio)")
 		procsFl  = fs.String("procs", "", "comma-separated GOMAXPROCS values: repeat the whole run per value (empty = current setting)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -221,6 +228,12 @@ func run(args []string) error {
 		if *readpath {
 			fmt.Println()
 			if err := bench.RunReadPathSweep(os.Stdout, rec, *size, ths, *dur, core.WithClockScheme(scheme)); err != nil {
+				return err
+			}
+		}
+		if *shardsFl {
+			fmt.Println()
+			if err := bench.RunShardSweep(os.Stdout, rec, *size, *update, *sizePct, ths, *dur, core.WithClockScheme(scheme)); err != nil {
 				return err
 			}
 		}

@@ -303,6 +303,8 @@ func Run(f Factory, w Workload) (Result, error) {
 // Series is one implementation's speedup-over-sequential curve.
 type Series struct {
 	Impl     string
+	Shards   int // partitioned-store sweeps: shard count behind this curve (0 = unsharded)
+	CrossPct int // partitioned-store sweeps: % of operations that were cross-shard
 	Threads  []int
 	Speedups []float64
 	Raw      []Result

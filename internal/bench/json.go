@@ -29,10 +29,15 @@ type JSONPoint struct {
 	HitRate    float64 `json:"hit_rate,omitempty"` // cache-sweep points only
 }
 
-// JSONSeries is one implementation's curve within a figure.
+// JSONSeries is one implementation's curve within a figure. Shards and
+// CrossPct are set by the partitioned-store sweeps, so a trajectory
+// consumer can tell a 4-shard disjoint-key curve from a 25%-cross-shard
+// one without parsing the Impl label.
 type JSONSeries struct {
-	Impl   string      `json:"impl"`
-	Points []JSONPoint `json:"points"`
+	Impl     string      `json:"impl"`
+	Shards   int         `json:"shards,omitempty"`
+	CrossPct int         `json:"cross_pct,omitempty"`
+	Points   []JSONPoint `json:"points"`
 }
 
 // JSONFigure is one figure of a run: the sequential denominator plus every
@@ -125,7 +130,7 @@ func NewJSONRun(benchName, label, scheme string, w Workload) *JSONRun {
 func (r *JSONRun) AddFigure(name string, series []Series, seq Result) {
 	jf := JSONFigure{Name: name, SeqOpsPerSec: seq.Throughput}
 	for _, s := range series {
-		js := JSONSeries{Impl: s.Impl}
+		js := JSONSeries{Impl: s.Impl, Shards: s.Shards, CrossPct: s.CrossPct}
 		for i, raw := range s.Raw {
 			js.Points = append(js.Points, JSONPoint{
 				Threads:    raw.Threads,

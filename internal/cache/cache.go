@@ -83,6 +83,17 @@ func New[V any](tm *core.TM, capacity int) *Cache[V] {
 // Capacity returns the configured bound.
 func (c *Cache[V]) Capacity() int { return c.capacity }
 
+// owns panics when tx was begun on a different TM than the cache's own.
+// With several TMs in one process (internal/shard partitions), a foreign
+// transaction reading these cells would mix two clock domains' versions,
+// and its escrow stats hooks would accrue against the wrong commit point
+// — both silently. Misuse panics, like the core runtime's own.
+func (c *Cache[V]) owns(tx *core.Tx) {
+	if tx.TM() != c.tm {
+		panic("cache: transaction belongs to a different TM than this cache")
+	}
+}
+
 // bucket returns the chain head cell for key (Fibonacci multiplicative
 // hash, like txstruct.HashSet).
 func (c *Cache[V]) bucket(key int) *core.TypedCell[*entry[V]] {
@@ -104,6 +115,7 @@ func (c *Cache[V]) lookupTx(tx *core.Tx, key int) *entry[V] {
 // used. A hit on a non-head entry therefore writes (the promotion links);
 // use PeekTx for a read-only probe. Hit/miss stats accrue at commit.
 func (c *Cache[V]) GetTx(tx *core.Tx, key int) (V, bool) {
+	c.owns(tx)
 	e := c.lookupTx(tx, key)
 	if e == nil {
 		c.misses.AddTx(tx, 1)
@@ -119,6 +131,7 @@ func (c *Cache[V]) GetTx(tx *core.Tx, key int) (V, bool) {
 // Snapshot semantics it probes a live cache with zero write-path
 // interference.
 func (c *Cache[V]) PeekTx(tx *core.Tx, key int) (V, bool) {
+	c.owns(tx)
 	e := c.lookupTx(tx, key)
 	if e == nil {
 		c.misses.AddTx(tx, 1)
@@ -133,6 +146,7 @@ func (c *Cache[V]) PeekTx(tx *core.Tx, key int) (V, bool) {
 // least recently used entry when the cache is full. It reports whether the
 // key was new.
 func (c *Cache[V]) PutTx(tx *core.Tx, key int, val V) bool {
+	c.owns(tx)
 	if e := c.lookupTx(tx, key); e != nil {
 		e.val.Store(tx, val)
 		c.promoteTx(tx, e)
@@ -157,7 +171,10 @@ func (c *Cache[V]) PutTx(tx *core.Tx, key int, val V) bool {
 }
 
 // LenTx returns the number of cached entries.
-func (c *Cache[V]) LenTx(tx *core.Tx) int { return c.size.Load(tx) }
+func (c *Cache[V]) LenTx(tx *core.Tx) int {
+	c.owns(tx)
+	return c.size.Load(tx)
+}
 
 // promoteTx moves e to the MRU end (no-op when already there).
 func (c *Cache[V]) promoteTx(tx *core.Tx, e *entry[V]) {
@@ -271,6 +288,7 @@ func (c *Cache[V]) Len() (int, error) {
 // and the entry count matches the size cell and respects the capacity
 // bound. Used by the tests and the storm harness.
 func (c *Cache[V]) CheckTx(tx *core.Tx) error {
+	c.owns(tx)
 	seen := make(map[int]*entry[V])
 	var last *entry[V]
 	n := 0

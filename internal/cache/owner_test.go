@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestForeignTxPanics: with two TMs in one process (the shard-partition
+// shape), a transaction begun on the wrong TM must be rejected at the
+// cache boundary — otherwise it would silently mix two clock domains'
+// versions and accrue its stats hooks against the wrong commit point.
+func TestForeignTxPanics(t *testing.T) {
+	tm, other := core.New(), core.New()
+	c := New[int](tm, 8)
+	if _, err := c.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func(tx *core.Tx)) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s with a foreign TM's tx did not panic", name)
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "different TM") {
+				t.Fatalf("%s panic = %v, want the cross-TM message", name, r)
+			}
+		}()
+		_ = other.Atomically(core.Classic, func(tx *core.Tx) error {
+			fn(tx)
+			return nil
+		})
+	}
+	mustPanic("GetTx", func(tx *core.Tx) { c.GetTx(tx, 1) })
+	mustPanic("PeekTx", func(tx *core.Tx) { c.PeekTx(tx, 1) })
+	mustPanic("PutTx", func(tx *core.Tx) { c.PutTx(tx, 2, 20) })
+	mustPanic("LenTx", func(tx *core.Tx) { c.LenTx(tx) })
+	mustPanic("CheckTx", func(tx *core.Tx) { _ = c.CheckTx(tx) })
+	// The owning TM is unaffected by the rejected attempts.
+	if v, ok, err := c.Get(1); err != nil || !ok || v != 10 {
+		t.Fatalf("owning-TM Get after cross-TM rejections = (%d, %v, %v)", v, ok, err)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("owning-TM Len = (%d, %v), want 1", n, err)
+	}
+}

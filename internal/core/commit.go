@@ -40,31 +40,7 @@ func (tx *Tx) commit() bool {
 		return true
 	}
 
-	// Sort the write set by cell ID. Typical write sets are a handful of
-	// entries and often already ordered (structures walk cells in creation
-	// order), so an inline insertion sort beats sort.Slice — which costs a
-	// closure allocation and reflection-based swaps — on every update
-	// commit. Large write sets fall back to the generic pdqsort to avoid
-	// going quadratic.
-	ws := tx.writes
-	const insertionSortMax = 32
-	if len(ws) <= insertionSortMax {
-		for i := 1; i < len(ws); i++ {
-			for j := i; j > 0 && ws[j].cell.id < ws[j-1].cell.id; j-- {
-				ws[j], ws[j-1] = ws[j-1], ws[j]
-			}
-		}
-	} else {
-		slices.SortFunc(ws, func(a, b writeEntry) int {
-			switch {
-			case a.cell.id < b.cell.id:
-				return -1
-			case a.cell.id > b.cell.id:
-				return 1
-			}
-			return 0
-		})
-	}
+	tx.sortWrites()
 	for i := range tx.writes {
 		if !tx.acquire(&tx.writes[i]) {
 			reason := tx.abortReason
@@ -106,6 +82,35 @@ func (tx *Tx) commit() bool {
 	tx.record(Event{Kind: EventCommit, TxID: tx.id.Load(), Attempt: tx.attempt,
 		Sem: tx.sem, Version: wv})
 	return true
+}
+
+// sortWrites orders the write set by cell ID — the global lock-acquisition
+// order shared by single-TM commits and cross-shard prepares. Typical
+// write sets are a handful of entries and often already ordered
+// (structures walk cells in creation order), so an inline insertion sort
+// beats sort.Slice — which costs a closure allocation and reflection-based
+// swaps — on every update commit. Large write sets fall back to the
+// generic pdqsort to avoid going quadratic.
+func (tx *Tx) sortWrites() {
+	ws := tx.writes
+	const insertionSortMax = 32
+	if len(ws) <= insertionSortMax {
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j].cell.id < ws[j-1].cell.id; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+	} else {
+		slices.SortFunc(ws, func(a, b writeEntry) int {
+			switch {
+			case a.cell.id < b.cell.id:
+				return -1
+			case a.cell.id > b.cell.id:
+				return 1
+			}
+			return 0
+		})
+	}
 }
 
 // commitFail releases the first n acquired locks unchanged and records the

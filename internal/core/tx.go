@@ -159,6 +159,13 @@ func (tx *Tx) ID() uint64 { return tx.id.Load() }
 // Semantics returns the semantics label the transaction was started with.
 func (tx *Tx) Semantics() Semantics { return tx.sem }
 
+// TM returns the runtime that owns this transaction. Components that
+// accept a *Tx from the caller (caches, persistence hooks) use it to
+// verify the handle belongs to the TM they were built on — with several
+// TMs in one process, wiring a transaction from one TM into hooks of
+// another would corrupt both.
+func (tx *Tx) TM() *TM { return tx.tm }
+
 // Attempt returns the 1-based attempt number of the current run.
 func (tx *Tx) Attempt() int { return tx.attempt }
 

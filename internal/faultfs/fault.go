@@ -41,6 +41,12 @@ const (
 	OpRemove
 	// OpSyncDir fsyncs a directory's entries.
 	OpSyncDir
+	// OpOpen opens a file for reading. Read-path ops live in their own
+	// fallible-index space (see SetReadInjector) and are never recorded:
+	// the trace is a mutation trace.
+	OpOpen
+	// OpRead reads bytes from an open file.
+	OpRead
 )
 
 // String names the op for diagnostics.
@@ -62,6 +68,10 @@ func (k OpKind) String() string {
 		return "remove"
 	case OpSyncDir:
 		return "syncdir"
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
 	default:
 		return "op?"
 	}
@@ -82,6 +92,13 @@ type Fault struct {
 	// outside the filesystem lock, so a slow file blocks its caller, not
 	// every other handle. Delay-only faults on other ops are ignored.
 	Delay time.Duration
+	// Rot, on OpOpen or OpRead, models bit rot: one bit of the file's
+	// STORED bytes (page cache and platter alike) flips before the
+	// operation proceeds. The operation itself succeeds — the damage
+	// surfaces later, at whatever checksum verifies the content. Rot is
+	// persistent: every subsequent read sees the flipped bit. Ignored on
+	// mutation ops.
+	Rot bool
 }
 
 // Injector decides, per fallible operation, whether it fails. n is the
@@ -140,6 +157,42 @@ func (s *seeded) Fault(n int, op OpKind, path string) *Fault {
 		return &Fault{Err: ErrIO}
 	default:
 		return &Fault{Err: ErrNoSpace, Short: -1} // -1: half the write, resolved at the site
+	}
+}
+
+// readFaults fails read-path ops with a fixed probability, mixing hard
+// errors with silent bit rot.
+type readFaults struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	perMille int
+}
+
+// NewReadFaultInjector returns an Injector for the read path (arm it with
+// SetReadInjector): each Open or Read fails with probability
+// perMille/1000, choosing uniformly among an EIO at read time, bit rot
+// surfacing at Open, and bit rot surfacing mid-Read. The same seed over
+// the same read-op stream replays the same schedule. It never faults
+// mutation ops, so the same value can also be armed as the write-path
+// injector without effect.
+func NewReadFaultInjector(seed uint64, perMille int) Injector {
+	return &readFaults{rng: rand.New(rand.NewSource(int64(seed))), perMille: perMille}
+}
+
+func (r *readFaults) Fault(n int, op OpKind, path string) *Fault {
+	if op != OpOpen && op != OpRead {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rng.Intn(1000) >= r.perMille {
+		return nil
+	}
+	switch {
+	case op == OpRead && r.rng.Intn(2) == 0:
+		return &Fault{Err: ErrIO}
+	default:
+		return &Fault{Rot: true}
 	}
 }
 
@@ -224,6 +277,12 @@ type FaultFS struct {
 	inj      Injector
 	trace    []TraceOp
 	fallible int
+	// readInj and readFallible are the read path's own injector and
+	// fallible-op index space: reads consult readInj only, so arming
+	// read faults never shifts the write path's FailOp indices (and vice
+	// versa), and existing write-path injectors keep their schedules.
+	readInj      Injector
+	readFallible int
 	// lastWrite tracks the file of the most recent write, for the torn-
 	// suffix crash variant.
 	lastWrite string
@@ -239,6 +298,23 @@ func (f *FaultFS) SetInjector(inj Injector) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.inj = inj
+}
+
+// SetReadInjector arms the read path (Open/Read). Read faults are opt-in
+// and independently indexed: a nil read injector (the default) leaves
+// reads infallible, exactly the pre-existing behavior.
+func (f *FaultFS) SetReadInjector(inj Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readInj = inj
+}
+
+// ReadFallible returns how many read-path fallible operations have run —
+// the index space a FailOp armed via SetReadInjector addresses.
+func (f *FaultFS) ReadFallible() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readFallible
 }
 
 // Ops returns the number of recorded mutations: the crash-point explorer
@@ -282,6 +358,37 @@ func (f *FaultFS) decide(op OpKind, path string, writeLen int) *Fault {
 		return nil
 	}
 	return ft
+}
+
+// decideRead consults the read injector for the next read-path op and
+// applies any bit rot to node in place. Callers hold mu. The returned
+// fault's Err (if any) is the operation's outcome; rot alone lets the
+// operation proceed over the damaged bytes.
+func (f *FaultFS) decideRead(op OpKind, path string, node *fileNode) *Fault {
+	n := f.readFallible
+	f.readFallible++
+	if f.readInj == nil {
+		return nil
+	}
+	ft := f.readInj.Fault(n, op, path)
+	if ft != nil && ft.Rot {
+		rotNode(node)
+	}
+	return ft
+}
+
+// rotNode flips one bit in the middle of the stored bytes — page cache
+// and synced image alike, since rot models media decay, not a cache
+// artifact. Empty files have nothing to rot. The flip is NOT recorded in
+// the mutation trace: crash images replay workload mutations, and decayed
+// media is orthogonal to them.
+func rotNode(n *fileNode) {
+	if len(n.data) > 0 {
+		n.data[len(n.data)/2] ^= 0x01
+	}
+	if len(n.synced) > 0 {
+		n.synced[len(n.synced)/2] ^= 0x01
+	}
 }
 
 // stall sleeps out a fault's injected delay outside the lock, then
@@ -350,8 +457,11 @@ func (f *FaultFS) Create(name string, excl bool) (File, error) {
 	return &memFile{fs: f, path: name, node: node, writable: true}, nil
 }
 
-// Open implements FS: read-only, reads the page-cache view. Reads are
-// neither injected nor recorded — the fault surface is the write path.
+// Open implements FS: read-only, reads the page-cache view. With a read
+// injector armed (SetReadInjector), an Open can fail outright or flip a
+// stored bit first (bit rot surfacing at open time); otherwise reads are
+// infallible. Read-path ops are never recorded — the trace is a mutation
+// trace.
 func (f *FaultFS) Open(name string) (File, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -360,7 +470,11 @@ func (f *FaultFS) Open(name string) (File, error) {
 	if d == nil || d.live[base] == nil {
 		return nil, notExist("open", name)
 	}
-	return &memFile{fs: f, path: name, node: d.live[base]}, nil
+	node := d.live[base]
+	if ft := f.decideRead(OpOpen, name, node); ft != nil && ft.Err != nil {
+		return nil, pathErr("open", name, ft.Err)
+	}
+	return &memFile{fs: f, path: name, node: node}, nil
 }
 
 // Rename implements FS. The live entry moves immediately; durability
@@ -456,6 +570,9 @@ func (m *memFile) Read(p []byte) (int, error) {
 	}
 	if m.readOff >= len(m.node.data) {
 		return 0, io.EOF
+	}
+	if ft := m.fs.decideRead(OpRead, m.path, m.node); ft != nil && ft.Err != nil {
+		return 0, pathErr("read", m.path, ft.Err)
 	}
 	n := copy(p, m.node.data[m.readOff:])
 	m.readOff += n

@@ -7,7 +7,10 @@
 // not retryable — a retried Sync "succeeds" over dropped data), and
 // records every mutation so a power cut can be simulated at any operation
 // boundary (CrashImage keeps only bytes covered by a successful sync,
-// plus an optional torn suffix of the last unsynced write).
+// plus an optional torn suffix of the last unsynced write). The read path
+// has its own opt-in fault surface (SetReadInjector): EIO at read time
+// and bit rot — a stored bit flips at Open/Read and surfaces only at
+// whatever checksum verifies the content.
 //
 // The interface is deliberately tiny: exactly the operations
 // persistmap/walsync reach the disk through. Durability semantics are

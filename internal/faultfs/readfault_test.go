@@ -1,0 +1,119 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// setupReadFile creates d/x holding content, fully synced, with no
+// injector armed.
+func setupReadFile(t *testing.T, content []byte) *FaultFS {
+	t.Helper()
+	ffs := New(nil)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("d/x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, content)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	return ffs
+}
+
+// TestReadFaultEIO: a FailOp armed on the read path fails exactly the
+// addressed Read with EIO, and the write path's index space is untouched.
+func TestReadFaultEIO(t *testing.T) {
+	ffs := setupReadFile(t, []byte("payload"))
+	writeOps := ffs.Fallible()
+	// Read op 0 is the Open, op 1 the first Read.
+	ffs.SetReadInjector(FailOp(1, Fault{Err: ErrIO}))
+	f, err := ffs.Open("d/x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, ErrIO) {
+		t.Fatalf("injected read error: %v", err)
+	}
+	// The handle survives a transient EIO; a retry sees the bytes.
+	if _, err := f.Read(make([]byte, 4)); err != nil {
+		t.Fatalf("read after transient EIO: %v", err)
+	}
+	if got := ffs.Fallible(); got != writeOps {
+		t.Fatalf("read ops leaked into the write index space: %d → %d", writeOps, got)
+	}
+	if got := ffs.ReadFallible(); got != 3 {
+		t.Fatalf("ReadFallible = %d, want 3 (open + two reads)", got)
+	}
+}
+
+// TestReadFaultBitRot: rot at open time flips one stored bit —
+// persistently, in both the page cache and the synced image — while the
+// open itself succeeds.
+func TestReadFaultBitRot(t *testing.T) {
+	content := []byte("checksummed content")
+	ffs := setupReadFile(t, content)
+	ffs.SetReadInjector(FailOp(0, Fault{Rot: true}))
+	got := readAll(t, ffs, "d/x")
+	if bytes.Equal(got, content) {
+		t.Fatal("rot at open left the content intact")
+	}
+	want := append([]byte(nil), content...)
+	want[len(want)/2] ^= 0x01
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rot = %q, want exactly one flipped bit: %q", got, want)
+	}
+	// Persistent: later reads (injector exhausted) see the same damage.
+	if again := readAll(t, ffs, "d/x"); !bytes.Equal(again, want) {
+		t.Fatalf("rot did not persist: %q", again)
+	}
+	// Rot is media decay, not a workload mutation: the trace (and so any
+	// crash image) replays only mutations. Compose rot with crash
+	// simulation by arming the image's read injector.
+	img, _ := ffs.CrashImage(ffs.Ops(), 0)
+	if imgGot := readAll(t, img, "d/x"); !bytes.Equal(imgGot, content) {
+		t.Fatalf("crash image replayed rot: %q, want the recorded mutations %q", imgGot, content)
+	}
+}
+
+// TestReadFaultInjectorSchedule: the seeded read injector faults only
+// read ops, deterministically per seed.
+func TestReadFaultInjectorSchedule(t *testing.T) {
+	inj := NewReadFaultInjector(42, 1000) // always fault
+	if ft := inj.Fault(0, OpWrite, "x"); ft != nil {
+		t.Fatalf("read injector faulted a write: %+v", ft)
+	}
+	if ft := inj.Fault(0, OpSync, "x"); ft != nil {
+		t.Fatalf("read injector faulted a sync: %+v", ft)
+	}
+	ft := inj.Fault(0, OpOpen, "x")
+	if ft == nil || !ft.Rot {
+		t.Fatalf("open fault = %+v, want rot (opens never EIO here)", ft)
+	}
+	sawEIO, sawRot := false, false
+	for i := 0; i < 64; i++ {
+		ft := inj.Fault(i, OpRead, "x")
+		if ft == nil {
+			t.Fatal("perMille=1000 injector skipped a read")
+		}
+		if errors.Is(ft.Err, ErrIO) {
+			sawEIO = true
+		}
+		if ft.Rot {
+			sawRot = true
+		}
+	}
+	if !sawEIO || !sawRot {
+		t.Fatalf("read schedule not mixed: eio=%v rot=%v", sawEIO, sawRot)
+	}
+}

@@ -1,0 +1,73 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// synthetic shard logs: one committed updater per (id, ver) pair.
+func shardLog(t *testing.T, pairs ...[2]uint64) *ExecLog {
+	t.Helper()
+	var evs []core.Event
+	for _, p := range pairs {
+		evs = append(evs,
+			core.Event{Kind: core.EventBegin, TxID: p[0], Attempt: 1, Sem: core.Classic, Version: p[1] - 1},
+			core.Event{Kind: core.EventWrite, TxID: p[0], Attempt: 1, Sem: core.Classic, Cell: 1},
+			core.Event{Kind: core.EventCommit, TxID: p[0], Attempt: 1, Sem: core.Classic, Version: p[1]},
+		)
+	}
+	log, err := Analyze(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestCheckCrossShardOrders(t *testing.T) {
+	logs := map[int]*ExecLog{
+		0: shardLog(t, [2]uint64{10, 5}, [2]uint64{11, 7}),
+		1: shardLog(t, [2]uint64{20, 3}, [2]uint64{21, 9}),
+	}
+	good := []CrossDecision{
+		{Seq: 1, Parts: []CrossPart{{Shard: 0, TxID: 10, Version: 5}, {Shard: 1, TxID: 20, Version: 3}}},
+		{Seq: 2, Parts: []CrossPart{{Shard: 0, TxID: 11, Version: 7}, {Shard: 1, TxID: 21, Version: 9}}},
+	}
+	checked, err := CheckCrossShardOrders(logs, good)
+	if err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	if checked != 2 {
+		t.Fatalf("checked = %d; want 2 (one pair per shard)", checked)
+	}
+
+	// Inverted: the coordinator decided 1 before 2, but shard 1's
+	// serialization order (by write version) has them the other way.
+	bad := []CrossDecision{
+		{Seq: 1, Parts: []CrossPart{{Shard: 0, TxID: 10, Version: 5}, {Shard: 1, TxID: 21, Version: 9}}},
+		{Seq: 2, Parts: []CrossPart{{Shard: 0, TxID: 11, Version: 7}, {Shard: 1, TxID: 20, Version: 3}}},
+	}
+	if _, err := CheckCrossShardOrders(logs, bad); err == nil ||
+		!strings.Contains(err.Error(), "inverts the decision order") {
+		t.Fatalf("inverted order not caught: %v", err)
+	}
+
+	// A decision naming a commit the shard never recorded.
+	ghost := []CrossDecision{
+		{Seq: 1, Parts: []CrossPart{{Shard: 0, TxID: 999, Version: 5}}},
+	}
+	if _, err := CheckCrossShardOrders(logs, ghost); err == nil ||
+		!strings.Contains(err.Error(), "never recorded") {
+		t.Fatalf("ghost commit not caught: %v", err)
+	}
+
+	// A version mismatch between coordinator log and shard history.
+	skew := []CrossDecision{
+		{Seq: 1, Parts: []CrossPart{{Shard: 0, TxID: 10, Version: 6}}},
+	}
+	if _, err := CheckCrossShardOrders(logs, skew); err == nil ||
+		!strings.Contains(err.Error(), "serialized at") {
+		t.Fatalf("version skew not caught: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package persistmap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestForeignTxPanics: a transaction begun on a different TM than the
+// map's own must be rejected at the map boundary. Letting it through
+// would stamp WAL records with the wrong clock's commit versions and
+// slip past the durable-ack barrier installed on the owning TM — a
+// recovery corruption that only surfaces after a crash.
+func TestForeignTxPanics(t *testing.T) {
+	tm, other := core.New(), core.New()
+	m := New[int](tm)
+	if _, err := m.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func(tx *core.Tx)) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s with a foreign TM's tx did not panic", name)
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "different TM") {
+				t.Fatalf("%s panic = %v, want the cross-TM message", name, r)
+			}
+		}()
+		_ = other.Atomically(core.Classic, func(tx *core.Tx) error {
+			fn(tx)
+			return nil
+		})
+	}
+	mustPanic("PutTx", func(tx *core.Tx) { m.PutTx(tx, 2, 20) })
+	mustPanic("DeleteTx", func(tx *core.Tx) { m.DeleteTx(tx, 1) })
+	mustPanic("GetTx", func(tx *core.Tx) { m.GetTx(tx, 1) })
+	// The owning TM is unaffected by the rejected attempts.
+	mapEquals(t, m, map[int]int{1: 10}, "owning TM after cross-TM rejections")
+}
+
+// TestAttachWALForeignTMPanics: one WAL serves one clock domain. A second
+// map on a different TM must not be able to attach the same WAL — its
+// records would interleave two clocks' version stamps in one log.
+func TestAttachWALForeignTMPanics(t *testing.T) {
+	dir := t.TempDir()
+	_, _, _, w := walMap(t, dir, WALOptions{})
+	m2 := New[int](core.New())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AttachWAL under a second TM did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "different TM") {
+			t.Fatalf("AttachWAL panic = %v, want the cross-TM message", r)
+		}
+	}()
+	m2.AttachWAL(w, false)
+}
+
+// TestDetachWALReleasesTM: detach severs the WAL's TM binding, so the
+// same WAL may be legitimately re-attached under another TM afterwards
+// (e.g. handing a log directory to a rebuilt domain).
+func TestDetachWALReleasesTM(t *testing.T) {
+	dir := t.TempDir()
+	_, m, _, w := walMap(t, dir, WALOptions{})
+	m.DetachWAL()
+	m2 := New[int](core.New())
+	m2.AttachWAL(w, false) // must not panic
+	if _, err := m2.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -80,7 +80,16 @@ func (m *Map[V]) Tree() *txstruct.TreeMapOf[V] { return m.tree }
 // Note durable mode installs the barrier TM-wide: every update commit on
 // the TM waits on the WAL, and those that did not touch this map (no
 // logged ops) pass through without blocking.
+//
+// Attaching binds the WAL to this map's TM: commit records are stamped
+// with that TM's clock and the durable-ack barrier lives on it, so one
+// WAL cannot serve maps on two different TMs (shard partitions run one
+// WAL per clock domain).
 func (m *Map[V]) AttachWAL(w *WAL[V], durable bool) {
+	if w.tm != nil && w.tm != m.tm {
+		panic("persistmap: WAL is already attached to a map on a different TM")
+	}
+	w.tm = m.tm
 	m.wal = w
 	w.durable = durable
 	if durable {
@@ -103,7 +112,20 @@ func (m *Map[V]) DetachWAL() {
 	if m.wal.durable {
 		m.tm.SetDurableAck(nil)
 	}
+	m.wal.tm = nil
 	m.wal = nil
+}
+
+// owns panics when tx was begun on a different TM than the map's own.
+// With several TMs in one process (internal/shard partitions), a foreign
+// transaction would stamp WAL records with the wrong clock's versions
+// and slip past the durable-ack barrier installed on m.tm — a recovery
+// corruption that surfaces only after a crash. Misuse panics, like the
+// core runtime's own.
+func (m *Map[V]) owns(tx *core.Tx) {
+	if tx.TM() != m.tm {
+		panic("persistmap: transaction belongs to a different TM than this map")
+	}
 }
 
 // PutTx binds key to val inside the caller's transaction, logging the
@@ -111,6 +133,7 @@ func (m *Map[V]) DetachWAL() {
 // writes that must survive a crash go through PutTx/DeleteTx (Put and
 // Delete are their Atomically conveniences).
 func (m *Map[V]) PutTx(tx *core.Tx, key int, val V) bool {
+	m.owns(tx)
 	inserted := m.tree.PutTx(tx, key, val)
 	if m.wal != nil {
 		m.wal.logOp(tx, key, val, false)
@@ -122,6 +145,7 @@ func (m *Map[V]) PutTx(tx *core.Tx, key int, val V) bool {
 // deletion to the attached WAL; it reports whether the key was present.
 // An absent key mutates nothing and logs nothing.
 func (m *Map[V]) DeleteTx(tx *core.Tx, key int) bool {
+	m.owns(tx)
 	removed := m.tree.DeleteTx(tx, key)
 	if removed && m.wal != nil {
 		var zero V
@@ -131,7 +155,10 @@ func (m *Map[V]) DeleteTx(tx *core.Tx, key int) bool {
 }
 
 // GetTx returns the value bound to key inside the caller's transaction.
-func (m *Map[V]) GetTx(tx *core.Tx, key int) (V, bool) { return m.tree.GetTx(tx, key) }
+func (m *Map[V]) GetTx(tx *core.Tx, key int) (V, bool) {
+	m.owns(tx)
+	return m.tree.GetTx(tx, key)
+}
 
 // Put atomically binds key to val; it reports whether the key was new.
 func (m *Map[V]) Put(key int, val V) (inserted bool, err error) {

@@ -128,6 +128,11 @@ type WAL[V any] struct {
 	fs      faultfs.FS
 	d       *walsync.Daemon
 	durable bool
+	// tm is the clock domain this WAL serves, bound at AttachWAL: records
+	// are stamped with its commit versions and its durable-ack barrier is
+	// the one Ack answers, so attaching the same WAL under a second TM is
+	// rejected there.
+	tm *core.TM
 
 	mu sync.Mutex
 	// pending buffers the CURRENT attempt's ops per transaction ID; the

@@ -1,0 +1,48 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ExamplePartition_AtomicallyAll walks through a cross-shard transfer: two
+// accounts living on different shards (different TMs, different clocks)
+// debited and credited in one atomic transaction. Single-shard operations
+// take the coordination-free fast path; only the transfer pays for 2PC.
+func ExamplePartition_AtomicallyAll() {
+	p := shard.New(4)
+	accounts := shard.NewTreeMapOf[int](p, core.Snapshot)
+	accounts.Put(1, 100) // routed to key 1's home shard
+	accounts.Put(2, 100) // routed to key 2's home shard
+
+	// Move 30 from account 1 to account 2 atomically, even when the two
+	// keys live on different shards. The closure may run several times
+	// under contention; reads on every touched shard are validated and
+	// held to the commit decision, so no observer — on any shard — sees
+	// the debit without the credit.
+	err := p.AtomicallyAll(func(m *shard.MultiTx) error {
+		from, _ := accounts.GetTx(m, 1)
+		if from < 30 {
+			return fmt.Errorf("insufficient funds: %d", from)
+		}
+		to, _ := accounts.GetTx(m, 2)
+		accounts.PutTx(m, 1, from-30)
+		accounts.PutTx(m, 2, to+30)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("transfer failed:", err)
+		return
+	}
+
+	v1, _, _ := accounts.Get(1)
+	v2, _, _ := accounts.Get(2)
+	total, _ := accounts.Len()
+	fmt.Printf("account 1: %d\naccount 2: %d\naccounts: %d\n", v1, v2, total)
+	// Output:
+	// account 1: 70
+	// account 2: 130
+	// accounts: 2
+}

@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+func TestTreeMapFastPath(t *testing.T) {
+	p := New(4)
+	m := NewTreeMapOf[int](p, core.Snapshot)
+	const n = 500
+	for k := 0; k < n; k++ {
+		ins, err := m.Put(k, k*10)
+		if err != nil || !ins {
+			t.Fatalf("Put(%d) = %v, %v", k, ins, err)
+		}
+	}
+	for k := 0; k < n; k++ {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok || v != k*10 {
+			t.Fatalf("Get(%d) = %d, %v, %v", k, v, ok, err)
+		}
+	}
+	if l, err := m.Len(); err != nil || l != n {
+		t.Fatalf("Len = %d, %v; want %d", l, err, n)
+	}
+	// Keys should actually spread: no shard may hold everything.
+	for i := 0; i < p.Shards(); i++ {
+		l, err := m.Tree(i).Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == 0 || l == n {
+			t.Fatalf("shard %d holds %d of %d keys: routing did not spread", i, l, n)
+		}
+	}
+	for k := 0; k < n; k += 2 {
+		if rm, err := m.Delete(k); err != nil || !rm {
+			t.Fatalf("Delete(%d) = %v, %v", k, rm, err)
+		}
+	}
+	if l, err := m.Len(); err != nil || l != n/2 {
+		t.Fatalf("Len after deletes = %d, %v; want %d", l, err, n/2)
+	}
+}
+
+func TestAtomicallyAllTransfer(t *testing.T) {
+	p := New(2)
+	a := core.NewTypedCell(p.TM(0), 100)
+	b := core.NewTypedCell(p.TM(1), 100)
+	err := p.AtomicallyAll(func(m *MultiTx) error {
+		a.Store(m.Shard(0), a.Load(m.Shard(0))-30)
+		b.Store(m.Shard(1), b.Load(m.Shard(1))+30)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var va, vb int
+	p.Atomically(0, core.Classic, func(tx *core.Tx) error { va = a.Load(tx); return nil })
+	p.Atomically(1, core.Classic, func(tx *core.Tx) error { vb = b.Load(tx); return nil })
+	if va != 70 || vb != 130 {
+		t.Fatalf("after transfer: a=%d b=%d; want 70/130", va, vb)
+	}
+}
+
+func TestAtomicallyAllUserErrorAborts(t *testing.T) {
+	p := New(2)
+	a := core.NewTypedCell(p.TM(0), 1)
+	b := core.NewTypedCell(p.TM(1), 1)
+	boom := errors.New("boom")
+	err := p.AtomicallyAll(func(m *MultiTx) error {
+		a.Store(m.Shard(0), 99)
+		b.Store(m.Shard(1), 99)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	var va, vb int
+	p.Atomically(0, core.Classic, func(tx *core.Tx) error { va = a.Load(tx); return nil })
+	p.Atomically(1, core.Classic, func(tx *core.Tx) error { vb = b.Load(tx); return nil })
+	if va != 1 || vb != 1 {
+		t.Fatalf("user error leaked writes: a=%d b=%d", va, vb)
+	}
+}
+
+// TestAtomicallyAllDeferHooks verifies Tx.Defer on sub-transactions fires
+// with the coordinator's decision — commit hooks on commit, abort hooks
+// (compensations) on user-error abort — which is what CounterOf's escrow
+// rides on.
+func TestAtomicallyAllDeferHooks(t *testing.T) {
+	p := New(2)
+	var committed, compensated int
+	err := p.AtomicallyAll(func(m *MultiTx) error {
+		m.Shard(0).Defer(func() { committed++ }, func() { compensated++ })
+		m.Shard(1).Defer(func() { committed++ }, func() { compensated++ })
+		return nil
+	})
+	if err != nil || committed != 2 || compensated != 0 {
+		t.Fatalf("commit hooks: err=%v committed=%d compensated=%d", err, committed, compensated)
+	}
+	boom := errors.New("boom")
+	p.AtomicallyAll(func(m *MultiTx) error {
+		m.Shard(0).Defer(func() { committed++ }, func() { compensated++ })
+		return boom
+	})
+	if committed != 2 || compensated != 1 {
+		t.Fatalf("abort hooks: committed=%d compensated=%d", committed, compensated)
+	}
+}
+
+// TestCrossShardConservation hammers cross-shard transfers from many
+// goroutines and checks conservation plus — via per-shard recorders and
+// the coordinator audit — that every shard's serialization order matches
+// the global decision order.
+func TestCrossShardConservation(t *testing.T) {
+	const (
+		shards   = 4
+		accounts = 32
+		workers  = 8
+		transfer = 200
+	)
+	cols := make([]*history.Collector, shards)
+	p := NewWith(shards, func(i int) []core.Option {
+		cols[i] = history.NewCollector()
+		return []core.Option{core.WithRecorder(cols[i])}
+	})
+	p.EnableAudit()
+
+	cells := make([]*core.TypedCell[int], accounts)
+	homes := make([]int, accounts)
+	for i := range cells {
+		homes[i] = i % shards
+		cells[i] = core.NewTypedCell(p.TM(homes[i]), 100)
+	}
+	total := 100 * accounts
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rnd := seed*2654435761 + 1
+			next := func(n int) int {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				return int(rnd % uint64(n))
+			}
+			for op := 0; op < transfer; op++ {
+				from, to := next(accounts), next(accounts)
+				if from == to {
+					continue
+				}
+				err := p.AtomicallyAll(func(m *MultiTx) error {
+					ftx := m.Shard(homes[from])
+					ttx := m.Shard(homes[to])
+					v := cells[from].Load(ftx)
+					cells[from].Store(ftx, v-1)
+					cells[to].Store(ttx, cells[to].Load(ttx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+				// Interleave read-only global audits through the cross path.
+				if op%16 == 0 {
+					sum := 0
+					err := p.AtomicallyAll(func(m *MultiTx) error {
+						sum = 0
+						for i := range cells {
+							sum += cells[i].Load(m.Shard(homes[i]))
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("audit: %v", err)
+						return
+					}
+					if sum != total {
+						t.Errorf("mid-run conservation broken: sum=%d want %d", sum, total)
+						return
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	sum := 0
+	for i := range cells {
+		p.Atomically(homes[i], core.Classic, func(tx *core.Tx) error {
+			sum += cells[i].Load(tx)
+			return nil
+		})
+	}
+	if sum != total {
+		t.Fatalf("final conservation broken: sum=%d want %d", sum, total)
+	}
+
+	logs := make(map[int]*history.ExecLog, shards)
+	for i, col := range cols {
+		log, err := history.Analyze(col.Events())
+		if err != nil {
+			t.Fatalf("shard %d analyze: %v", i, err)
+		}
+		if v := log.CheckVerdict(0); !v.OK() {
+			t.Fatalf("shard %d history: %v", i, v.Err())
+		}
+		logs[i] = log
+	}
+	checked, err := history.CheckCrossShardOrders(logs, p.Decisions())
+	if err != nil {
+		t.Fatalf("cross-shard order: %v", err)
+	}
+	if checked == 0 {
+		t.Fatal("cross-shard order check was vacuous")
+	}
+	t.Logf("cross order pairs checked: %d, decisions: %d", checked, len(p.Decisions()))
+}
+
+func TestCounterOf(t *testing.T) {
+	p := New(4)
+	c := NewCounterOf(p, 1000)
+	if v := c.Value(); v != 1000 {
+		t.Fatalf("initial = %d", v)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := c.Add(1); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := c.Value(); v != 1400 {
+		t.Fatalf("after adds = %d; want 1400", v)
+	}
+	// Escrow inside a cross-shard transaction: fires with the decision.
+	err := p.AtomicallyAll(func(m *MultiTx) error {
+		c.AddTx(m, 1, 5)
+		c.AddTx(m, 2, -3)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Value(); v != 1402 {
+		t.Fatalf("after cross adds = %d; want 1402", v)
+	}
+	boom := errors.New("boom")
+	p.AtomicallyAll(func(m *MultiTx) error {
+		c.AddTx(m, 0, 100)
+		return boom
+	})
+	if v := c.Value(); v != 1402 {
+		t.Fatalf("aborted escrow leaked: %d", v)
+	}
+}
+
+// TestReadOnlyParticipantHolds demonstrates why prepare locks read cells:
+// a cross-shard invariant read on one shard stays valid until the
+// decision. The concurrent writer here retries until the window where the
+// reader is prepared has passed; the reader must never observe the two
+// shards at inconsistent instants.
+func TestCrossShardConsistentReads(t *testing.T) {
+	p := New(2)
+	x := core.NewTypedCell(p.TM(0), 0)
+	y := core.NewTypedCell(p.TM(1), 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.AtomicallyAll(func(m *MultiTx) error {
+				x.Store(m.Shard(0), i)
+				y.Store(m.Shard(1), -i)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		var sum int
+		err := p.AtomicallyAll(func(m *MultiTx) error {
+			sum = x.Load(m.Shard(0)) + y.Load(m.Shard(1))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != 0 {
+			t.Fatalf("read tore across shards: x+y=%d", sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/txstruct"
+)
+
+// TreeMapOf is a sharded ordered map: one txstruct tree per shard, keys
+// hash-routed. Point operations are single-shard fast-path transactions;
+// Len (and any multi-key composition through the Tx variants) is a
+// cross-shard atomic read.
+type TreeMapOf[V any] struct {
+	p     *Partition
+	trees []*txstruct.TreeMapOf[V]
+}
+
+// NewTreeMapOf builds the per-shard trees. sizeSem picks the semantics of
+// per-shard size-cell reads inside LenTx, as for txstruct.NewTreeMapOf.
+func NewTreeMapOf[V any](p *Partition, sizeSem core.Semantics) *TreeMapOf[V] {
+	m := &TreeMapOf[V]{p: p, trees: make([]*txstruct.TreeMapOf[V], p.Shards())}
+	for i := range m.trees {
+		m.trees[i] = txstruct.NewTreeMapOf[V](p.TM(i), sizeSem)
+	}
+	return m
+}
+
+// Tree returns shard i's underlying tree, for single-shard compositions
+// via Partition.Atomically.
+func (m *TreeMapOf[V]) Tree(i int) *txstruct.TreeMapOf[V] { return m.trees[i] }
+
+// ShardFor returns the home shard of key.
+func (m *TreeMapOf[V]) ShardFor(key int) int { return m.p.ShardForKey(key) }
+
+// Get looks key up on its home shard (single-shard fast path).
+func (m *TreeMapOf[V]) Get(key int) (val V, found bool, err error) {
+	s := m.p.ShardForKey(key)
+	err = m.p.Atomically(s, core.Classic, func(tx *core.Tx) error {
+		val, found = m.trees[s].GetTx(tx, key)
+		return nil
+	})
+	return val, found, err
+}
+
+// Put inserts or updates key on its home shard (single-shard fast path).
+func (m *TreeMapOf[V]) Put(key int, val V) (inserted bool, err error) {
+	s := m.p.ShardForKey(key)
+	err = m.p.Atomically(s, core.Classic, func(tx *core.Tx) error {
+		inserted = m.trees[s].PutTx(tx, key, val)
+		return nil
+	})
+	return inserted, err
+}
+
+// Delete removes key on its home shard (single-shard fast path).
+func (m *TreeMapOf[V]) Delete(key int) (removed bool, err error) {
+	s := m.p.ShardForKey(key)
+	err = m.p.Atomically(s, core.Classic, func(tx *core.Tx) error {
+		removed = m.trees[s].DeleteTx(tx, key)
+		return nil
+	})
+	return removed, err
+}
+
+// Len returns the total number of bindings, atomically across all shards:
+// a read-only AtomicallyAll whose per-shard size reads are validated and
+// held to the decision, so the sum is a consistent global cut — not a
+// racy fold of per-shard counters.
+func (m *TreeMapOf[V]) Len() (int, error) {
+	var total int
+	err := m.p.AtomicallyAll(func(mtx *MultiTx) error {
+		total = 0
+		for i := range m.trees {
+			total += m.trees[i].LenTx(mtx.Shard(i))
+		}
+		return nil
+	})
+	return total, err
+}
+
+// GetTx looks key up inside a cross-shard transaction.
+func (m *TreeMapOf[V]) GetTx(mtx *MultiTx, key int) (V, bool) {
+	s := m.p.ShardForKey(key)
+	return m.trees[s].GetTx(mtx.Shard(s), key)
+}
+
+// PutTx inserts or updates key inside a cross-shard transaction.
+func (m *TreeMapOf[V]) PutTx(mtx *MultiTx, key int, val V) bool {
+	s := m.p.ShardForKey(key)
+	return m.trees[s].PutTx(mtx.Shard(s), key, val)
+}
+
+// DeleteTx removes key inside a cross-shard transaction.
+func (m *TreeMapOf[V]) DeleteTx(mtx *MultiTx, key int) bool {
+	s := m.p.ShardForKey(key)
+	return m.trees[s].DeleteTx(mtx.Shard(s), key)
+}

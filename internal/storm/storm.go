@@ -312,6 +312,11 @@ func finishReport(rep *Report, cfg Config, col *history.RingCollector, tm *core.
 	}
 	rep.Ops = len(allRecs)
 	rep.Stats = tm.Stats()
+	// A workload running outside the harness TM (shardbank's partition
+	// owns per-shard TMs) reports its own folded counters.
+	if s, ok := w.(interface{ stats() core.Stats }); ok {
+		rep.Stats = s.stats()
+	}
 	rep.SemanticsTxs = make(map[core.Semantics]int)
 	for _, r := range allRecs {
 		rep.SemanticsTxs[r.Sem]++

@@ -32,7 +32,11 @@ func TestStormAllWorkloads(t *testing.T) {
 				if rep.Stats.Commits == 0 {
 					t.Fatal("storm committed nothing")
 				}
-				if rep.Verdict.Classic.Txs == 0 {
+				// shardbank's transactions run on its partition's TMs; its
+				// per-shard verdicts are checked inside its own model check
+				// (and gated in shardbank_test.go), so the harness-level
+				// verdict is legitimately empty for it.
+				if name != "shardbank" && rep.Verdict.Classic.Txs == 0 {
 					t.Fatal("no classic transactions checked")
 				}
 			})

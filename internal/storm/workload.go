@@ -38,7 +38,7 @@ type workload interface {
 // whose plain frozen reads are held to the model exactly at the detach
 // epoch.
 func Workloads() []string {
-	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache", "persist", "privatize"}
+	return []string{"cells", "typedcells", "bank", "linkedlist", "skiplist", "hashset", "treemap", "queue", "lrucache", "persist", "privatize", "shardbank"}
 }
 
 func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
@@ -75,6 +75,8 @@ func newWorkload(name string, tm *core.TM, keys, window int) (workload, error) {
 		return newPersistWorkload(tm, keys)
 	case "privatize":
 		return newPrivatizeWorkload(tm, keys), nil
+	case "shardbank":
+		return newShardBankWorkload(tm, keys), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (have %v)", name, Workloads())
 	}
