@@ -7,12 +7,15 @@
 //     (the paper keeps two versions, section 5.1);
 //   - window:   elastic window size (2/3/4) vs throughput and cuts;
 //   - baseline: parse-only comparison against the fine-grained and
-//     lock-free baselines (no size operations).
+//     lock-free baselines (no size operations);
+//   - cachestripes: striped-LRU stripe count (1/2/4/8/16) vs throughput
+//     and abort rate at the configured thread count — the cache
+//     sharding design choice in isolation.
 //
 // Usage:
 //
-//	ablationbench [-run cm,versions,window,baseline] [-size 1024]
-//	              [-dur 150ms] [-threads 4] [-procs 2,4,8]
+//	ablationbench [-run cm,versions,window,baseline,cachestripes]
+//	              [-size 1024] [-dur 150ms] [-threads 4] [-procs 2,4,8]
 //
 // -procs repeats the ablations once per GOMAXPROCS value; each
 // repetition is recorded as its own trajectory run with the host
@@ -46,7 +49,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ablationbench", flag.ContinueOnError)
 	var (
-		which    = fs.String("run", "cm,versions,window,baseline", "comma-separated ablations")
+		which    = fs.String("run", "cm,versions,window,baseline,cachestripes", "comma-separated ablations")
 		size     = fs.Int("size", 1024, "initial collection size")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "duration per point")
 		threads  = fs.Int("threads", 4, "worker goroutines")
@@ -103,6 +106,10 @@ func run(args []string) error {
 				}
 			case "baseline":
 				if err := baselineSweep(wl, rec); err != nil {
+					return err
+				}
+			case "cachestripes":
+				if err := cacheStripesSweep(wl, rec); err != nil {
 					return err
 				}
 			default:
@@ -251,6 +258,20 @@ func baselineSweep(wl bench.Workload, rec *bench.JSONRun) error {
 		}
 	}
 	return nil
+}
+
+// cacheStripesSweep isolates the cache sharding choice: the striped LRU
+// at 1..16 stripes, fixed thread count, get-heavy mix. The shared sweep
+// prints the table and records one series per stripe count.
+func cacheStripesSweep(wl bench.Workload, rec *bench.JSONRun) error {
+	printHeader(fmt.Sprintf("ablation: cache stripes (%d threads, capacity %d)",
+		wl.Threads, wl.InitialSize/2))
+	_, err := bench.RunCacheStripesSweep(os.Stdout, rec, bench.CacheStripesConfig{
+		Capacity: wl.InitialSize / 2,
+		Threads:  []int{wl.Threads},
+		Duration: wl.Duration,
+	})
+	return err
 }
 
 // buildInstrumented materializes an instrumented factory once so the

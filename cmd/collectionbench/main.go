@@ -9,12 +9,23 @@
 //	collectionbench [-fig 5|7|9|all|none] [-size 4096] [-dur 250ms]
 //	                [-threads 1,2,4,8,16,32,64] [-update 10] [-sizepct 10]
 //	                [-scheme gv1|gvpass|gvsharded] [-extra] [-typed=true]
-//	                [-cache] [-persist] [-readpath] [-shards] [-procs 2,4,8]
-//	                [-json] [-out BENCH_collection.json]
+//	                [-cache] [-cachestripes] [-cachekeys 0] [-persist]
+//	                [-readpath] [-shards]
+//	                [-procs 2,4,8] [-json] [-out BENCH_collection.json]
 //	                [-label run] [-soak=true]
 //
 // -cache appends a transactional-LRU sweep (internal/cache: throughput,
 // abort rate and hit rate per thread count); -fig none runs it standalone.
+//
+// -cachestripes appends the cache stripe sweep: the striped LRU measured
+// at 1/2/4/8/16 stripes across the thread counts on a get-heavy mix,
+// with the pre-rework strict-LRU configuration (one stripe, every hit
+// relinking to MRU) as the contention baseline. By default the sweep
+// runs the hit-path regime (key range 7/8 of capacity: pure hits, no
+// eviction); -cachekeys overrides the key range, and values above the
+// capacity (-size/2) select the insert/evict churn regime instead. The
+// trajectory records each curve's stripe count in the series' "stripes"
+// field.
 //
 // -readpath appends the privatization read-path sweep: the same map read
 // through classic transactions, a pinned snapshot, and privatized plain
@@ -98,6 +109,8 @@ func run(args []string) error {
 		soak     = fs.Bool("soak", true, "run a correctness storm before the sweep")
 		typed    = fs.Bool("typed", true, "bench the typed-cell lists; false swaps in the untyped boxing comparators")
 		cacheFl  = fs.Bool("cache", false, "also sweep the transactional LRU cache (internal/cache)")
+		cacheStr = fs.Bool("cachestripes", false, "also sweep the cache stripe counts (1/2/4/8/16 stripes × threads)")
+		cacheKey = fs.Int("cachekeys", 0, "cache stripe sweep key range (0 = 7/8 of capacity, the pure-hit regime; above capacity = churn)")
 		persist  = fs.Bool("persist", false, "also sweep the durable persistence pipeline (internal/persistmap)")
 		readpath = fs.Bool("readpath", false, "also sweep the privatization read path (classic vs pinned vs privatized reads)")
 		shardsFl = fs.Bool("shards", false, "also sweep the partitioned store (threads × shard count, plus cross-shard mix ratio)")
@@ -212,6 +225,18 @@ func run(args []string) error {
 		if *cacheFl {
 			fmt.Println()
 			if err := runCacheSweep(rec, *size, ths, *dur, scheme); err != nil {
+				return err
+			}
+		}
+		if *cacheStr {
+			fmt.Println()
+			capacity := *size / 2
+			if _, err := bench.RunCacheStripesSweep(os.Stdout, rec, bench.CacheStripesConfig{
+				Capacity: capacity,
+				KeyRange: *cacheKey,
+				Threads:  ths,
+				Duration: *dur,
+			}, core.WithClockScheme(scheme)); err != nil {
 				return err
 			}
 		}

@@ -4,7 +4,11 @@
 // transactions, the cut rule for elastic, snapshot consistency for
 // snapshot, and abstract-operation linearizability against a sequential
 // model. It exits non-zero on any violation, making it usable as a CI
-// soak gate.
+// soak gate. The lrucache workload additionally runs the striped cache's
+// exported structural validator (cache.Check) after the storm, so a run
+// that survives the history checks but leaves a corrupt stripe — a
+// broken recency list, a mis-routed key, a size cell off by one — still
+// fails.
 //
 // Usage:
 //

@@ -305,6 +305,7 @@ type Series struct {
 	Impl     string
 	Shards   int // partitioned-store sweeps: shard count behind this curve (0 = unsharded)
 	CrossPct int // partitioned-store sweeps: % of operations that were cross-shard
+	Stripes  int // cache sweeps: stripe count behind this curve (0 = not a stripe sweep)
 	Threads  []int
 	Speedups []float64
 	Raw      []Result

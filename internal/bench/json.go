@@ -30,13 +30,15 @@ type JSONPoint struct {
 }
 
 // JSONSeries is one implementation's curve within a figure. Shards and
-// CrossPct are set by the partitioned-store sweeps, so a trajectory
-// consumer can tell a 4-shard disjoint-key curve from a 25%-cross-shard
-// one without parsing the Impl label.
+// CrossPct are set by the partitioned-store sweeps, Stripes by the cache
+// stripe sweeps, so a trajectory consumer can tell a 4-shard
+// disjoint-key curve (or an 8-stripe cache curve) from its neighbours
+// without parsing the Impl label.
 type JSONSeries struct {
 	Impl     string      `json:"impl"`
 	Shards   int         `json:"shards,omitempty"`
 	CrossPct int         `json:"cross_pct,omitempty"`
+	Stripes  int         `json:"stripes,omitempty"`
 	Points   []JSONPoint `json:"points"`
 }
 
@@ -130,7 +132,7 @@ func NewJSONRun(benchName, label, scheme string, w Workload) *JSONRun {
 func (r *JSONRun) AddFigure(name string, series []Series, seq Result) {
 	jf := JSONFigure{Name: name, SeqOpsPerSec: seq.Throughput}
 	for _, s := range series {
-		js := JSONSeries{Impl: s.Impl, Shards: s.Shards, CrossPct: s.CrossPct}
+		js := JSONSeries{Impl: s.Impl, Shards: s.Shards, CrossPct: s.CrossPct, Stripes: s.Stripes}
 		for i, raw := range s.Raw {
 			js.Points = append(js.Points, JSONPoint{
 				Threads:    raw.Threads,

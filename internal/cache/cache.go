@@ -1,109 +1,230 @@
 // Package cache implements a transactional LRU cache over the polymorphic
-// runtime — the first of the two ROADMAP workloads unblocked by snapshot
-// pinning and typed cells: a bounded int-keyed map with least-recently-used
-// eviction whose every operation is plain sequential code inside a
-// transaction, composable with any other transactional state.
+// runtime — a bounded int-keyed map with least-recently-used eviction
+// whose every operation is plain sequential code inside a transaction,
+// composable with any other transactional state.
 //
-// The structure is a textbook LRU — a hash directory for lookup plus a
-// doubly-linked recency list — except every mutable link is a typed cell,
-// so lookups, promotions and evictions are ordinary transactional loads
-// and stores: a Get that promotes its entry, a Put that evicts the tail
+// The structure is a STRIPED LRU: the capacity is split across N stripes
+// (a power of two, default min(GOMAXPROCS*2, 16)), each owning its own
+// hash-bucket directory, its own recency list (head/tail/size typed
+// cells) and its own escrow statistics legs. Keys are routed to a stripe
+// by a Fibonacci multiplicative hash, so promotions and evictions on
+// different stripes never share a written cell — concurrent commits on
+// unrelated keys cannot conflict on a global list head or tail, which is
+// what made the unsharded cache the tree's worst many-core scaling story.
+//
+// On top of striping, hits are READ-MOSTLY via a CLOCK-style second
+// chance: every entry carries a word-shaped `touched` cell. A hit does
+// not relink the entry to the MRU position; it sets the entry's private
+// bit (and only when the bit is still clear, so a steady-state hot hit
+// writes nothing at all). Eviction sweeps from the stripe's LRU end,
+// demoting touched entries — clear the bit, rotate to MRU — before
+// victimizing the first untouched one. The recency order is therefore
+// the classic CLOCK approximation of LRU, maintained per stripe: there
+// is no total LRU order across stripes, and within a stripe an entry's
+// age is corrected lazily, at eviction time. That approximation is the
+// price of a hit path that writes at most one private bit instead of
+// three shared link cells.
+//
+// Every mutable link is a typed cell, so lookups, touches and evictions
+// are ordinary transactional loads and stores: a Get, a Put that evicts,
 // and the caller's own reads and writes all commit or abort as one unit.
-// Hit/miss/eviction statistics go through boost.EscrowCounter (the escrow
-// relaxation): counter bumps commute, so concurrent operations never
-// conflict on the stats, yet aborted attempts leave no trace — eviction
-// accounting composed with the escrow method, exactly the pairing the
-// paper's section 4.1 contrasts with semantics labels.
+// Hit/miss/eviction/demotion statistics go through boost.EscrowCounter
+// (the escrow relaxation): counter bumps commute, so concurrent
+// operations never conflict on the stats, yet aborted attempts leave no
+// trace — eviction accounting composed with the escrow method, exactly
+// the pairing the paper's section 4.1 contrasts with semantics labels.
 package cache
 
 import (
-	"fmt"
+	"runtime"
 
 	"repro/internal/boost"
 	"repro/internal/core"
 )
 
+// fibMult is the Fibonacci multiplicative hashing constant shared with
+// txstruct.HashSet: the stripe index comes from the top bits of the
+// product, the bucket index from bits 32+, so the two routings stay
+// decorrelated.
+const fibMult = 0x9e3779b97f4a7c15
+
 // entry is one cached binding. The key is immutable; the value and every
 // link are typed cells (pointer-shaped payloads: no boxing, and version
-// records recycle), so a warm promotion or eviction allocates nothing
-// beyond what it inserts.
+// records recycle), so a warm touch or eviction allocates nothing beyond
+// what it inserts. touched is the CLOCK reference bit: word-shaped, one
+// cell per entry, written blind by the first hit after insertion or
+// demotion and cleared only by the eviction sweep.
 type entry[V any] struct {
-	key   int
-	val   *core.TypedCell[V]
-	prev  *core.TypedCell[*entry[V]] // toward the MRU end
-	next  *core.TypedCell[*entry[V]] // toward the LRU end
-	hnext *core.TypedCell[*entry[V]] // hash-bucket chain
+	key     int
+	val     *core.TypedCell[V]
+	prev    *core.TypedCell[*entry[V]] // toward the MRU end
+	next    *core.TypedCell[*entry[V]] // toward the LRU end
+	hnext   *core.TypedCell[*entry[V]] // hash-bucket chain
+	touched *core.TypedCell[bool]      // second-chance reference bit
 }
 
-// Cache is a transactional LRU cache mapping int keys to V values.
-// Create one with New and use it inside transactions of the same TM (the
-// Tx-suffixed methods), or through the one-shot wrappers.
-type Cache[V any] struct {
-	tm       *core.TM
+// stripe is one independent slice of the cache: its own directory, its
+// own recency list and its own statistics legs. No cell is shared
+// between stripes, so transactions confined to different stripes are
+// disjoint-access parallel.
+type stripe[V any] struct {
 	capacity int
 	mask     uint64
 	buckets  []*core.TypedCell[*entry[V]]
 	head     *core.TypedCell[*entry[V]] // most recently used
-	tail     *core.TypedCell[*entry[V]] // least recently used; eviction victim
+	tail     *core.TypedCell[*entry[V]] // least recently used; sweep origin
 	size     *core.TypedCell[int]
 
 	hits      *boost.EscrowCounter
 	misses    *boost.EscrowCounter
 	evictions *boost.EscrowCounter
+	demotions *boost.EscrowCounter // second-chance rotations at eviction time
 }
 
-// New builds an empty cache bounded to capacity entries (minimum 1). The
-// directory is sized to keep bucket chains short at full capacity.
+// Cache is a transactional striped LRU cache mapping int keys to V
+// values. Create one with New (default stripe count) or NewWith, and use
+// it inside transactions of the same TM (the Tx-suffixed methods), or
+// through the one-shot wrappers.
+type Cache[V any] struct {
+	tm       *core.TM
+	capacity int
+	stripes  []*stripe[V]
+	sshift   uint // 64 - log2(len(stripes)); x >> sshift routes to a stripe
+	relink   bool // strict-LRU baseline: hits relink to MRU instead of touching
+}
+
+// Options configures NewWith.
+type Options struct {
+	// Stripes is the number of independent stripes; it is rounded up to a
+	// power of two and capped so every stripe owns at least one slot.
+	// Zero selects the default min(GOMAXPROCS*2, 16).
+	Stripes int
+	// RelinkOnHit restores the strict per-stripe LRU discipline this
+	// package had before the second-chance rework: every hit unlinks the
+	// entry and relinks it at the MRU position, writing the stripe's
+	// shared head cell (and up to three link cells) on the hit path. It
+	// exists as the measured baseline for the cache benchmarks — the
+	// configuration that shows what the reference-bit hit path buys —
+	// and for callers who genuinely need exact per-stripe LRU order and
+	// accept hit-path commit conflicts to get it.
+	RelinkOnHit bool
+}
+
+// New builds an empty cache bounded to capacity entries (minimum 1) with
+// the default stripe count.
 func New[V any](tm *core.TM, capacity int) *Cache[V] {
+	return NewWith[V](tm, capacity, Options{})
+}
+
+// NewWith builds an empty cache bounded to capacity entries (minimum 1)
+// across the configured number of stripes. The capacity is split across
+// stripes (earlier stripes absorb the remainder); each stripe's
+// directory is sized to keep bucket chains short at full capacity.
+func NewWith[V any](tm *core.TM, capacity int, opts Options) *Cache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	nb := 1
-	for nb < capacity {
-		nb <<= 1
+	ns := opts.Stripes
+	if ns <= 0 {
+		ns = runtime.GOMAXPROCS(0) * 2
+		if ns > 16 {
+			ns = 16
+		}
+	}
+	ns = ceilPow2(ns)
+	for ns > capacity {
+		ns >>= 1 // every stripe must own at least one slot
 	}
 	c := &Cache[V]{
-		tm:        tm,
-		capacity:  capacity,
-		mask:      uint64(nb - 1),
-		buckets:   make([]*core.TypedCell[*entry[V]], nb),
-		head:      core.NewTypedCell[*entry[V]](tm, nil),
-		tail:      core.NewTypedCell[*entry[V]](tm, nil),
-		size:      core.NewTypedCell(tm, 0),
-		hits:      boost.NewEscrowCounter(0),
-		misses:    boost.NewEscrowCounter(0),
-		evictions: boost.NewEscrowCounter(0),
+		tm:       tm,
+		capacity: capacity,
+		stripes:  make([]*stripe[V], ns),
+		sshift:   64 - log2(uint(ns)),
+		relink:   opts.RelinkOnHit,
 	}
-	for i := range c.buckets {
-		c.buckets[i] = core.NewTypedCell[*entry[V]](tm, nil)
+	base, rem := capacity/ns, capacity%ns
+	for i := range c.stripes {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		nb := ceilPow2(sc)
+		s := &stripe[V]{
+			capacity:  sc,
+			mask:      uint64(nb - 1),
+			buckets:   make([]*core.TypedCell[*entry[V]], nb),
+			head:      core.NewTypedCell[*entry[V]](tm, nil),
+			tail:      core.NewTypedCell[*entry[V]](tm, nil),
+			size:      core.NewTypedCell(tm, 0),
+			hits:      boost.NewEscrowCounter(0),
+			misses:    boost.NewEscrowCounter(0),
+			evictions: boost.NewEscrowCounter(0),
+			demotions: boost.NewEscrowCounter(0),
+		}
+		for b := range s.buckets {
+			s.buckets[b] = core.NewTypedCell[*entry[V]](tm, nil)
+		}
+		c.stripes[i] = s
 	}
 	return c
 }
 
-// Capacity returns the configured bound.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n uint) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// Capacity returns the configured total bound.
 func (c *Cache[V]) Capacity() int { return c.capacity }
+
+// Stripes returns the number of independent stripes.
+func (c *Cache[V]) Stripes() int { return len(c.stripes) }
 
 // owns panics when tx was begun on a different TM than the cache's own.
 // With several TMs in one process (internal/shard partitions), a foreign
 // transaction reading these cells would mix two clock domains' versions,
 // and its escrow stats hooks would accrue against the wrong commit point
-// — both silently. Misuse panics, like the core runtime's own.
+// — both silently. Misuse panics, like the core runtime's own. Every
+// stripe's cells belong to the one TM, so the single check at the cache
+// boundary covers them all.
 func (c *Cache[V]) owns(tx *core.Tx) {
 	if tx.TM() != c.tm {
 		panic("cache: transaction belongs to a different TM than this cache")
 	}
 }
 
-// bucket returns the chain head cell for key (Fibonacci multiplicative
-// hash, like txstruct.HashSet).
-func (c *Cache[V]) bucket(key int) *core.TypedCell[*entry[V]] {
-	x := uint64(key) * 0x9e3779b97f4a7c15
-	return c.buckets[(x>>32)&c.mask]
+// stripeFor routes key to its stripe: the top log2(N) bits of the
+// Fibonacci product, decorrelated from the in-stripe bucket bits.
+func (c *Cache[V]) stripeFor(key int) *stripe[V] {
+	return c.stripes[(uint64(key)*fibMult)>>c.sshift]
+}
+
+// stripeIndex is stripeFor returning the index (Detach's per-stripe
+// burst tallies key on it).
+func (c *Cache[V]) stripeIndex(key int) int {
+	return int((uint64(key) * fibMult) >> c.sshift)
+}
+
+// bucket returns the chain head cell for key within the stripe.
+func (s *stripe[V]) bucket(key int) *core.TypedCell[*entry[V]] {
+	return s.buckets[(uint64(key)*fibMult>>32)&s.mask]
 }
 
 // lookupTx walks the key's bucket chain.
-func (c *Cache[V]) lookupTx(tx *core.Tx, key int) *entry[V] {
-	for e := c.bucket(key).Load(tx); e != nil; e = e.hnext.Load(tx) {
+func (s *stripe[V]) lookupTx(tx *core.Tx, key int) *entry[V] {
+	for e := s.bucket(key).Load(tx); e != nil; e = e.hnext.Load(tx) {
 		if e.key == key {
 			return e
 		}
@@ -111,140 +232,234 @@ func (c *Cache[V]) lookupTx(tx *core.Tx, key int) *entry[V] {
 	return nil
 }
 
-// GetTx returns the cached value and promotes the entry to most recently
-// used. A hit on a non-head entry therefore writes (the promotion links);
-// use PeekTx for a read-only probe. Hit/miss stats accrue at commit.
+// touchTx records a use for the second-chance sweep: set the entry's
+// reference bit if it is still clear. The hot case — bit already set —
+// writes nothing, so a steady-state hit is a read-only transaction; the
+// cold case writes one cell private to this entry, which commutes with
+// hits on every other entry (and conflicts only with a concurrent first
+// toucher of the SAME entry, or with an eviction sweep passing it).
+func (s *stripe[V]) touchTx(tx *core.Tx, e *entry[V]) {
+	if !e.touched.Load(tx) {
+		e.touched.Store(tx, true)
+	}
+}
+
+// useTx records a use under the configured recency discipline: the
+// second-chance bit by default, or — in the RelinkOnHit baseline — the
+// strict-LRU relink to the MRU position, which writes the stripe's
+// shared head cell on every non-head hit (the contention the default
+// path exists to avoid).
+func (c *Cache[V]) useTx(tx *core.Tx, s *stripe[V], e *entry[V]) {
+	if c.relink {
+		if s.head.Load(tx) != e {
+			s.unlinkTx(tx, e)
+			s.pushFrontTx(tx, e)
+		}
+		return
+	}
+	s.touchTx(tx, e)
+}
+
+// GetTx returns the cached value and records the use for the
+// second-chance eviction sweep (it does NOT relink the entry — recency
+// is corrected lazily, at eviction time). A hit on an untouched entry
+// writes that entry's private bit; a hit on an already-touched entry is
+// read-only. (Under the RelinkOnHit baseline the hit relinks to MRU
+// instead, writing the stripe's shared head cell.) Use PeekTx for a
+// probe that leaves recency state alone. Hit/miss stats accrue at
+// commit on the key's stripe.
 func (c *Cache[V]) GetTx(tx *core.Tx, key int) (V, bool) {
 	c.owns(tx)
-	e := c.lookupTx(tx, key)
+	s := c.stripeFor(key)
+	e := s.lookupTx(tx, key)
 	if e == nil {
-		c.misses.AddTx(tx, 1)
+		s.misses.AddTx(tx, 1)
 		var zero V
 		return zero, false
 	}
-	c.hits.AddTx(tx, 1)
-	c.promoteTx(tx, e)
+	s.hits.AddTx(tx, 1)
+	c.useTx(tx, s, e)
 	return e.val.Load(tx), true
 }
 
-// PeekTx returns the cached value without touching recency: combined with
+// PeekTx returns the cached value without recording a use: combined with
 // Snapshot semantics it probes a live cache with zero write-path
 // interference.
 func (c *Cache[V]) PeekTx(tx *core.Tx, key int) (V, bool) {
 	c.owns(tx)
-	e := c.lookupTx(tx, key)
+	s := c.stripeFor(key)
+	e := s.lookupTx(tx, key)
 	if e == nil {
-		c.misses.AddTx(tx, 1)
+		s.misses.AddTx(tx, 1)
 		var zero V
 		return zero, false
 	}
-	c.hits.AddTx(tx, 1)
+	s.hits.AddTx(tx, 1)
 	return e.val.Load(tx), true
 }
 
-// PutTx binds key to val as the most recently used entry, evicting the
-// least recently used entry when the cache is full. It reports whether the
+// PutTx binds key to val, evicting within the key's stripe when that
+// stripe is at its capacity share. A put to an existing key updates the
+// value in place and records a use; a new key is inserted at the
+// stripe's MRU end with its reference bit clear. It reports whether the
 // key was new.
 func (c *Cache[V]) PutTx(tx *core.Tx, key int, val V) bool {
 	c.owns(tx)
-	if e := c.lookupTx(tx, key); e != nil {
+	s := c.stripeFor(key)
+	if e := s.lookupTx(tx, key); e != nil {
 		e.val.Store(tx, val)
-		c.promoteTx(tx, e)
+		c.useTx(tx, s, e)
 		return false
 	}
-	if n := c.size.Load(tx); n >= c.capacity {
-		c.evictTx(tx)
+	if n := s.size.Load(tx); n >= s.capacity {
+		s.evictTx(tx)
 	} else {
-		c.size.Store(tx, n+1)
+		s.size.Store(tx, n+1)
 	}
-	b := c.bucket(key)
+	b := s.bucket(key)
 	e := &entry[V]{
-		key:   key,
-		val:   core.NewTypedCell(c.tm, val),
-		prev:  core.NewTypedCell[*entry[V]](c.tm, nil),
-		next:  core.NewTypedCell[*entry[V]](c.tm, nil),
-		hnext: core.NewTypedCell(c.tm, b.Load(tx)),
+		key:     key,
+		val:     core.NewTypedCell(c.tm, val),
+		prev:    core.NewTypedCell[*entry[V]](c.tm, nil),
+		next:    core.NewTypedCell[*entry[V]](c.tm, nil),
+		hnext:   core.NewTypedCell(c.tm, b.Load(tx)),
+		touched: core.NewTypedCell(c.tm, false),
 	}
 	b.Store(tx, e)
-	c.pushFrontTx(tx, e)
+	s.pushFrontTx(tx, e)
 	return true
 }
 
-// LenTx returns the number of cached entries.
+// LenTx returns the number of cached entries, folded across stripes.
+// The fold reads every stripe's size cell, so a LenTx transaction
+// validates against concurrent inserts anywhere in the cache — use it
+// under Snapshot semantics (or Len, which does) when probing a hot
+// cache.
 func (c *Cache[V]) LenTx(tx *core.Tx) int {
 	c.owns(tx)
-	return c.size.Load(tx)
-}
-
-// promoteTx moves e to the MRU end (no-op when already there).
-func (c *Cache[V]) promoteTx(tx *core.Tx, e *entry[V]) {
-	if c.head.Load(tx) == e {
-		return
+	n := 0
+	for _, s := range c.stripes {
+		n += s.size.Load(tx)
 	}
-	c.unlinkTx(tx, e)
-	c.pushFrontTx(tx, e)
+	return n
 }
 
-// unlinkTx removes e from the recency list.
-func (c *Cache[V]) unlinkTx(tx *core.Tx, e *entry[V]) {
+// unlinkTx removes e from the stripe's recency list.
+func (s *stripe[V]) unlinkTx(tx *core.Tx, e *entry[V]) {
 	p, n := e.prev.Load(tx), e.next.Load(tx)
 	if p == nil {
-		c.head.Store(tx, n)
+		s.head.Store(tx, n)
 	} else {
 		p.next.Store(tx, n)
 	}
 	if n == nil {
-		c.tail.Store(tx, p)
+		s.tail.Store(tx, p)
 	} else {
 		n.prev.Store(tx, p)
 	}
 }
 
-// pushFrontTx links e at the MRU end.
-func (c *Cache[V]) pushFrontTx(tx *core.Tx, e *entry[V]) {
-	h := c.head.Load(tx)
+// pushFrontTx links e at the stripe's MRU end.
+func (s *stripe[V]) pushFrontTx(tx *core.Tx, e *entry[V]) {
+	h := s.head.Load(tx)
 	e.prev.Store(tx, nil)
 	e.next.Store(tx, h)
 	if h == nil {
-		c.tail.Store(tx, e)
+		s.tail.Store(tx, e)
 	} else {
 		h.prev.Store(tx, e)
 	}
-	c.head.Store(tx, e)
+	s.head.Store(tx, e)
 }
 
-// evictTx drops the LRU entry: unlink from the recency list and from its
-// bucket chain. The eviction count accrues at commit through the escrow
-// counter, so concurrent evictors never conflict on the statistic.
-func (c *Cache[V]) evictTx(tx *core.Tx) {
-	victim := c.tail.Load(tx)
-	if victim == nil {
-		return
-	}
-	c.unlinkTx(tx, victim)
-	b := c.bucket(victim.key)
-	if head := b.Load(tx); head == victim {
-		b.Store(tx, victim.hnext.Load(tx))
-	} else {
-		for e := head; e != nil; e = e.hnext.Load(tx) {
-			if e.hnext.Load(tx) == victim {
-				e.hnext.Store(tx, victim.hnext.Load(tx))
-				break
+// evictTx runs the second-chance sweep from the stripe's LRU end:
+// touched entries are demoted — reference bit cleared, rotated to the
+// MRU end — until the first untouched entry, which is the victim. The
+// sweep is bounded: after size rotations every bit is clear and the
+// original tail (now untouched) is victimized, so it always terminates.
+// Eviction and demotion counts accrue at commit through the stripe's
+// escrow counters, so concurrent evictors never conflict on a statistic.
+func (s *stripe[V]) evictTx(tx *core.Tx) {
+	n := s.size.Load(tx)
+	for i := 0; ; i++ {
+		victim := s.tail.Load(tx)
+		if victim == nil {
+			return
+		}
+		if i < n && victim.touched.Load(tx) {
+			victim.touched.Store(tx, false)
+			s.unlinkTx(tx, victim)
+			s.pushFrontTx(tx, victim)
+			s.demotions.AddTx(tx, 1)
+			continue
+		}
+		s.unlinkTx(tx, victim)
+		next := victim.hnext.Load(tx)
+		b := s.bucket(victim.key)
+		if head := b.Load(tx); head == victim {
+			b.Store(tx, next)
+		} else {
+			for e := head; e != nil; {
+				en := e.hnext.Load(tx)
+				if en == victim {
+					e.hnext.Store(tx, next)
+					break
+				}
+				e = en
 			}
 		}
+		s.evictions.AddTx(tx, 1)
+		return
 	}
-	c.evictions.AddTx(tx, 1)
 }
 
-// Stats returns the committed hit/miss/eviction counters. The counts are
-// escrow-weakly consistent with each other (the documented price of the
-// relaxation): read them for monitoring, not for invariants between live
-// transactions.
+// Stats returns the committed hit/miss/eviction counters folded across
+// stripes. The counts are escrow-weakly consistent with each other (the
+// documented price of the relaxation): read them for monitoring, not for
+// invariants between live transactions.
 func (c *Cache[V]) Stats() (hits, misses, evictions int64) {
-	return c.hits.Value(), c.misses.Value(), c.evictions.Value()
+	for _, s := range c.stripes {
+		hits += s.hits.Value()
+		misses += s.misses.Value()
+		evictions += s.evictions.Value()
+	}
+	return hits, misses, evictions
 }
 
-// Get returns the value bound to key, promoting it, as one transaction.
+// Demotions returns the committed count of second-chance rotations
+// (touched entries spared by an eviction sweep), folded across stripes.
+func (c *Cache[V]) Demotions() int64 {
+	var d int64
+	for _, s := range c.stripes {
+		d += s.demotions.Value()
+	}
+	return d
+}
+
+// StripeStats is one stripe's committed statistics.
+type StripeStats struct {
+	Capacity  int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Demotions int64
+}
+
+// StripeStats returns stripe i's committed counters (same escrow-weak
+// consistency as Stats).
+func (c *Cache[V]) StripeStats(i int) StripeStats {
+	s := c.stripes[i]
+	return StripeStats{
+		Capacity:  s.capacity,
+		Hits:      s.hits.Value(),
+		Misses:    s.misses.Value(),
+		Evictions: s.evictions.Value(),
+		Demotions: s.demotions.Value(),
+	}
+}
+
+// Get returns the value bound to key, recording the use, as one
+// transaction.
 func (c *Cache[V]) Get(key int) (val V, ok bool, err error) {
 	err = c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
 		val, ok = c.GetTx(tx, key)
@@ -262,7 +477,7 @@ func (c *Cache[V]) Put(key int, val V) (isNew bool, err error) {
 	return isNew, err
 }
 
-// Peek returns the value bound to key without promoting it, under
+// Peek returns the value bound to key without recording a use, under
 // Snapshot semantics: it neither aborts nor blocks concurrent updates.
 func (c *Cache[V]) Peek(key int) (val V, ok bool, err error) {
 	err = c.tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
@@ -272,63 +487,14 @@ func (c *Cache[V]) Peek(key int) (val V, ok bool, err error) {
 	return val, ok, err
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries, under Snapshot semantics
+// (the fold reads every stripe's size cell; a snapshot read keeps it
+// from aborting against concurrent inserts).
 func (c *Cache[V]) Len() (int, error) {
 	var n int
-	err := c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+	err := c.tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
 		n = c.LenTx(tx)
 		return nil
 	})
 	return n, err
-}
-
-// CheckTx verifies the cache's structural invariants inside tx: the
-// recency list is consistent forward and backward, every listed entry is
-// reachable through its bucket chain (and vice versa), keys are unique,
-// and the entry count matches the size cell and respects the capacity
-// bound. Used by the tests and the storm harness.
-func (c *Cache[V]) CheckTx(tx *core.Tx) error {
-	c.owns(tx)
-	seen := make(map[int]*entry[V])
-	var last *entry[V]
-	n := 0
-	for e := c.head.Load(tx); e != nil; e = e.next.Load(tx) {
-		if _, dup := seen[e.key]; dup {
-			return fmt.Errorf("cache: key %d appears twice in the recency list", e.key)
-		}
-		seen[e.key] = e
-		if got := e.prev.Load(tx); got != last {
-			return fmt.Errorf("cache: entry %d has inconsistent prev link", e.key)
-		}
-		if c.lookupTx(tx, e.key) != e {
-			return fmt.Errorf("cache: entry %d not reachable through its bucket", e.key)
-		}
-		last = e
-		n++
-		if n > c.capacity {
-			return fmt.Errorf("cache: recency list exceeds capacity %d", c.capacity)
-		}
-	}
-	if got := c.tail.Load(tx); got != last {
-		return fmt.Errorf("cache: tail does not terminate the recency list")
-	}
-	if sz := c.size.Load(tx); sz != n {
-		return fmt.Errorf("cache: size cell %d, recency list has %d entries", sz, n)
-	}
-	chained := 0
-	for i := range c.buckets {
-		for e := c.buckets[i].Load(tx); e != nil; e = e.hnext.Load(tx) {
-			if seen[e.key] != e {
-				return fmt.Errorf("cache: bucket entry %d not in the recency list", e.key)
-			}
-			chained++
-			if chained > n {
-				return fmt.Errorf("cache: bucket chains hold more entries than the recency list")
-			}
-		}
-	}
-	if chained != n {
-		return fmt.Errorf("cache: bucket chains hold %d entries, recency list %d", chained, n)
-	}
-	return nil
 }

@@ -8,63 +8,111 @@ import (
 	"repro/internal/core"
 )
 
-// refLRU is the plain sequential reference model.
-type refLRU struct {
-	cap   int
-	order []int // MRU first
-	vals  map[int]int
+// refClock is the plain sequential reference model of ONE stripe: a
+// CLOCK / second-chance list mirroring the transactional implementation
+// step for step — hits set a reference bit (no relink), puts to new keys
+// insert at the MRU end with the bit clear, and eviction sweeps from the
+// LRU end demoting touched entries before victimizing the first
+// untouched one.
+type refClock struct {
+	cap     int
+	order   []int // MRU first
+	touched map[int]bool
+	vals    map[int]int
 }
 
-func newRefLRU(cap int) *refLRU { return &refLRU{cap: cap, vals: map[int]int{}} }
-
-func (r *refLRU) touch(key int) {
-	for i, k := range r.order {
-		if k == key {
-			r.order = append(r.order[:i], r.order[i+1:]...)
-			break
-		}
-	}
-	r.order = append([]int{key}, r.order...)
+func newRefClock(cap int) *refClock {
+	return &refClock{cap: cap, touched: map[int]bool{}, vals: map[int]int{}}
 }
 
-func (r *refLRU) get(key int) (int, bool) {
+func (r *refClock) rotateToFront(i int) {
+	k := r.order[i]
+	r.order = append(r.order[:i], r.order[i+1:]...)
+	r.order = append([]int{k}, r.order...)
+}
+
+func (r *refClock) get(key int) (int, bool) {
 	v, ok := r.vals[key]
 	if ok {
-		r.touch(key)
+		r.touched[key] = true
 	}
 	return v, ok
 }
 
-func (r *refLRU) put(key, val int) bool {
+func (r *refClock) put(key, val int) bool {
 	if _, ok := r.vals[key]; ok {
 		r.vals[key] = val
-		r.touch(key)
+		r.touched[key] = true
 		return false
 	}
-	if len(r.order) == r.cap {
-		victim := r.order[len(r.order)-1]
-		r.order = r.order[:len(r.order)-1]
-		delete(r.vals, victim)
+	if len(r.order) >= r.cap {
+		r.evict()
 	}
 	r.vals[key] = val
+	r.touched[key] = false
 	r.order = append([]int{key}, r.order...)
 	return true
 }
 
-// TestCacheMatchesReferenceModel drives a seeded single-threaded op
-// stream through the transactional cache and the reference LRU in
-// lockstep: results, membership, eviction choice and recency order must
-// agree exactly.
-func TestCacheMatchesReferenceModel(t *testing.T) {
-	const (
-		capacity = 8
-		keys     = 24
-		ops      = 4000
-	)
-	tm := core.New()
-	c := New[int](tm, capacity)
-	ref := newRefLRU(capacity)
-	rng := rand.New(rand.NewSource(42))
+// evict mirrors stripe.evictTx exactly, including the i<n sweep bound.
+func (r *refClock) evict() {
+	n := len(r.order)
+	for i := 0; ; i++ {
+		if len(r.order) == 0 {
+			return
+		}
+		victim := r.order[len(r.order)-1]
+		if i < n && r.touched[victim] {
+			r.touched[victim] = false
+			r.rotateToFront(len(r.order) - 1)
+			continue
+		}
+		r.order = r.order[:len(r.order)-1]
+		delete(r.vals, victim)
+		delete(r.touched, victim)
+		return
+	}
+}
+
+// refStriped routes keys across per-stripe refClock models with the
+// same capacity split the implementation uses.
+type refStriped struct {
+	c       *Cache[int] // routing oracle (stripeIndex)
+	stripes []*refClock
+}
+
+func newRefStriped(c *Cache[int]) *refStriped {
+	r := &refStriped{c: c}
+	for i := 0; i < c.Stripes(); i++ {
+		r.stripes = append(r.stripes, newRefClock(c.StripeStats(i).Capacity))
+	}
+	return r
+}
+
+func (r *refStriped) get(key int) (int, bool) { return r.stripes[r.c.stripeIndex(key)].get(key) }
+func (r *refStriped) put(key, val int) bool   { return r.stripes[r.c.stripeIndex(key)].put(key, val) }
+func (r *refStriped) peek(key int) (int, bool) {
+	v, ok := r.stripes[r.c.stripeIndex(key)].vals[key]
+	return v, ok
+}
+func (r *refStriped) len() int {
+	n := 0
+	for _, s := range r.stripes {
+		n += len(s.order)
+	}
+	return n
+}
+
+// driveAgainstReference runs a seeded single-threaded op stream through
+// the transactional cache and the reference model in lockstep: results,
+// membership, eviction choice and per-stripe recency order must agree
+// exactly.
+func driveAgainstReference(t *testing.T, c *Cache[int], ops int, seed int64) {
+	t.Helper()
+	tm := c.tm
+	ref := newRefStriped(c)
+	keys := 3 * c.Capacity()
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < ops; i++ {
 		key := rng.Intn(keys)
 		switch rng.Intn(3) {
@@ -82,7 +130,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rv, rok := ref.vals[key]
+			rv, rok := ref.peek(key)
 			if ok != rok || (ok && v != rv) {
 				t.Fatalf("op %d: Peek(%d) = (%d,%v), reference (%d,%v)", i, key, v, ok, rv, rok)
 			}
@@ -91,7 +139,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, had := ref.vals[key]
+			_, had := ref.peek(key)
 			if isNew == had {
 				t.Fatalf("op %d: Put(%d) isNew=%v, reference had=%v", i, key, isNew, had)
 			}
@@ -102,23 +150,30 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 		if err := c.CheckTx(tx); err != nil {
 			return err
 		}
-		if n := c.LenTx(tx); n != len(ref.vals) {
-			t.Errorf("final len %d, reference %d", n, len(ref.vals))
+		if n := c.LenTx(tx); n != ref.len() {
+			t.Errorf("final len %d, reference %d", n, ref.len())
 		}
-		for k, rv := range ref.vals {
-			v, ok := c.PeekTx(tx, k)
-			if !ok || v != rv {
-				t.Errorf("final Peek(%d) = (%d,%v), reference %d", k, v, ok, rv)
+		// Per-stripe: bindings, recency order AND reference bits must
+		// match the model exactly.
+		for si, s := range c.stripes {
+			rs := ref.stripes[si]
+			i := 0
+			for e := s.head.Load(tx); e != nil; e = e.next.Load(tx) {
+				if i >= len(rs.order) || e.key != rs.order[i] {
+					t.Errorf("stripe %d recency position %d holds key %d, reference %v", si, i, e.key, rs.order)
+					break
+				}
+				if got := e.touched.Load(tx); got != rs.touched[e.key] {
+					t.Errorf("stripe %d key %d touched=%v, reference %v", si, e.key, got, rs.touched[e.key])
+				}
+				if v := e.val.Load(tx); v != rs.vals[e.key] {
+					t.Errorf("stripe %d key %d value %d, reference %d", si, e.key, v, rs.vals[e.key])
+				}
+				i++
 			}
-		}
-		// Walk recency order against the reference.
-		i := 0
-		for e := c.head.Load(tx); e != nil; e = e.next.Load(tx) {
-			if i >= len(ref.order) || e.key != ref.order[i] {
-				t.Errorf("recency position %d holds key %d, reference %v", i, e.key, ref.order)
-				break
+			if i != len(rs.order) {
+				t.Errorf("stripe %d lists %d entries, reference %d", si, i, len(rs.order))
 			}
-			i++
 		}
 		return nil
 	}); err != nil {
@@ -126,11 +181,173 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 	}
 }
 
-// TestCacheConcurrentInvariants hammers the cache from 8 goroutines and
-// checks the structural invariants and the escrow accounting identities:
-// inserts = len + evictions, and hits+misses = completed probe count.
-// Meaningful under -race: promotions rewrite recycled version records
-// while other transactions traverse.
+// TestCacheMatchesReferenceModel: one stripe, so the whole cache is a
+// single second-chance list — the base case of the CLOCK semantics.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 8, Options{Stripes: 1})
+	driveAgainstReference(t, c, 4000, 42)
+}
+
+// TestStripedCacheMatchesReferenceModel: four stripes over an uneven
+// capacity, so shares differ (4/3/3/3) and every key's fate is decided
+// entirely within its routed stripe.
+func TestStripedCacheMatchesReferenceModel(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 13, Options{Stripes: 4})
+	if c.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d, want 4", c.Stripes())
+	}
+	shares := 0
+	for i := 0; i < 4; i++ {
+		shares += c.StripeStats(i).Capacity
+	}
+	if shares != 13 {
+		t.Fatalf("stripe capacity shares sum to %d, want 13", shares)
+	}
+	driveAgainstReference(t, c, 6000, 7)
+}
+
+// TestCacheSecondChanceEvictsUntouched pins the sweep order on a
+// deterministic scenario: a touched tail entry is demoted (spared,
+// rotated to MRU) and the first untouched entry behind it is the victim.
+func TestCacheSecondChanceEvictsUntouched(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 3, Options{Stripes: 1})
+	for _, k := range []int{1, 2, 3} { // recency now 3,2,1 (MRU first)
+		if _, err := c.Put(k, 10*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get(1); err != nil { // touch the tail entry
+		t.Fatal(err)
+	}
+	if _, err := c.Put(4, 40); err != nil { // sweep: demote 1, evict 2
+		t.Fatal(err)
+	}
+	for k, want := range map[int]bool{1: true, 2: false, 3: true, 4: true} {
+		if _, ok, err := c.Peek(k); err != nil || ok != want {
+			t.Fatalf("after second-chance eviction Peek(%d) present=%v (err %v), want %v", k, ok, err, want)
+		}
+	}
+	_, _, evics := c.Stats()
+	if evics != 1 || c.Demotions() != 1 {
+		t.Fatalf("evictions=%d demotions=%d, want 1 and 1", evics, c.Demotions())
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheRelinkBaselineIsStrictLRU pins the RelinkOnHit comparator:
+// hits relink to MRU, so recency is the textbook total order and
+// eviction takes the exact LRU victim (no reference bits involved).
+func TestCacheRelinkBaselineIsStrictLRU(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 3, Options{Stripes: 1, RelinkOnHit: true})
+	for _, k := range []int{1, 2, 3} { // recency 3,2,1
+		if _, err := c.Put(k, 10*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get(1); err != nil { // relink: recency 1,3,2
+		t.Fatal(err)
+	}
+	if _, err := c.Put(4, 40); err != nil { // strict LRU evicts 2
+		t.Fatal(err)
+	}
+	want := []int{4, 1, 3}
+	if err := tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		if err := c.CheckTx(tx); err != nil {
+			return err
+		}
+		i := 0
+		for e := c.stripes[0].head.Load(tx); e != nil; e = e.next.Load(tx) {
+			if i >= len(want) || e.key != want[i] {
+				t.Errorf("relink recency position %d holds key %d, want %v", i, e.key, want)
+				break
+			}
+			i++
+		}
+		if i != len(want) {
+			t.Errorf("relink list has %d entries, want %d", i, len(want))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Demotions() != 0 {
+		t.Fatalf("relink baseline recorded %d demotions, want 0", c.Demotions())
+	}
+}
+
+// TestCacheHotHitIsReadOnly pins the tentpole's hit-path contract: once
+// an entry's reference bit is set, further Gets of it write nothing (a
+// read-only transaction), so steady-state hot hits cannot conflict with
+// each other.
+func TestCacheHotHitIsReadOnly(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 4, Options{Stripes: 1})
+	if _, err := c.Put(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(1); err != nil { // first hit sets the bit
+		t.Fatal(err)
+	}
+	before := tm.Stats()
+	for i := 0; i < 10; i++ {
+		if v, ok, err := c.Get(1); err != nil || !ok || v != 11 {
+			t.Fatalf("hot Get = (%d,%v,%v)", v, ok, err)
+		}
+	}
+	after := tm.Stats()
+	if got := after.ReadOnlyCommits - before.ReadOnlyCommits; got != 10 {
+		t.Fatalf("10 hot hits produced %d read-only commits, want 10 (hit path still writes)", got)
+	}
+}
+
+// TestNewWithNormalizesStripes: stripe counts round up to a power of two
+// and are capped so every stripe owns at least one slot.
+func TestNewWithNormalizesStripes(t *testing.T) {
+	tm := core.New()
+	for _, tc := range []struct {
+		capacity, stripes, want int
+	}{
+		{64, 1, 1},
+		{64, 3, 4},
+		{64, 16, 16},
+		{4, 64, 4}, // capped: one slot per stripe minimum
+		{1, 8, 1},  // degenerate single-slot cache
+		{13, 4, 4}, // uneven shares
+	} {
+		c := NewWith[int](tm, tc.capacity, Options{Stripes: tc.stripes})
+		if c.Stripes() != tc.want {
+			t.Errorf("NewWith(cap=%d, stripes=%d).Stripes() = %d, want %d",
+				tc.capacity, tc.stripes, c.Stripes(), tc.want)
+		}
+		shares := 0
+		for i := 0; i < c.Stripes(); i++ {
+			sc := c.StripeStats(i).Capacity
+			if sc < 1 {
+				t.Errorf("cap=%d stripes=%d: stripe %d owns %d slots", tc.capacity, tc.stripes, i, sc)
+			}
+			shares += sc
+		}
+		if shares != tc.capacity {
+			t.Errorf("cap=%d stripes=%d: shares sum to %d", tc.capacity, tc.stripes, shares)
+		}
+	}
+	if def := New[int](tm, 1024); def.Stripes() < 1 || def.Stripes()&(def.Stripes()-1) != 0 {
+		t.Errorf("default stripes %d not a power of two", def.Stripes())
+	}
+}
+
+// TestCacheConcurrentInvariants hammers the striped cache from 8
+// goroutines and checks the structural invariants and the escrow
+// accounting identities: inserts = len + evictions (folded over
+// stripes), and hits+misses = completed probe count. Meaningful under
+// -race: touches rewrite recycled version records while other
+// transactions traverse.
 func TestCacheConcurrentInvariants(t *testing.T) {
 	const (
 		capacity = 16
@@ -139,7 +356,7 @@ func TestCacheConcurrentInvariants(t *testing.T) {
 		perOps   = 400
 	)
 	tm := core.New()
-	c := New[int](tm, capacity)
+	c := NewWith[int](tm, capacity, Options{Stripes: 4})
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -195,8 +412,20 @@ func TestCacheConcurrentInvariants(t *testing.T) {
 	if inserts != int64(n)+evictions {
 		t.Errorf("inserts = %d, want len %d + evictions %d", inserts, n, evictions)
 	}
-	if evictions == 0 || hits == 0 || misses == 0 {
-		t.Errorf("vacuous run: hits=%d misses=%d evictions=%d, want all > 0", hits, misses, evictions)
+	if evictions == 0 || hits == 0 || misses == 0 || c.Demotions() == 0 {
+		t.Errorf("vacuous run: hits=%d misses=%d evictions=%d demotions=%d, want all > 0",
+			hits, misses, evictions, c.Demotions())
+	}
+	// Per-stripe legs must fold to the global counters.
+	var sh, sm, se int64
+	for i := 0; i < c.Stripes(); i++ {
+		st := c.StripeStats(i)
+		sh += st.Hits
+		sm += st.Misses
+		se += st.Evictions
+	}
+	if sh != hits || sm != misses || se != evictions {
+		t.Errorf("stripe stats fold to (%d,%d,%d), global (%d,%d,%d)", sh, sm, se, hits, misses, evictions)
 	}
 }
 

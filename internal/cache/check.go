@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CheckTx verifies the cache's structural invariants inside tx, in two
+// layers. Per stripe: the recency list is consistent forward and
+// backward, every listed entry is reachable through its stripe's bucket
+// chains (and vice versa — the chains hold exactly the listed entries),
+// the entry count matches the stripe's size cell and respects its
+// capacity share. Globally: every entry lives in the stripe its key
+// routes to, keys are unique across the whole cache, and the directory
+// and the recency lists agree on the same entry set — the
+// directory↔lists identity that survives striping even though a total
+// LRU order does not. Used by the tests and the storm harness; Check is
+// the one-shot wrapper.
+func (c *Cache[V]) CheckTx(tx *core.Tx) error {
+	c.owns(tx)
+	seen := make(map[int]*entry[V]) // global: keys unique across stripes
+	total := 0
+	for si, s := range c.stripes {
+		var last *entry[V]
+		n := 0
+		for e := s.head.Load(tx); e != nil; e = e.next.Load(tx) {
+			if _, dup := seen[e.key]; dup {
+				return fmt.Errorf("cache: key %d appears twice across the recency lists", e.key)
+			}
+			seen[e.key] = e
+			if c.stripeFor(e.key) != s {
+				return fmt.Errorf("cache: key %d listed in stripe %d but routes to stripe %d",
+					e.key, si, c.stripeIndex(e.key))
+			}
+			if got := e.prev.Load(tx); got != last {
+				return fmt.Errorf("cache: stripe %d entry %d has inconsistent prev link", si, e.key)
+			}
+			if s.lookupTx(tx, e.key) != e {
+				return fmt.Errorf("cache: stripe %d entry %d not reachable through its bucket", si, e.key)
+			}
+			last = e
+			n++
+			if n > s.capacity {
+				return fmt.Errorf("cache: stripe %d recency list exceeds its capacity share %d", si, s.capacity)
+			}
+		}
+		if got := s.tail.Load(tx); got != last {
+			return fmt.Errorf("cache: stripe %d tail does not terminate the recency list", si)
+		}
+		if sz := s.size.Load(tx); sz != n {
+			return fmt.Errorf("cache: stripe %d size cell %d, recency list has %d entries", si, sz, n)
+		}
+		chained := 0
+		for b := range s.buckets {
+			for e := s.buckets[b].Load(tx); e != nil; e = e.hnext.Load(tx) {
+				if seen[e.key] != e {
+					return fmt.Errorf("cache: stripe %d bucket entry %d not in its recency list", si, e.key)
+				}
+				chained++
+				if chained > n {
+					return fmt.Errorf("cache: stripe %d bucket chains hold more entries than the recency list", si)
+				}
+			}
+		}
+		if chained != n {
+			return fmt.Errorf("cache: stripe %d bucket chains hold %d entries, recency list %d", si, chained, n)
+		}
+		total += n
+	}
+	// The global identity: the directory and the lists agree on one entry
+	// set of this size (each stripe already matched chain-for-list, and
+	// seen deduplicated across stripes).
+	if total != len(seen) {
+		return fmt.Errorf("cache: %d listed entries but %d distinct keys", total, len(seen))
+	}
+	if total > c.capacity {
+		return fmt.Errorf("cache: %d entries exceed total capacity %d", total, c.capacity)
+	}
+	return nil
+}
+
+// Check runs CheckTx in its own classic transaction: the one-shot
+// structural validator, callable from operational tooling (stormcheck's
+// lrucache path runs it after every storm) without writing a
+// transaction bracket by hand.
+func (c *Cache[V]) Check() error {
+	return c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
+		return c.CheckTx(tx)
+	})
+}

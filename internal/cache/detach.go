@@ -9,16 +9,20 @@ import (
 // This file serves read bursts from a privatized cache index: Detach
 // freezes the cache behind core.TM.Privatize's quiescence barrier and
 // returns a view whose probes are plain bucket-chain walks — no
-// transactions, no promotion writes, zero allocations per probe. The
-// trade is explicit: a detached burst does not touch recency (the LRU
-// order is frozen with the rest of the structure), which is exactly what
-// a read burst wants — a million probes should not commit a million
-// promotion writes, nor should they evict each other's working set.
+// transactions, no touched-bit writes, zero allocations per probe. All
+// stripes freeze under the ONE detach epoch the barrier draws: a
+// detached Get may cross into any stripe and a detached Len folds every
+// stripe's size cell, all observing the same instant. The trade is
+// explicit: a detached burst does not touch recency (the per-stripe
+// CLOCK state is frozen with the rest of the structure), which is
+// exactly what a read burst wants — a million probes should not commit
+// a million reference-bit writes, nor should they evict each other's
+// working set.
 //
 // The fence contract is the caller's, as for TM.Privatize: stop writers
 // to THIS cache before Detach, re-admit them after Republish. Race
-// builds mark every cell of the frozen structure, so a writer that slips
-// the fence fails loudly.
+// builds mark every cell of every stripe, so a writer that slips the
+// fence fails loudly no matter which stripe it lands on.
 
 // DetachedCache is a frozen, detached view of a Cache at a fixed epoch:
 // safe for concurrent use by any number of readers. Republish must be
@@ -27,11 +31,18 @@ type DetachedCache[V any] struct {
 	c *Cache[V]
 	p *core.Private
 
-	// Burst-local statistics: plain atomics, since no transaction is in
-	// flight to carry escrow bumps. Folded back by Republish.
+	// Burst-local statistics, one leg per stripe: plain atomics, since no
+	// transaction is in flight to carry escrow bumps, padded so readers
+	// hammering different stripes do not share a counter cache line.
+	// Republish folds each leg into its own stripe's escrow counters.
+	stats  []detachedStripeStats
+	folded atomic.Bool
+}
+
+type detachedStripeStats struct {
 	hits   atomic.Int64
 	misses atomic.Int64
-	folded atomic.Bool
+	_      [48]byte
 }
 
 // Detach privatizes the cache and returns the frozen view. The caller
@@ -41,20 +52,23 @@ func (c *Cache[V]) Detach() (*DetachedCache[V], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DetachedCache[V]{c: c, p: p}
+	d := &DetachedCache[V]{c: c, p: p, stats: make([]detachedStripeStats, len(c.stripes))}
 	if core.PrivatizeGuardsEnabled {
-		// Guard walk (race builds only): arm the loud-error rails on the
-		// directory, the recency links and every entry.
-		c.head.MarkDetached(p)
-		c.tail.MarkDetached(p)
-		c.size.MarkDetached(p)
-		for i := range c.buckets {
-			c.buckets[i].MarkDetached(p)
-			for e := c.buckets[i].LoadDetached(p); e != nil; e = e.hnext.LoadDetached(p) {
-				e.val.MarkDetached(p)
-				e.prev.MarkDetached(p)
-				e.next.MarkDetached(p)
-				e.hnext.MarkDetached(p)
+		// Guard walk (race builds only): arm the loud-error rails on every
+		// stripe's directory, recency links, size cell and entries.
+		for _, s := range c.stripes {
+			s.head.MarkDetached(p)
+			s.tail.MarkDetached(p)
+			s.size.MarkDetached(p)
+			for i := range s.buckets {
+				s.buckets[i].MarkDetached(p)
+				for e := s.buckets[i].LoadDetached(p); e != nil; e = e.hnext.LoadDetached(p) {
+					e.val.MarkDetached(p)
+					e.prev.MarkDetached(p)
+					e.next.MarkDetached(p)
+					e.hnext.MarkDetached(p)
+					e.touched.MarkDetached(p)
+				}
 			}
 		}
 	}
@@ -64,33 +78,54 @@ func (c *Cache[V]) Detach() (*DetachedCache[V], error) {
 // Epoch returns the detach epoch the view is frozen at.
 func (d *DetachedCache[V]) Epoch() uint64 { return d.p.Epoch() }
 
-// Get probes the frozen index with a plain bucket-chain walk. Unlike the
-// transactional Get it never promotes — recency is frozen — and the
-// hit/miss tallies accrue burst-locally until Republish folds them into
-// the cache's escrow counters.
+// Get probes the frozen index with a plain bucket-chain walk in the
+// key's stripe. Unlike the transactional Get it never records a use —
+// recency is frozen — and the hit/miss tallies accrue burst-locally,
+// per stripe, until Republish folds them into the stripes' escrow
+// counters.
 func (d *DetachedCache[V]) Get(key int) (V, bool) {
-	for e := d.c.bucket(key).LoadDetached(d.p); e != nil; e = e.hnext.LoadDetached(d.p) {
+	i := d.c.stripeIndex(key)
+	s := d.c.stripes[i]
+	for e := s.bucket(key).LoadDetached(d.p); e != nil; e = e.hnext.LoadDetached(d.p) {
 		if e.key == key {
-			d.hits.Add(1)
+			d.stats[i].hits.Add(1)
 			return e.val.LoadDetached(d.p), true
 		}
 	}
-	d.misses.Add(1)
+	d.stats[i].misses.Add(1)
 	var zero V
 	return zero, false
 }
 
-// Len returns the number of cached entries in the frozen view.
-func (d *DetachedCache[V]) Len() int { return d.c.size.LoadDetached(d.p) }
-
-// Stats returns the burst-local hit/miss tallies so far.
-func (d *DetachedCache[V]) Stats() (hits, misses int64) {
-	return d.hits.Load(), d.misses.Load()
+// Len returns the number of cached entries in the frozen view, folded
+// across stripes at the detach epoch.
+func (d *DetachedCache[V]) Len() int {
+	n := 0
+	for _, s := range d.c.stripes {
+		n += s.size.LoadDetached(d.p)
+	}
+	return n
 }
 
-// Republish re-attaches the cache and folds the burst's hit/miss tallies
-// into its escrow counters (one small transaction; a cache serving a
-// read burst wants its hit-rate monitoring to include the burst). The
+// Stats returns the burst-local hit/miss tallies so far, folded across
+// stripes.
+func (d *DetachedCache[V]) Stats() (hits, misses int64) {
+	for i := range d.stats {
+		hits += d.stats[i].hits.Load()
+		misses += d.stats[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// StripeStats returns stripe i's burst-local hit/miss tallies so far.
+func (d *DetachedCache[V]) StripeStats(i int) (hits, misses int64) {
+	return d.stats[i].hits.Load(), d.stats[i].misses.Load()
+}
+
+// Republish re-attaches the cache and folds the burst's per-stripe
+// hit/miss tallies into the matching stripes' escrow counters (one small
+// transaction for the whole fold; a cache serving a read burst wants its
+// hit-rate monitoring — per stripe included — to cover the burst). The
 // caller may then re-admit writers. Idempotent — only the first call
 // folds. Returns the fold transaction's error, nil on repeat calls.
 func (d *DetachedCache[V]) Republish() error {
@@ -98,16 +133,24 @@ func (d *DetachedCache[V]) Republish() error {
 	if d.folded.Swap(true) {
 		return nil
 	}
-	h, m := d.hits.Load(), d.misses.Load()
-	if h == 0 && m == 0 {
+	any := false
+	for i := range d.stats {
+		if d.stats[i].hits.Load() != 0 || d.stats[i].misses.Load() != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
 		return nil
 	}
 	return d.c.tm.Atomically(core.Classic, func(tx *core.Tx) error {
-		if h != 0 {
-			d.c.hits.AddTx(tx, h)
-		}
-		if m != 0 {
-			d.c.misses.AddTx(tx, m)
+		for i, s := range d.c.stripes {
+			if h := d.stats[i].hits.Load(); h != 0 {
+				s.hits.AddTx(tx, h)
+			}
+			if m := d.stats[i].misses.Load(); m != 0 {
+				s.misses.AddTx(tx, m)
+			}
 		}
 		return nil
 	})

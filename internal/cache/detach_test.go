@@ -61,6 +61,98 @@ func TestCacheDetachServesFrozenIndex(t *testing.T) {
 	}
 }
 
+// TestCacheDetachStriped pins the detach contract on a striped cache:
+// every stripe freezes under the ONE epoch the quiescence barrier draws,
+// a burst's probes cross stripes freely and observe that instant, the
+// burst tallies accrue per stripe, and Republish folds each stripe's leg
+// into that stripe's own escrow counters exactly once.
+func TestCacheDetachStriped(t *testing.T) {
+	tm := core.New()
+	c := NewWith[int](tm, 32, Options{Stripes: 4})
+	for i := 0; i < 80; i++ { // over-fill: every stripe sees churn
+		if _, err := c.Put(i, i*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot the exact membership the detach must freeze.
+	expected := map[int]int{}
+	if err := tm.Atomically(core.Snapshot, func(tx *core.Tx) error {
+		for _, s := range c.stripes {
+			for e := s.head.Load(tx); e != nil; e = e.next.Load(tx) {
+				expected[e.key] = e.val.Load(tx)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() == 0 {
+		t.Fatal("detach epoch is zero")
+	}
+	// Probe every key ever inserted: hits must return exactly the frozen
+	// bindings, misses exactly the evicted keys, regardless of stripe.
+	wantHits := make([]int64, c.Stripes())
+	wantMisses := make([]int64, c.Stripes())
+	for k := 0; k < 80; k++ {
+		v, ok := d.Get(k)
+		ev, eok := expected[k]
+		if ok != eok || (ok && v != ev) {
+			t.Fatalf("detached Get(%d) = (%d,%v), frozen membership says (%d,%v)", k, v, ok, ev, eok)
+		}
+		if ok {
+			wantHits[c.stripeIndex(k)]++
+		} else {
+			wantMisses[c.stripeIndex(k)]++
+		}
+	}
+	if got := d.Len(); got != len(expected) {
+		t.Fatalf("detached Len = %d, frozen membership has %d", got, len(expected))
+	}
+	// Burst tallies landed on the right stripes.
+	pre := make([]StripeStats, c.Stripes())
+	for i := range pre {
+		if h, m := d.StripeStats(i); h != wantHits[i] || m != wantMisses[i] {
+			t.Fatalf("stripe %d burst tallies (%d,%d), want (%d,%d)", i, h, m, wantHits[i], wantMisses[i])
+		}
+		pre[i] = c.StripeStats(i)
+	}
+	if err := d.Republish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Republish(); err != nil { // fold exactly once
+		t.Fatal(err)
+	}
+	for i := range pre {
+		post := c.StripeStats(i)
+		if post.Hits != pre[i].Hits+wantHits[i] || post.Misses != pre[i].Misses+wantMisses[i] {
+			t.Fatalf("stripe %d fold: hits %d->%d misses %d->%d, want +%d/+%d",
+				i, pre[i].Hits, post.Hits, pre[i].Misses, post.Misses, wantHits[i], wantMisses[i])
+		}
+	}
+	// A second detach cycle, after an intervening update commit, draws a
+	// later epoch.
+	if _, err := c.Put(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Epoch() <= d.Epoch() {
+		t.Fatalf("second detach epoch %d not after first %d", d2.Epoch(), d.Epoch())
+	}
+	if err := d2.Republish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCacheDetachZeroAllocProbe pins the read-burst cost: a detached
 // probe allocates nothing. (Race builds skip.)
 func TestCacheDetachZeroAllocProbe(t *testing.T) {

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -44,5 +45,42 @@ func TestForeignTxPanics(t *testing.T) {
 	}
 	if n, err := c.Len(); err != nil || n != 1 {
 		t.Fatalf("owning-TM Len = (%d, %v), want 1", n, err)
+	}
+}
+
+// TestForeignTxPanicsOnEveryStripe routes a foreign transaction at a key
+// in EACH stripe: the ownership check sits at the cache boundary, before
+// stripe routing, so no stripe's entry points can be reached by a
+// foreign TM's transaction.
+func TestForeignTxPanicsOnEveryStripe(t *testing.T) {
+	tm, other := core.New(), core.New()
+	c := NewWith[int](tm, 16, Options{Stripes: 4})
+	// Find one probe key per stripe.
+	perStripe := make([]int, c.Stripes())
+	seen := make([]bool, c.Stripes())
+	for k, found := 0, 0; found < c.Stripes(); k++ {
+		if si := c.stripeIndex(k); !seen[si] {
+			seen[si] = true
+			perStripe[si] = k
+			found++
+		}
+	}
+	mustPanic := func(name string, fn func(tx *core.Tx)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s with a foreign TM's tx did not panic", name)
+			}
+		}()
+		_ = other.Atomically(core.Classic, func(tx *core.Tx) error {
+			fn(tx)
+			return nil
+		})
+	}
+	for si, key := range perStripe {
+		key := key
+		mustPanic(fmt.Sprintf("GetTx(stripe %d)", si), func(tx *core.Tx) { c.GetTx(tx, key) })
+		mustPanic(fmt.Sprintf("PutTx(stripe %d)", si), func(tx *core.Tx) { c.PutTx(tx, key, 1) })
+		mustPanic(fmt.Sprintf("PeekTx(stripe %d)", si), func(tx *core.Tx) { c.PeekTx(tx, key) })
 	}
 }

@@ -3,16 +3,24 @@ package storm
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/history"
 )
 
-// cacheWorkload storms the transactional LRU cache: gets (which promote,
-// and therefore write), read-only peeks under classic and snapshot
-// semantics, puts (which insert and evict), and length probes, over a key
-// range twice the capacity so eviction runs continuously.
+// cacheWorkload storms the STRIPED transactional LRU cache: gets (which
+// set an entry's second-chance bit on first touch, and are read-only
+// once it is set), read-only peeks under classic and snapshot semantics,
+// puts (which insert and evict within the key's stripe), and length
+// probes folding all stripes, over a key range twice the capacity so
+// eviction runs continuously in every stripe.
+//
+// The workload pins the stripe count at 4 (not the GOMAXPROCS-dependent
+// default) so a storm's shape — which keys share a stripe, where
+// eviction pressure lands — is a pure function of the config, and the
+// shrinker's replay rebuilds the identical cache.
 //
 // Checking is hit-rate + invariants, in three layers:
 //
@@ -25,22 +33,29 @@ import (
 //     this way: a miss may be an eviction, which the timeline does not
 //     see. They are covered by the accounting identities instead.)
 //  2. escrow accounting: the cache counts hits/misses/evictions through
-//     boost.EscrowCounter; the committed counter values must equal the
-//     counts derivable from the committed op records — hits and misses
-//     exactly, evictions through the identity
-//     evictions = inserts - len (size never shrinks; it only saturates
-//     at capacity), and len = min(inserts, capacity).
-//  3. structural invariants: cache.CheckTx over the final state (list
-//     consistency both directions, directory agreement, capacity bound),
-//     plus a capacity bound on every observed length.
+//     per-stripe boost.EscrowCounter legs; folded over stripes, the
+//     committed values must equal the counts derivable from the committed
+//     op records — hits and misses exactly, evictions through the global
+//     identity evictions = inserts − len (no stripe's size ever shrinks;
+//     each only saturates at its share). Note min(inserts, capacity) is
+//     NOT the final length under striping: a stripe can saturate while
+//     another sits below its share, which is exactly the approximation
+//     the striped design buys.
+//  3. structural invariants: cache.Check() over the final state —
+//     per-stripe list consistency both directions, directory agreement,
+//     stripe routing and capacity shares, plus the global
+//     directory↔lists identity — and a capacity bound on every observed
+//     length.
 //
-// The hit rate is reported through the storm report's notes, and the run
-// fails as vacuous if the storm never hit, never missed or never evicted.
+// Global and per-stripe hit rates go to the storm report's notes, and the
+// run fails as vacuous if the storm never hit, never missed, never
+// evicted or never demoted (a demotion is a second-chance rotation; zero
+// demotions would mean the CLOCK machinery went unexercised).
 type cacheWorkload struct {
 	tm    *core.TM
 	c     *cache.Cache[int]
 	keys  int
-	lastN string
+	lastN []string
 }
 
 func newCacheWorkload(tm *core.TM, keys int) *cacheWorkload {
@@ -48,7 +63,8 @@ func newCacheWorkload(tm *core.TM, keys int) *cacheWorkload {
 	if capacity < 2 {
 		capacity = 2
 	}
-	return &cacheWorkload{tm: tm, c: cache.New[int](tm, capacity), keys: keys}
+	c := cache.NewWith[int](tm, capacity, cache.Options{Stripes: 4})
+	return &cacheWorkload{tm: tm, c: c, keys: keys}
 }
 
 func (w *cacheWorkload) name() string { return "lrucache" }
@@ -72,8 +88,10 @@ func (w *cacheWorkload) step(rng *rand.Rand, mix Mix) (OpRecord, error) {
 	reads := []core.Semantics{core.Classic, core.Snapshot}
 	switch {
 	case roll < 40:
-		// Promoting get: writes recency links on a non-head hit, so it
-		// must be an update-capable semantics.
+		// Touching get: writes the entry's second-chance bit on first
+		// touch, so it must be an update-capable semantics. (Once the bit
+		// is set, further hits are read-only — that is the tentpole's hot
+		// path, and both cases must verify.)
 		return w.exec(mix.pick(rng, classicOnly), Op{Kind: OpGet, Key: key})
 	case roll < 55:
 		// Read-only probe; under Snapshot it interferes with nothing.
@@ -139,9 +157,10 @@ func (w *cacheWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 			count(op)
 			switch op.Kind {
 			case OpGet:
-				// An updater get is a promoting HIT (a miss writes
-				// nothing): its validated read must equal the latest put
-				// just below its commit instant.
+				// An updater get is a first-touch HIT (a miss writes
+				// nothing, and an already-touched hit is read-only): its
+				// validated read must equal the latest put just below its
+				// commit instant.
 				if !op.Bool {
 					return opErr(u.ex, op, "missed yet wrote")
 				}
@@ -165,7 +184,7 @@ func (w *cacheWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 			switch op.Kind {
 			case OpGet, OpPeek:
 				if op.Bool {
-					// A read-only hit (peek, or get of the already-MRU
+					// A read-only hit (peek, or get of an already-touched
 					// entry): the value must match the put timeline at
 					// some instant of the window.
 					if !puts.matchesIn(op.Key, lo, hi, true, op.Int, true) {
@@ -187,45 +206,54 @@ func (w *cacheWorkload) check(log *history.ExecLog, recs []OpRecord) error {
 		}
 	}
 
-	// Escrow accounting vs the committed record counts, and the eviction
-	// identity (size never shrinks, so len = min(inserts, cap) and
-	// every insert beyond that evicted exactly one entry).
+	// Escrow accounting vs the committed record counts, folded over the
+	// stripes' counter legs.
 	ehits, emisses, eevics := w.c.Stats()
 	if ehits != hits || emisses != misses {
 		return fmt.Errorf("lrucache: escrow counted %d hits / %d misses, records hold %d / %d",
 			ehits, emisses, hits, misses)
 	}
-	var n int
-	if err := w.tm.Atomically(core.Classic, func(tx *core.Tx) error {
-		n = w.c.LenTx(tx)
-		return w.c.CheckTx(tx)
-	}); err != nil {
+	// Structural invariants, through the exported one-shot validator (the
+	// same entry point stormcheck and operational tooling use).
+	if err := w.c.Check(); err != nil {
 		return fmt.Errorf("lrucache: %w", err)
 	}
-	wantLen := inserts
-	if wantLen > int64(w.c.Capacity()) {
-		wantLen = int64(w.c.Capacity())
+	n, err := w.c.Len()
+	if err != nil {
+		return fmt.Errorf("lrucache: %w", err)
 	}
-	if int64(n) != wantLen {
-		return fmt.Errorf("lrucache: final len %d, want min(inserts=%d, cap=%d) = %d",
-			n, inserts, w.c.Capacity(), wantLen)
+	// The eviction identity that SURVIVES striping: no stripe's size ever
+	// shrinks, so every insert beyond the final population evicted
+	// exactly one entry. (len = min(inserts, capacity) does NOT survive:
+	// one stripe can saturate its share while another sits below.)
+	if n > w.c.Capacity() {
+		return fmt.Errorf("lrucache: final len %d exceeds capacity %d", n, w.c.Capacity())
 	}
 	if eevics != inserts-int64(n) {
 		return fmt.Errorf("lrucache: escrow counted %d evictions, want inserts %d - len %d = %d",
 			eevics, inserts, n, inserts-int64(n))
 	}
-	if hits == 0 || misses == 0 || eevics == 0 {
-		return fmt.Errorf("lrucache: vacuous run (hits=%d misses=%d evictions=%d)", hits, misses, eevics)
+	demos := w.c.Demotions()
+	if hits == 0 || misses == 0 || eevics == 0 || demos == 0 {
+		return fmt.Errorf("lrucache: vacuous run (hits=%d misses=%d evictions=%d demotions=%d)",
+			hits, misses, eevics, demos)
 	}
-	w.lastN = fmt.Sprintf("hit-rate %.0f%% (%d/%d), %d evictions",
-		100*float64(hits)/float64(hits+misses), hits, hits+misses, eevics)
+	var per []string
+	for i := 0; i < w.c.Stripes(); i++ {
+		st := w.c.StripeStats(i)
+		if probes := st.Hits + st.Misses; probes > 0 {
+			per = append(per, fmt.Sprintf("s%d %.0f%% (%d/%d)", i, 100*float64(st.Hits)/float64(probes), st.Hits, probes))
+		} else {
+			per = append(per, fmt.Sprintf("s%d —", i))
+		}
+	}
+	w.lastN = []string{
+		fmt.Sprintf("hit-rate %.0f%% (%d/%d), %d evictions, %d demotions over %d stripes",
+			100*float64(hits)/float64(hits+misses), hits, hits+misses, eevics, demos, w.c.Stripes()),
+		"per-stripe hit-rate: " + strings.Join(per, ", "),
+	}
 	return nil
 }
 
-// notes surfaces the hit rate in the storm report.
-func (w *cacheWorkload) notes() []string {
-	if w.lastN == "" {
-		return nil
-	}
-	return []string{w.lastN}
-}
+// notes surfaces the global and per-stripe hit rates in the storm report.
+func (w *cacheWorkload) notes() []string { return w.lastN }
